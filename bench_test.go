@@ -1,0 +1,105 @@
+package repro
+
+import (
+	"io"
+	"testing"
+
+	"repro/internal/bench"
+)
+
+// runExperiment executes one of the paper's tables/figures as a Go
+// benchmark. Each iteration regenerates the full table; headline numbers
+// surface as custom benchmark metrics. `go test -bench . -short` runs
+// the trimmed sweeps.
+func runExperiment(b *testing.B, id string) {
+	e, err := bench.ByID(id)
+	if err != nil {
+		b.Fatal(err)
+	}
+	opts := bench.Options{Quick: testing.Short()}
+	var report *bench.Report
+	for i := 0; i < b.N; i++ {
+		report, err = e.Run(opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	report.Print(io.Discard)
+	for name, v := range report.Metrics {
+		b.ReportMetric(v, name)
+	}
+}
+
+// BenchmarkTable1Resources regenerates Table 1 (SMI resource usage for
+// one and four QSFPs).
+func BenchmarkTable1Resources(b *testing.B) { runExperiment(b, "table1") }
+
+// BenchmarkTable2CollectiveResources regenerates Table 2 (collective
+// support kernel resources).
+func BenchmarkTable2CollectiveResources(b *testing.B) { runExperiment(b, "table2") }
+
+// BenchmarkTable3Latency regenerates Table 3 (ping-pong latency, SMI at
+// 1/4/7 hops vs MPI+OpenCL).
+func BenchmarkTable3Latency(b *testing.B) { runExperiment(b, "table3") }
+
+// BenchmarkTable4Injection regenerates Table 4 (injection rate vs the
+// polling factor R).
+func BenchmarkTable4Injection(b *testing.B) { runExperiment(b, "table4") }
+
+// BenchmarkFig9Bandwidth regenerates Fig 9 (bandwidth vs message size at
+// 1/4/7 hops vs the host path).
+func BenchmarkFig9Bandwidth(b *testing.B) { runExperiment(b, "fig9") }
+
+// BenchmarkFig10Bcast regenerates Fig 10 (broadcast time vs size on
+// torus and bus, 4 and 8 ranks, vs MPI+OpenCL).
+func BenchmarkFig10Bcast(b *testing.B) { runExperiment(b, "fig10") }
+
+// BenchmarkFig11Reduce regenerates Fig 11 (reduce time vs size, same
+// series as Fig 10).
+func BenchmarkFig11Reduce(b *testing.B) { runExperiment(b, "fig11") }
+
+// BenchmarkFig13Gesummv regenerates Fig 13 (GESUMMV distributed speedup
+// for square and rectangular matrices).
+func BenchmarkFig13Gesummv(b *testing.B) { runExperiment(b, "fig13") }
+
+// BenchmarkFig15StencilStrong regenerates Fig 15 (stencil strong
+// scaling across banks and FPGAs).
+func BenchmarkFig15StencilStrong(b *testing.B) { runExperiment(b, "fig15") }
+
+// BenchmarkFig16StencilWeak regenerates Fig 16 (stencil weak scaling,
+// time per point vs grid size).
+func BenchmarkFig16StencilWeak(b *testing.B) { runExperiment(b, "fig16") }
+
+// Ablation benchmarks for the design choices DESIGN.md calls out.
+
+// BenchmarkAblateR sweeps the CK polling factor R (bandwidth vs
+// injection latency trade-off).
+func BenchmarkAblateR(b *testing.B) { runExperiment(b, "ablate-r") }
+
+// BenchmarkAblateCredit sweeps the Reduce flow-control tile size C.
+func BenchmarkAblateCredit(b *testing.B) { runExperiment(b, "ablate-credit") }
+
+// BenchmarkAblateRouting compares shortest-path and up*/down* routing.
+func BenchmarkAblateRouting(b *testing.B) { runExperiment(b, "ablate-routing") }
+
+// BenchmarkAblateBuffer sweeps the endpoint buffer (asynchronicity k).
+func BenchmarkAblateBuffer(b *testing.B) { runExperiment(b, "ablate-buffer") }
+
+// BenchmarkAblateTree compares linear and binomial-tree collectives.
+func BenchmarkAblateTree(b *testing.B) { runExperiment(b, "ablate-tree") }
+
+// BenchmarkAblateFlowControl compares eager and credit-based
+// point-to-point flow control under shared-transport contention.
+func BenchmarkAblateFlowControl(b *testing.B) { runExperiment(b, "ablate-flowcontrol") }
+
+// BenchmarkAblateArbiter compares the round-robin poller and skip-idle
+// arbiter (deviation D1 of EXPERIMENTS.md).
+func BenchmarkAblateArbiter(b *testing.B) { runExperiment(b, "ablate-arbiter") }
+
+// BenchmarkAblateSwitching compares packet switching against circuit
+// switching (the two §4.2 transmission approaches).
+func BenchmarkAblateSwitching(b *testing.B) { runExperiment(b, "ablate-switching") }
+
+// BenchmarkExtScatterGather times the Scatter and Gather collectives the
+// paper defines but does not evaluate.
+func BenchmarkExtScatterGather(b *testing.B) { runExperiment(b, "ext-scattergather") }

@@ -1,0 +1,75 @@
+// Command routegen is the route generator of the SMI workflow (paper
+// §4.3 and Fig 8): it reads a cluster topology (JSON, from topogen or
+// handwritten), computes static routing tables under a chosen policy,
+// verifies deadlock freedom, and writes the tables as JSON. Routes can
+// be regenerated for a new topology or rank count without touching the
+// compiled program — the paper's "you can change the routes without
+// recompiling the bitstream".
+//
+// Usage:
+//
+//	routegen -policy updown < torus.json > routes.json
+//	routegen -verify < torus.json
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/routing"
+	"repro/internal/topology"
+)
+
+func main() {
+	policy := flag.String("policy", "shortest", "routing policy: shortest or updown")
+	verifyOnly := flag.Bool("verify", false, "only check deadlock freedom, print a summary")
+	flag.Parse()
+
+	topo, err := topology.ReadJSON(os.Stdin)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "routegen:", err)
+		os.Exit(1)
+	}
+	var pol routing.Policy
+	switch *policy {
+	case "shortest":
+		pol = routing.ShortestPath
+	case "updown":
+		pol = routing.UpDown
+	default:
+		fmt.Fprintf(os.Stderr, "routegen: unknown policy %q\n", *policy)
+		os.Exit(2)
+	}
+	routes, err := routing.Compute(topo, pol)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "routegen:", err)
+		os.Exit(1)
+	}
+	verr := routing.VerifyDeadlockFree(routes)
+	if *verifyOnly {
+		maxHops := 0
+		for s := 0; s < topo.Devices; s++ {
+			for d := 0; d < topo.Devices; d++ {
+				if h := routes.Hops(s, d); h > maxHops {
+					maxHops = h
+				}
+			}
+		}
+		fmt.Printf("topology: %s (%d devices)\npolicy: %s\ndiameter: %d hops\n",
+			topo.Name, topo.Devices, pol, maxHops)
+		if verr != nil {
+			fmt.Printf("deadlock-free: NO (%v)\n", verr)
+			os.Exit(1)
+		}
+		fmt.Println("deadlock-free: yes")
+		return
+	}
+	if verr != nil {
+		fmt.Fprintf(os.Stderr, "routegen: warning: %v\n", verr)
+	}
+	if err := routes.WriteJSON(os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "routegen:", err)
+		os.Exit(1)
+	}
+}

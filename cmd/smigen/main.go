@@ -1,0 +1,143 @@
+// Command smigen is the analog of the paper's code generator (§4.5,
+// Fig 8): it takes the description of the SMI operations a program uses
+// — its ports, with their kinds and datatypes — and reports the
+// communication hardware that will be laid down for each rank: endpoint
+// FIFOs, CKS/CKR communication kernels, collective support kernels, and
+// the estimated resource cost.
+//
+// The input is a JSON operations file, the artifact the paper's
+// metadata extractor produces from user code:
+//
+//	{
+//	  "ifaces": 4,
+//	  "ports": [
+//	    {"port": 0, "kind": "p2p", "type": "float"},
+//	    {"port": 1, "kind": "reduce", "type": "float", "op": "add"}
+//	  ]
+//	}
+//
+// Usage:
+//
+//	smigen < ops.json
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	smi "repro/internal/core"
+	"repro/internal/packet"
+	"repro/internal/resources"
+	"repro/internal/topology"
+)
+
+type opsFile struct {
+	Ifaces int      `json:"ifaces"`
+	Ports  []opSpec `json:"ports"`
+}
+
+type opSpec struct {
+	Port        int    `json:"port"`
+	Kind        string `json:"kind"`
+	Type        string `json:"type"`
+	Op          string `json:"op,omitempty"`
+	BufferElems int    `json:"buffer_elems,omitempty"`
+	VecWidth    int    `json:"vec_width,omitempty"`
+	CreditElems int    `json:"credit_elems,omitempty"`
+}
+
+var kinds = map[string]smi.PortKind{
+	"p2p": smi.P2P, "bcast": smi.Bcast, "reduce": smi.Reduce,
+	"scatter": smi.Scatter, "gather": smi.Gather,
+}
+
+var types = map[string]smi.Datatype{
+	"char": smi.Char, "short": smi.Short, "int": smi.Int,
+	"float": smi.Float, "double": smi.Double,
+}
+
+var ops = map[string]smi.Op{"add": smi.Add, "max": smi.Max, "min": smi.Min}
+
+func main() {
+	flag.Parse()
+	var in opsFile
+	if err := json.NewDecoder(os.Stdin).Decode(&in); err != nil {
+		fmt.Fprintln(os.Stderr, "smigen: parsing operations file:", err)
+		os.Exit(1)
+	}
+	if in.Ifaces <= 0 {
+		in.Ifaces = topology.DefaultIfaces
+	}
+
+	var specs []smi.PortSpec
+	for _, p := range in.Ports {
+		kind, ok := kinds[p.Kind]
+		if !ok && p.Kind != "" {
+			fmt.Fprintf(os.Stderr, "smigen: port %d: unknown kind %q\n", p.Port, p.Kind)
+			os.Exit(1)
+		}
+		dt, ok := types[p.Type]
+		if !ok && p.Type != "" {
+			fmt.Fprintf(os.Stderr, "smigen: port %d: unknown type %q\n", p.Port, p.Type)
+			os.Exit(1)
+		}
+		op, ok := ops[p.Op]
+		if !ok && p.Op != "" {
+			fmt.Fprintf(os.Stderr, "smigen: port %d: unknown op %q\n", p.Port, p.Op)
+			os.Exit(1)
+		}
+		specs = append(specs, smi.PortSpec{
+			Port: p.Port, Kind: kind, Type: dt, ReduceOp: op,
+			BufferElems: p.BufferElems, VecWidth: p.VecWidth, CreditElems: p.CreditElems,
+		})
+	}
+
+	// Instantiate a representative rank to derive the generated plan.
+	topo := &topology.Topology{Devices: 2, Ifaces: in.Ifaces, Name: "smigen-probe"}
+	for i := 0; i < in.Ifaces; i++ {
+		topo.Connections = append(topo.Connections, topology.Connection{
+			A: topology.Endpoint{Device: 0, Iface: i},
+			B: topology.Endpoint{Device: 1, Iface: i},
+		})
+	}
+	c, err := smi.NewCluster(smi.Config{Topology: topo, Program: smi.ProgramSpec{Ports: specs}})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "smigen:", err)
+		os.Exit(1)
+	}
+
+	fmt.Printf("SMI generated communication layer (per rank, %d network interfaces)\n\n", in.Ifaces)
+	fmt.Printf("communication kernels: %d CKS + %d CKR (one pair per interface)\n", in.Ifaces, in.Ifaces)
+	fmt.Println("endpoints:")
+	for i, p := range in.Ports {
+		spec := specs[i]
+		iface := spec.Iface
+		if iface < 0 || iface >= in.Ifaces {
+			iface = i % in.Ifaces
+		}
+		dt := spec.Type
+		if dt == packet.Invalid {
+			dt = smi.Int
+		}
+		kindName := p.Kind
+		if kindName == "" {
+			kindName = "p2p"
+		}
+		fmt.Printf("  port %d: %-7s %-10s -> CKS/CKR pair %d", p.Port, kindName, dt, iface)
+		if kindName != "p2p" {
+			fmt.Printf(" (+ %s support kernel)", kindName)
+		}
+		fmt.Println()
+	}
+
+	rr := c.RankResources(0)
+	fmt.Println("\nestimated resources per rank:")
+	fmt.Printf("  interconnect:    %v\n", rr.Interconnect)
+	fmt.Printf("  comm kernels:    %v\n", rr.Kernels)
+	fmt.Printf("  support kernels: %v\n", rr.Supports)
+	lut, ff, m20k, dsp := rr.Total().Percent(resources.StratixGX2800())
+	fmt.Printf("  total: %v (%.2f%% LUTs, %.2f%% FFs, %.2f%% M20Ks, %.2f%% DSPs of a Stratix 10 GX2800)\n",
+		rr.Total(), lut, ff, m20k, dsp)
+}

@@ -1,0 +1,53 @@
+// Command topogen emits cluster topology descriptions in the JSON
+// interchange format consumed by routegen and the SMI cluster builder —
+// the "topology provided as a JSON file" of the paper's workflow
+// (Fig 8).
+//
+// Usage:
+//
+//	topogen -kind torus -rows 2 -cols 4 > torus.json
+//	topogen -kind bus -n 8 > bus.json
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/topology"
+)
+
+func main() {
+	kind := flag.String("kind", "torus", "topology kind: torus, bus, ring, star, full")
+	rows := flag.Int("rows", 2, "torus rows")
+	cols := flag.Int("cols", 4, "torus columns")
+	n := flag.Int("n", 8, "device count for bus/ring/star/full")
+	flag.Parse()
+
+	var (
+		topo *topology.Topology
+		err  error
+	)
+	switch *kind {
+	case "torus":
+		topo, err = topology.Torus2D(*rows, *cols)
+	case "bus":
+		topo, err = topology.Bus(*n)
+	case "ring":
+		topo, err = topology.Ring(*n)
+	case "star":
+		topo, err = topology.Star(*n)
+	case "full":
+		topo, err = topology.FullyConnected(*n)
+	default:
+		err = fmt.Errorf("unknown topology kind %q", *kind)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "topogen:", err)
+		os.Exit(1)
+	}
+	if err := topo.WriteJSON(os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "topogen:", err)
+		os.Exit(1)
+	}
+}

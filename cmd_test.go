@@ -1,0 +1,110 @@
+package repro
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"os/exec"
+	"strings"
+	"testing"
+)
+
+// runTool runs one of the repository's commands via `go run`, feeding it
+// stdin and returning stdout.
+func runTool(t *testing.T, stdin string, args ...string) string {
+	t.Helper()
+	cmd := exec.Command("go", append([]string{"run"}, args...)...)
+	cmd.Dir = "."
+	cmd.Stdin = strings.NewReader(stdin)
+	var out, errb bytes.Buffer
+	cmd.Stdout = &out
+	cmd.Stderr = &errb
+	if err := cmd.Run(); err != nil {
+		t.Fatalf("%v failed: %v\nstderr: %s", args, err, errb.String())
+	}
+	return out.String()
+}
+
+func TestWorkflowToolchain(t *testing.T) {
+	if testing.Short() {
+		t.Skip("subprocess test")
+	}
+	// topogen -> routegen mirrors the paper's Fig 8 workflow.
+	topo := runTool(t, "", "./cmd/topogen", "-kind", "torus", "-rows", "2", "-cols", "4")
+	if !strings.Contains(topo, `"devices": 8`) {
+		t.Fatalf("topogen output unexpected:\n%s", topo)
+	}
+	routes := runTool(t, topo, "./cmd/routegen", "-policy", "updown")
+	if !strings.Contains(routes, `"next"`) {
+		t.Fatalf("routegen output unexpected:\n%s", routes)
+	}
+	verify := runTool(t, topo, "./cmd/routegen", "-policy", "updown", "-verify")
+	if !strings.Contains(verify, "deadlock-free: yes") {
+		t.Fatalf("updown routes must verify deadlock-free:\n%s", verify)
+	}
+}
+
+func TestSmigenPlan(t *testing.T) {
+	if testing.Short() {
+		t.Skip("subprocess test")
+	}
+	ops := `{"ifaces": 4, "ports": [
+		{"port": 0, "kind": "p2p", "type": "float"},
+		{"port": 1, "kind": "reduce", "type": "float", "op": "add"}
+	]}`
+	out := runTool(t, ops, "./cmd/smigen")
+	for _, want := range []string{"4 CKS + 4 CKR", "port 0", "reduce support kernel", "estimated resources"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("smigen plan missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestSmibenchQuickTable(t *testing.T) {
+	if testing.Short() {
+		t.Skip("subprocess test")
+	}
+	out := runTool(t, "", "./cmd/smibench", "-quick", "table4")
+	if !strings.Contains(out, "== table4") || !strings.Contains(out, "cycles/msg") {
+		t.Fatalf("smibench output unexpected:\n%s", out)
+	}
+}
+
+func TestSmibenchList(t *testing.T) {
+	if testing.Short() {
+		t.Skip("subprocess test")
+	}
+	out := runTool(t, "", "./cmd/smibench", "-list")
+	for _, id := range []string{"table1", "table2", "table3", "table4",
+		"fig9", "fig10", "fig11", "fig13", "fig15", "fig16",
+		"ablate-r", "ablate-credit", "ablate-routing", "ablate-buffer"} {
+		if !strings.Contains(out, id) {
+			t.Fatalf("experiment %s missing from list:\n%s", id, out)
+		}
+	}
+}
+
+func TestSmitraceWorkloads(t *testing.T) {
+	if testing.Short() {
+		t.Skip("subprocess test")
+	}
+	dir := t.TempDir()
+	for _, w := range []string{"pingpong", "reduce"} {
+		out := dir + "/" + w + ".json"
+		res := runTool(t, "", "./cmd/smitrace", "-workload", w, "-out", out)
+		if !strings.Contains(res, "traced "+w) {
+			t.Fatalf("unexpected smitrace output: %s", res)
+		}
+		data, err := os.ReadFile(out)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var parsed map[string]any
+		if err := json.Unmarshal(data, &parsed); err != nil {
+			t.Fatalf("%s trace not valid JSON: %v", w, err)
+		}
+		if _, ok := parsed["traceEvents"]; !ok {
+			t.Fatalf("%s trace missing traceEvents", w)
+		}
+	}
+}

@@ -1,0 +1,50 @@
+// SUMMA: distributed dense matrix multiply C = A x B over SMI streaming
+// broadcasts (1-D SUMMA decomposition: each rank owns a block column; in
+// step k rank k broadcasts its block column of A while every rank
+// multiplies it against its resident B block). Demonstrates collective-
+// driven application kernels and the tree-based broadcast extension.
+//
+// Run with:
+//
+//	go run ./examples/summa [-n 512] [-ranks 8] [-tree]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"repro/internal/apps"
+)
+
+func main() {
+	n := flag.Int("n", 512, "matrix dimension (N x N)")
+	ranks := flag.Int("ranks", 8, "number of FPGAs (block columns)")
+	tree := flag.Bool("tree", false, "use binomial-tree broadcasts")
+	verify := flag.Bool("verify", false, "compute real values and check against a sequential reference (small N)")
+	flag.Parse()
+
+	res, err := apps.Summa(apps.SummaConfig{N: *n, Ranks: *ranks, Tree: *tree, Verify: *verify})
+	if err != nil {
+		log.Fatal(err)
+	}
+	scheme := "linear"
+	if *tree {
+		scheme = "binomial-tree"
+	}
+	fmt.Printf("SUMMA %dx%d on %d FPGAs (%s broadcast)\n", *n, *n, *ranks, scheme)
+	fmt.Printf("  time: %.3f ms (%.2f us per broadcast step)\n",
+		res.Micros/1e3, res.Micros/float64(*ranks))
+
+	if *verify {
+		want := apps.SummaReference(*n)
+		for i := range want {
+			for j := range want[i] {
+				if res.C[i][j] != want[i][j] {
+					log.Fatalf("verification failed at (%d,%d)", i, j)
+				}
+			}
+		}
+		fmt.Println("  verified: matches the sequential reference exactly")
+	}
+}

@@ -1,0 +1,292 @@
+package apps
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/topology"
+	"repro/internal/transport"
+)
+
+func netCfg(t *testing.T, build func() (*topology.Topology, error)) NetConfig {
+	t.Helper()
+	topo, err := build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return NetConfig{Topology: topo, Transport: transport.DefaultConfig()}
+}
+
+func TestBandwidthSaturatesLink(t *testing.T) {
+	cfg := netCfg(t, func() (*topology.Topology, error) { return topology.Bus(8) })
+	res, err := Bandwidth(cfg, 0, 1, 200_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Hops != 1 {
+		t.Fatalf("hops = %d, want 1", res.Hops)
+	}
+	// Payload peak is 35 Gbit/s (28 of 32 bytes per cycle at 156.25 MHz).
+	if res.Gbps < 15 || res.Gbps > 35 {
+		t.Fatalf("bandwidth = %.1f Gbit/s, expected a large fraction of the 35 Gbit/s payload peak", res.Gbps)
+	}
+}
+
+func TestBandwidthIndependentOfHops(t *testing.T) {
+	// "larger network distance (in the absence of contention) does not
+	// affect the achieved bandwidth" (§5.3.1).
+	cfg := netCfg(t, func() (*topology.Topology, error) { return topology.Bus(8) })
+	r1, err := Bandwidth(cfg, 0, 1, 100_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r7, err := Bandwidth(cfg, 0, 7, 100_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r7.Hops != 7 {
+		t.Fatalf("hops = %d, want 7", r7.Hops)
+	}
+	if math.Abs(r7.Gbps-r1.Gbps)/r1.Gbps > 0.05 {
+		t.Fatalf("bandwidth varies with distance: %.2f at 1 hop vs %.2f at 7 hops", r1.Gbps, r7.Gbps)
+	}
+}
+
+func TestPingPongLatencyScalesWithHops(t *testing.T) {
+	cfg := netCfg(t, func() (*topology.Topology, error) { return topology.Bus(8) })
+	var prev float64
+	for _, hops := range []int{1, 4, 7} {
+		res, err := PingPong(cfg, 0, hops, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Hops != hops {
+			t.Fatalf("hops = %d, want %d", res.Hops, hops)
+		}
+		if res.LatencyUs <= prev {
+			t.Fatalf("latency must grow with distance: %f at %d hops after %f", res.LatencyUs, hops, prev)
+		}
+		prev = res.LatencyUs
+	}
+	// Table 3 anchor: ~0.8 us at one hop.
+	one, _ := PingPong(cfg, 0, 1, 4)
+	if one.LatencyUs < 0.3 || one.LatencyUs > 1.6 {
+		t.Fatalf("1-hop latency = %.3f us, want ~0.8 (Table 3)", one.LatencyUs)
+	}
+}
+
+func TestInjectionRateTable4(t *testing.T) {
+	topo, _ := topology.Bus(2)
+	var prev float64 = 99
+	for _, r := range []int{1, 4, 8, 16} {
+		cfg := NetConfig{Topology: topo, Transport: transport.Config{R: r}}
+		res, err := Injection(cfg, 3000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r == 1 && (res.CyclesPerMsg < 4.8 || res.CyclesPerMsg > 5.2) {
+			t.Fatalf("R=1 injection = %.2f cycles, want ~5 (Table 4)", res.CyclesPerMsg)
+		}
+		if res.CyclesPerMsg >= prev {
+			t.Fatalf("injection latency should fall with R: R=%d gave %.2f", r, res.CyclesPerMsg)
+		}
+		prev = res.CyclesPerMsg
+	}
+}
+
+func TestBcastTimeGrowsWithRanksAndSize(t *testing.T) {
+	cfg := netCfg(t, func() (*topology.Topology, error) { return topology.Torus2D(2, 4) })
+	small4, err := BcastTime(cfg, 4, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	small8, err := BcastTime(cfg, 8, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	big8, err := BcastTime(cfg, 8, 4096)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if small8.Micros <= small4.Micros {
+		t.Fatalf("bcast with more ranks should take longer: %f vs %f", small8.Micros, small4.Micros)
+	}
+	if big8.Micros <= small8.Micros {
+		t.Fatalf("bcast with more data should take longer: %f vs %f", big8.Micros, small8.Micros)
+	}
+}
+
+func TestReduceTimeTopologySensitivity(t *testing.T) {
+	// §5.3.4: the credit-based Reduce is latency sensitive, so its time
+	// grows with the network diameter (bus slower than torus).
+	torus := netCfg(t, func() (*topology.Topology, error) { return topology.Torus2D(2, 4) })
+	bus := netCfg(t, func() (*topology.Topology, error) { return topology.Bus(8) })
+	rt, err := ReduceTime(torus, 8, 8192, 256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rb, err := ReduceTime(bus, 8, 8192, 256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rb.Micros <= rt.Micros {
+		t.Fatalf("reduce on a bus (diameter 7) should be slower than on a torus: %.1f vs %.1f", rb.Micros, rt.Micros)
+	}
+}
+
+func TestGesummvMatchesReference(t *testing.T) {
+	cfg := GesummvConfig{Rows: 48, Cols: 40, Alpha: 1.5, Beta: -0.5, Verify: true}
+	want := GesummvReference(cfg)
+
+	single, err := GesummvSingle(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dist, err := GesummvDistributed(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want {
+		if single.Y[i] != want[i] {
+			t.Fatalf("single y[%d] = %g, want %g", i, single.Y[i], want[i])
+		}
+		if dist.Y[i] != want[i] {
+			t.Fatalf("distributed y[%d] = %g, want %g", i, dist.Y[i], want[i])
+		}
+	}
+}
+
+func TestGesummvSpeedupNearTwo(t *testing.T) {
+	// Fig 13: the distributed version doubles the available memory
+	// bandwidth, for a ~2x speedup.
+	sp, single, dist, err := GesummvSpeedup(GesummvConfig{Rows: 2048, Cols: 2048, Alpha: 1, Beta: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sp < 1.6 || sp > 2.4 {
+		t.Fatalf("speedup = %.2f (single %d, dist %d cycles), want ~2 (Fig 13)", sp, single.Cycles, dist.Cycles)
+	}
+}
+
+func TestStencilMatchesReferenceSingleRank(t *testing.T) {
+	cfg := StencilConfig{N: 16, Timesteps: 3, RanksX: 1, RanksY: 1, Banks: 1, Verify: true}
+	res, err := Stencil(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := StencilReference(16, 3)
+	for i := range want {
+		for j := range want[i] {
+			if res.Grid[i][j] != want[i][j] {
+				t.Fatalf("grid[%d][%d] = %g, want %g", i, j, res.Grid[i][j], want[i][j])
+			}
+		}
+	}
+}
+
+func TestStencilMatchesReferenceDistributed(t *testing.T) {
+	for _, rg := range [][2]int{{2, 2}, {1, 4}, {4, 2}} {
+		cfg := StencilConfig{N: 24, Timesteps: 4, RanksX: rg[0], RanksY: rg[1], Banks: 1, Verify: true}
+		res, err := Stencil(cfg)
+		if err != nil {
+			t.Fatalf("%dx%d: %v", rg[0], rg[1], err)
+		}
+		want := StencilReference(24, 4)
+		for i := range want {
+			for j := range want[i] {
+				if res.Grid[i][j] != want[i][j] {
+					t.Fatalf("%dx%d ranks: grid[%d][%d] = %g, want %g", rg[0], rg[1], i, j, res.Grid[i][j], want[i][j])
+				}
+			}
+		}
+	}
+}
+
+func TestStencilScaling(t *testing.T) {
+	// Fig 15's qualitative shape: more banks and more FPGAs both help,
+	// and communication overlaps with computation.
+	base, err := Stencil(StencilConfig{N: 512, Timesteps: 4, RanksX: 1, RanksY: 1, Banks: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	banks4, err := Stencil(StencilConfig{N: 512, Timesteps: 4, RanksX: 1, RanksY: 1, Banks: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fpga4, err := Stencil(StencilConfig{N: 512, Timesteps: 4, RanksX: 2, RanksY: 2, Banks: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	both, err := Stencil(StencilConfig{N: 512, Timesteps: 4, RanksX: 2, RanksY: 2, Banks: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := func(r StencilResult) float64 { return float64(base.Cycles) / float64(r.Cycles) }
+	if s(banks4) < 2.2 {
+		t.Fatalf("4-bank speedup = %.2f, want > 2.2", s(banks4))
+	}
+	if s(fpga4) < 2.2 {
+		t.Fatalf("4-FPGA speedup = %.2f, want > 2.2", s(fpga4))
+	}
+	if s(both) < 1.5*s(banks4) {
+		t.Fatalf("banks+FPGAs should multiply: %.2f vs %.2f", s(both), s(banks4))
+	}
+}
+
+func TestStencilRejectsBadConfig(t *testing.T) {
+	if _, err := Stencil(StencilConfig{N: 10, Timesteps: 1, RanksX: 3, RanksY: 1}); err == nil {
+		t.Fatal("non-divisible grid accepted")
+	}
+	if _, err := Stencil(StencilConfig{N: 8, Timesteps: 1, RanksX: 0, RanksY: 1}); err == nil {
+		t.Fatal("zero rank grid accepted")
+	}
+	small, _ := topology.Bus(2)
+	if _, err := Stencil(StencilConfig{N: 16, Timesteps: 1, RanksX: 2, RanksY: 2, Topology: small}); err == nil {
+		t.Fatal("undersized topology accepted")
+	}
+}
+
+func TestSummaMatchesReference(t *testing.T) {
+	for _, tree := range []bool{false, true} {
+		cfg := SummaConfig{N: 24, Ranks: 4, Tree: tree, Verify: true}
+		res, err := Summa(cfg)
+		if err != nil {
+			t.Fatalf("tree=%v: %v", tree, err)
+		}
+		want := SummaReference(24)
+		for i := range want {
+			for j := range want[i] {
+				if res.C[i][j] != want[i][j] {
+					t.Fatalf("tree=%v: C[%d][%d] = %g, want %g", tree, i, j, res.C[i][j], want[i][j])
+				}
+			}
+		}
+	}
+}
+
+func TestSummaTreeFasterAtScale(t *testing.T) {
+	linear, err := Summa(SummaConfig{N: 256, Ranks: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tree, err := Summa(SummaConfig{N: 256, Ranks: 8, Tree: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tree.Cycles >= linear.Cycles {
+		t.Fatalf("tree bcast SUMMA (%d cycles) should beat linear (%d)", tree.Cycles, linear.Cycles)
+	}
+}
+
+func TestSummaRejectsBadConfig(t *testing.T) {
+	if _, err := Summa(SummaConfig{N: 10, Ranks: 4}); err == nil {
+		t.Fatal("non-divisible N accepted")
+	}
+	if _, err := Summa(SummaConfig{N: 8, Ranks: 1}); err == nil {
+		t.Fatal("single rank accepted")
+	}
+	small, _ := topology.Bus(2)
+	if _, err := Summa(SummaConfig{N: 8, Ranks: 4, Topology: small}); err == nil {
+		t.Fatal("undersized topology accepted")
+	}
+}

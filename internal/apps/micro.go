@@ -1,0 +1,395 @@
+// Package apps implements the paper's evaluation workloads on top of
+// the SMI library: the four microbenchmarks of §5.3 (bandwidth, latency,
+// injection rate, collectives) and the two distributed applications of
+// §5.4 (GESUMMV and a 4-point stencil).
+package apps
+
+import (
+	"fmt"
+
+	smi "repro/internal/core"
+	"repro/internal/routing"
+	"repro/internal/topology"
+	"repro/internal/transport"
+)
+
+// NetConfig bundles the cluster knobs the microbenchmarks sweep.
+type NetConfig struct {
+	Topology  *topology.Topology
+	Transport transport.Config
+	// RoutingPolicy selects the route generator (default shortest-path).
+	RoutingPolicy routing.Policy
+	// LinkLatency overrides the link latency in cycles (0 = default).
+	LinkLatency int64
+	// VecWidth is the application datapath width in elements per cycle.
+	VecWidth int
+	// BufferElems is the endpoint buffer size (asynchronicity degree).
+	BufferElems int
+	// MaxCycles optionally bounds the simulation.
+	MaxCycles int64
+}
+
+// BandwidthResult reports one bandwidth measurement.
+type BandwidthResult struct {
+	Bytes  int64   // payload bytes transferred
+	Cycles int64   // completion cycle of the receiver
+	Micros float64 // simulated microseconds
+	Gbps   float64 // effective payload bandwidth
+	Hops   int     // network distance between the endpoints
+}
+
+// Bandwidth streams elems 32-bit integers from rank src to rank dst and
+// reports the achieved payload bandwidth — the §5.3.1 microbenchmark.
+// The sender uses a vectorized datapath wide enough to saturate one
+// packet per cycle unless cfg.VecWidth says otherwise.
+func Bandwidth(cfg NetConfig, src, dst, elems int) (BandwidthResult, error) {
+	vec := cfg.VecWidth
+	if vec <= 0 {
+		vec = 8 // enough to fill a 7-int packet every cycle
+	}
+	buf := cfg.BufferElems
+	if buf <= 0 {
+		buf = 4096
+	}
+	c, err := smi.NewCluster(smi.Config{
+		Topology:      cfg.Topology,
+		Program:       smi.ProgramSpec{Ports: []smi.PortSpec{{Port: 0, Type: smi.Int, VecWidth: vec, BufferElems: buf}}},
+		Transport:     cfg.Transport,
+		RoutingPolicy: cfg.RoutingPolicy,
+		LinkLatency:   cfg.LinkLatency,
+		MaxCycles:     cfg.MaxCycles,
+	})
+	if err != nil {
+		return BandwidthResult{}, err
+	}
+	c.OnRank(src, "source", func(x *smi.Ctx) {
+		ch, err := x.OpenSendChannel(elems, smi.Int, dst, 0, x.CommWorld())
+		if err != nil {
+			panic(err)
+		}
+		for i := 0; i < elems; i++ {
+			ch.PushInt(int32(i))
+		}
+	})
+	c.OnRank(dst, "sink", func(x *smi.Ctx) {
+		ch, err := x.OpenRecvChannel(elems, smi.Int, src, 0, x.CommWorld())
+		if err != nil {
+			panic(err)
+		}
+		for i := 0; i < elems; i++ {
+			if got := ch.PopInt(); got != int32(i) {
+				panic(fmt.Sprintf("bandwidth: element %d corrupted: %d", i, got))
+			}
+		}
+	})
+	st, err := c.Run()
+	if err != nil {
+		return BandwidthResult{}, err
+	}
+	bytes := int64(elems) * 4
+	res := BandwidthResult{
+		Bytes:  bytes,
+		Cycles: st.Cycles,
+		Micros: st.Micros,
+		Hops:   c.Routes().Hops(src, dst),
+	}
+	res.Gbps = float64(bytes) * 8 / (st.Micros * 1e3)
+	return res, nil
+}
+
+// PingPongResult reports a latency measurement.
+type PingPongResult struct {
+	Rounds    int
+	Cycles    int64
+	LatencyUs float64 // half round-trip time
+	Hops      int
+}
+
+// PingPong bounces a single-element message between two ranks and
+// reports the one-way latency — the §5.3.2 microbenchmark and Table 3.
+func PingPong(cfg NetConfig, a, b, rounds int) (PingPongResult, error) {
+	c, err := smi.NewCluster(smi.Config{
+		Topology: cfg.Topology,
+		Program: smi.ProgramSpec{Ports: []smi.PortSpec{
+			{Port: 0, Type: smi.Int}, // a -> b
+			{Port: 1, Type: smi.Int}, // b -> a
+		}},
+		Transport:     cfg.Transport,
+		RoutingPolicy: cfg.RoutingPolicy,
+		LinkLatency:   cfg.LinkLatency,
+		MaxCycles:     cfg.MaxCycles,
+	})
+	if err != nil {
+		return PingPongResult{}, err
+	}
+	c.OnRank(a, "ping", func(x *smi.Ctx) {
+		for r := 0; r < rounds; r++ {
+			s, _ := x.OpenSendChannel(1, smi.Int, b, 0, x.CommWorld())
+			s.PushInt(int32(r))
+			v, _ := x.OpenRecvChannel(1, smi.Int, b, 1, x.CommWorld())
+			if got := v.PopInt(); got != int32(r) {
+				panic(fmt.Sprintf("pingpong: round %d echoed %d", r, got))
+			}
+		}
+	})
+	c.OnRank(b, "pong", func(x *smi.Ctx) {
+		for r := 0; r < rounds; r++ {
+			v, _ := x.OpenRecvChannel(1, smi.Int, a, 0, x.CommWorld())
+			got := v.PopInt()
+			s, _ := x.OpenSendChannel(1, smi.Int, a, 1, x.CommWorld())
+			s.PushInt(got)
+		}
+	})
+	st, err := c.Run()
+	if err != nil {
+		return PingPongResult{}, err
+	}
+	return PingPongResult{
+		Rounds:    rounds,
+		Cycles:    st.Cycles,
+		LatencyUs: st.Micros / float64(2*rounds),
+		Hops:      c.Routes().Hops(a, b),
+	}, nil
+}
+
+// InjectionResult reports an injection-rate measurement.
+type InjectionResult struct {
+	Messages       int
+	Cycles         int64
+	CyclesPerMsg   float64
+	MsgsPerSecond  float64
+	R              int
+	ClockFrequency float64
+}
+
+// Injection measures how often a CKS accepts a new single-element
+// message from the same application endpoint — the §5.3.3
+// microbenchmark and Table 4. The sender opens a fresh transient channel
+// per message (channel creation is zero-overhead), so every message is
+// one network packet.
+func Injection(cfg NetConfig, messages int) (InjectionResult, error) {
+	c, err := smi.NewCluster(smi.Config{
+		Topology:      cfg.Topology,
+		Program:       smi.ProgramSpec{Ports: []smi.PortSpec{{Port: 0, Type: smi.Int, BufferElems: 64}}},
+		Transport:     cfg.Transport,
+		RoutingPolicy: cfg.RoutingPolicy,
+		LinkLatency:   cfg.LinkLatency,
+		MaxCycles:     cfg.MaxCycles,
+	})
+	if err != nil {
+		return InjectionResult{}, err
+	}
+	var start, end int64
+	c.OnRank(0, "injector", func(x *smi.Ctx) {
+		start = x.Now()
+		for i := 0; i < messages; i++ {
+			ch, err := x.OpenSendChannel(1, smi.Int, 1, 0, x.CommWorld())
+			if err != nil {
+				panic(err)
+			}
+			ch.PushInt(int32(i))
+		}
+		end = x.Now()
+	})
+	c.OnRank(1, "sink", func(x *smi.Ctx) {
+		for i := 0; i < messages; i++ {
+			ch, err := x.OpenRecvChannel(1, smi.Int, 0, 0, x.CommWorld())
+			if err != nil {
+				panic(err)
+			}
+			ch.PopInt()
+		}
+	})
+	if _, err := c.Run(); err != nil {
+		return InjectionResult{}, err
+	}
+	cpm := float64(end-start) / float64(messages)
+	return InjectionResult{
+		Messages:       messages,
+		Cycles:         end - start,
+		CyclesPerMsg:   cpm,
+		MsgsPerSecond:  c.Clock().Hz / cpm,
+		R:              cfg.Transport.R,
+		ClockFrequency: c.Clock().Hz,
+	}, nil
+}
+
+// CollectiveResult reports one collective timing.
+type CollectiveResult struct {
+	Elems  int
+	Ranks  int
+	Cycles int64
+	Micros float64
+}
+
+// BcastTime broadcasts elems float32 elements from rank 0 to the first
+// `ranks` devices of the topology and reports the completion time — one
+// point of Fig 10.
+func BcastTime(cfg NetConfig, ranks, elems int) (CollectiveResult, error) {
+	buf := cfg.BufferElems
+	if buf <= 0 {
+		buf = 512
+	}
+	c, err := smi.NewCluster(smi.Config{
+		Topology:      cfg.Topology,
+		Program:       smi.ProgramSpec{Ports: []smi.PortSpec{{Port: 0, Kind: smi.Bcast, Type: smi.Float, BufferElems: buf}}},
+		Transport:     cfg.Transport,
+		RoutingPolicy: cfg.RoutingPolicy,
+		LinkLatency:   cfg.LinkLatency,
+		MaxCycles:     cfg.MaxCycles,
+	})
+	if err != nil {
+		return CollectiveResult{}, err
+	}
+	for r := 0; r < ranks; r++ {
+		r := r
+		c.OnRank(r, "bcast", func(x *smi.Ctx) {
+			comm, err := x.CommWorld().Sub(0, ranks)
+			if err != nil {
+				panic(err)
+			}
+			ch, err := x.OpenBcastChannel(elems, smi.Float, 0, 0, comm)
+			if err != nil {
+				panic(err)
+			}
+			for i := 0; i < elems; i++ {
+				v := float32(-1)
+				if ch.Root() {
+					v = float32(i)
+				}
+				got := ch.BcastFloat(v)
+				if got != float32(i) {
+					panic(fmt.Sprintf("bcast: rank %d element %d = %g", r, i, got))
+				}
+			}
+		})
+	}
+	st, err := c.Run()
+	if err != nil {
+		return CollectiveResult{}, err
+	}
+	return CollectiveResult{Elems: elems, Ranks: ranks, Cycles: st.Cycles, Micros: st.Micros}, nil
+}
+
+// ReduceTime sum-reduces elems float32 elements from the first `ranks`
+// devices to rank 0 and reports the completion time — one point of
+// Fig 11. creditElems sets the flow-control tile size C (0 = default).
+func ReduceTime(cfg NetConfig, ranks, elems, creditElems int) (CollectiveResult, error) {
+	buf := cfg.BufferElems
+	if buf <= 0 {
+		buf = 512
+	}
+	c, err := smi.NewCluster(smi.Config{
+		Topology: cfg.Topology,
+		Program: smi.ProgramSpec{Ports: []smi.PortSpec{{
+			Port: 0, Kind: smi.Reduce, Type: smi.Float, ReduceOp: smi.Add,
+			BufferElems: buf, CreditElems: creditElems,
+		}}},
+		Transport:     cfg.Transport,
+		RoutingPolicy: cfg.RoutingPolicy,
+		LinkLatency:   cfg.LinkLatency,
+		MaxCycles:     cfg.MaxCycles,
+	})
+	if err != nil {
+		return CollectiveResult{}, err
+	}
+	for r := 0; r < ranks; r++ {
+		r := r
+		c.OnRank(r, "reduce", func(x *smi.Ctx) {
+			comm, err := x.CommWorld().Sub(0, ranks)
+			if err != nil {
+				panic(err)
+			}
+			ch, err := x.OpenReduceChannel(elems, smi.Float, smi.Add, 0, 0, comm)
+			if err != nil {
+				panic(err)
+			}
+			for i := 0; i < elems; i++ {
+				got, ok := ch.ReduceFloat(float32(r + 1))
+				if ok {
+					want := float32(ranks * (ranks + 1) / 2)
+					if got != want {
+						panic(fmt.Sprintf("reduce: element %d = %g, want %g", i, got, want))
+					}
+				}
+			}
+		})
+	}
+	st, err := c.Run()
+	if err != nil {
+		return CollectiveResult{}, err
+	}
+	return CollectiveResult{Elems: elems, Ranks: ranks, Cycles: st.Cycles, Micros: st.Micros}, nil
+}
+
+// ScatterTime distributes elems float32 elements per rank from rank 0
+// over the first `ranks` devices and reports the completion time.
+func ScatterTime(cfg NetConfig, ranks, elems int) (CollectiveResult, error) {
+	return oneToAllTime(cfg, ranks, elems, smi.Scatter)
+}
+
+// GatherTime collects elems float32 elements per rank at rank 0 from the
+// first `ranks` devices and reports the completion time.
+func GatherTime(cfg NetConfig, ranks, elems int) (CollectiveResult, error) {
+	return oneToAllTime(cfg, ranks, elems, smi.Gather)
+}
+
+func oneToAllTime(cfg NetConfig, ranks, elems int, kind smi.PortKind) (CollectiveResult, error) {
+	buf := cfg.BufferElems
+	if buf <= 0 {
+		buf = 512
+	}
+	c, err := smi.NewCluster(smi.Config{
+		Topology:      cfg.Topology,
+		Program:       smi.ProgramSpec{Ports: []smi.PortSpec{{Port: 0, Kind: kind, Type: smi.Float, BufferElems: buf}}},
+		Transport:     cfg.Transport,
+		RoutingPolicy: cfg.RoutingPolicy,
+		LinkLatency:   cfg.LinkLatency,
+		MaxCycles:     cfg.MaxCycles,
+	})
+	if err != nil {
+		return CollectiveResult{}, err
+	}
+	for r := 0; r < ranks; r++ {
+		r := r
+		c.OnRank(r, kind.String(), func(x *smi.Ctx) {
+			comm, err := x.CommWorld().Sub(0, ranks)
+			if err != nil {
+				panic(err)
+			}
+			switch kind {
+			case smi.Scatter:
+				ch, err := x.OpenScatterChannel(elems, smi.Float, 0, 0, comm)
+				if err != nil {
+					panic(err)
+				}
+				if ch.Root() {
+					for i := 0; i < elems*ranks; i++ {
+						ch.Push(uint64(i))
+					}
+				}
+				for i := 0; i < elems; i++ {
+					ch.Pop()
+				}
+			case smi.Gather:
+				ch, err := x.OpenGatherChannel(elems, smi.Float, 0, 0, comm)
+				if err != nil {
+					panic(err)
+				}
+				for i := 0; i < elems; i++ {
+					ch.Push(uint64(i))
+				}
+				if ch.Root() {
+					for i := 0; i < elems*ranks; i++ {
+						ch.Pop()
+					}
+				}
+			}
+		})
+	}
+	st, err := c.Run()
+	if err != nil {
+		return CollectiveResult{}, err
+	}
+	return CollectiveResult{Elems: elems, Ranks: ranks, Cycles: st.Cycles, Micros: st.Micros}, nil
+}

@@ -1,0 +1,6 @@
+package apps
+
+import "math"
+
+func floatBits(v float32) uint32 { return math.Float32bits(v) }
+func bitsFloat(b uint32) float32 { return math.Float32frombits(b) }

@@ -1,0 +1,354 @@
+package bench
+
+import (
+	"bytes"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+func runQuick(t *testing.T, id string) *Report {
+	t.Helper()
+	e, err := ByID(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := e.Run(Options{Quick: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.ID != id || len(r.Rows) == 0 || len(r.Header) == 0 {
+		t.Fatalf("malformed report: %+v", r)
+	}
+	for _, row := range r.Rows {
+		if len(row) != len(r.Header) {
+			t.Fatalf("row width %d != header width %d: %v", len(row), len(r.Header), row)
+		}
+	}
+	return r
+}
+
+func cell(t *testing.T, r *Report, row, col int) float64 {
+	t.Helper()
+	v, err := strconv.ParseFloat(r.Rows[row][col], 64)
+	if err != nil {
+		t.Fatalf("cell [%d][%d] = %q not numeric: %v", row, col, r.Rows[row][col], err)
+	}
+	return v
+}
+
+func TestRegistryComplete(t *testing.T) {
+	want := []string{"fig10", "fig11", "fig13", "fig15", "fig16", "fig9",
+		"table1", "table2", "table3", "table4"}
+	got := Experiments()
+	var ids []string
+	for _, e := range got {
+		ids = append(ids, e.ID)
+	}
+	for _, w := range want {
+		found := false
+		for _, id := range ids {
+			if id == w {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("experiment %s not registered (have %v)", w, ids)
+		}
+	}
+	if _, err := ByID("nope"); err == nil {
+		t.Error("unknown ID accepted")
+	}
+}
+
+func TestTable1MatchesPaper(t *testing.T) {
+	r := runQuick(t, "table1")
+	// The calibrated model reproduces the paper's interconnect LUT count
+	// exactly in both scenarios.
+	if r.Rows[0][1] != r.Rows[0][4] {
+		t.Errorf("1-QSFP interconnect LUTs %s != paper %s", r.Rows[0][1], r.Rows[0][4])
+	}
+	if r.Rows[2][1] != r.Rows[2][4] {
+		t.Errorf("4-QSFP interconnect LUTs %s != paper %s", r.Rows[2][1], r.Rows[2][4])
+	}
+	if r.Rows[3][1] != r.Rows[3][4] || r.Rows[3][2] != r.Rows[3][5] {
+		t.Errorf("4-QSFP CK row %v != paper", r.Rows[3])
+	}
+}
+
+func TestTable3Shape(t *testing.T) {
+	r := runQuick(t, "table3")
+	host := cell(t, r, 0, 1)
+	smi1 := cell(t, r, 1, 1)
+	smi4 := cell(t, r, 2, 1)
+	smi7 := cell(t, r, 3, 1)
+	if !(smi1 < smi4 && smi4 < smi7) {
+		t.Fatalf("latency must grow with hops: %f %f %f", smi1, smi4, smi7)
+	}
+	// Paper ratio: 36.61 / 5.103 ~ 7x at seven hops, ~46x at one hop.
+	if host < 5*smi7 || host < 20*smi1 {
+		t.Fatalf("host latency (%f) should dwarf SMI (%f / %f)", host, smi1, smi7)
+	}
+	// Near-linear growth with hops, as in the paper.
+	perHop1 := smi1
+	perHop47 := (smi7 - smi4) / 3
+	if perHop47 < 0.5*perHop1 || perHop47 > 2*perHop1 {
+		t.Fatalf("latency not linear in hops: %f vs %f per hop", perHop1, perHop47)
+	}
+}
+
+func TestTable4Shape(t *testing.T) {
+	r := runQuick(t, "table4")
+	prev := 1e9
+	for i := range r.Rows {
+		v := cell(t, r, i, 1)
+		if v >= prev {
+			t.Fatalf("injection latency must fall with R: row %d = %f", i, v)
+		}
+		prev = v
+	}
+	if first := cell(t, r, 0, 1); first < 4.8 || first > 5.2 {
+		t.Fatalf("R=1 = %f, want ~5 (Table 4 anchor)", first)
+	}
+}
+
+func TestFig9Shape(t *testing.T) {
+	r := runQuick(t, "fig9")
+	last := len(r.Rows) - 1
+	smi1 := cell(t, r, last, 1)
+	smi7 := cell(t, r, last, 3)
+	host := cell(t, r, last, 4)
+	// Bandwidth independent of hops; SMI beats the host path.
+	if diff := (smi1 - smi7) / smi1; diff > 0.05 || diff < -0.05 {
+		t.Fatalf("bandwidth varies with hops: %f vs %f", smi1, smi7)
+	}
+	if smi1 < 1.4*host {
+		t.Fatalf("SMI (%f) should clearly beat host (%f) at large sizes", smi1, host)
+	}
+	// Bandwidth grows with size.
+	if cell(t, r, 0, 1) >= smi1 {
+		t.Fatal("bandwidth should grow with message size")
+	}
+}
+
+func TestFig10Fig11Shape(t *testing.T) {
+	b := runQuick(t, "fig10")
+	rd := runQuick(t, "fig11")
+	// At the smallest size, SMI beats the host by an order of magnitude.
+	smiSmall := cell(t, b, 0, 1)
+	hostSmall := cell(t, b, 0, 5)
+	if hostSmall < 5*smiSmall {
+		t.Fatalf("small bcast: host %f should dwarf SMI %f", hostSmall, smiSmall)
+	}
+	// Reduce costs at least as much as bcast at the same size on SMI.
+	if cell(t, rd, len(rd.Rows)-1, 1) < cell(t, b, len(b.Rows)-1, 1) {
+		t.Fatal("large reduce should not be cheaper than bcast")
+	}
+	// 8 ranks cost more than 4 ranks for the same collective.
+	lastB := len(b.Rows) - 1
+	if cell(t, b, lastB, 1) <= cell(t, b, lastB, 2) {
+		t.Fatal("bcast to 8 ranks should exceed 4 ranks")
+	}
+}
+
+func TestFig13Shape(t *testing.T) {
+	r := runQuick(t, "fig13")
+	for i := range r.Rows {
+		sp := cell(t, r, i, 3)
+		if sp < 1.6 || sp > 2.4 {
+			t.Fatalf("row %v speedup %f outside ~2x band", r.Rows[i], sp)
+		}
+	}
+}
+
+func TestFig15Shape(t *testing.T) {
+	r := runQuick(t, "fig15")
+	// Speedups must be ordered: base < 4-bank ~ 4-FPGA < 4x4 < 8 FPGA.
+	s := make([]float64, len(r.Rows))
+	for i := range r.Rows {
+		s[i] = cell(t, r, i, 2)
+	}
+	if s[0] != 1.0 {
+		t.Fatalf("baseline speedup = %f", s[0])
+	}
+	if !(s[1] > 2 && s[2] > 2) {
+		t.Fatalf("single-resource scaling too weak: %v", s)
+	}
+	if !(s[3] > 1.5*s[1]) {
+		t.Fatalf("banks+FPGAs should multiply: %v", s)
+	}
+	if !(s[4] > 1.3*s[3]) {
+		t.Fatalf("8 FPGAs should extend scaling: %v", s)
+	}
+	// "1 bank/4 FPGAs" and "4 banks/1 FPGA" should be within ~25% of
+	// each other (paper: both 3.5x).
+	if ratio := s[2] / s[1]; ratio < 0.75 || ratio > 1.33 {
+		t.Fatalf("bank vs FPGA equivalence broken: %v", s)
+	}
+}
+
+func TestFig16Shape(t *testing.T) {
+	r := runQuick(t, "fig16")
+	last := len(r.Rows) - 1
+	ratio := cell(t, r, last, 3)
+	if ratio < 1.5 {
+		t.Fatalf("8 ranks should approach 2x over 4 ranks at large grids, got %f", ratio)
+	}
+	// Time per point falls (or at least does not grow) with grid size as
+	// fixed overheads amortize.
+	if cell(t, r, last, 1) > cell(t, r, 0, 1)*1.05 {
+		t.Fatal("per-point time should amortize with grid size")
+	}
+}
+
+func TestReportPrint(t *testing.T) {
+	r := &Report{
+		ID: "x", Title: "t",
+		Header: []string{"a", "bb"},
+		Rows:   [][]string{{"1", "2"}, {"333", "4"}},
+		Notes:  []string{"hello"},
+	}
+	var buf bytes.Buffer
+	r.Print(&buf)
+	out := buf.String()
+	for _, want := range []string{"== x: t ==", "a", "bb", "333", "note: hello"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("printed report missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestAblateRShape(t *testing.T) {
+	r := runQuick(t, "ablate-r")
+	// Bandwidth grows with R; injection latency falls with R.
+	for i := 1; i < len(r.Rows); i++ {
+		if cell(t, r, i, 1) <= cell(t, r, i-1, 1) {
+			t.Fatalf("bandwidth should grow with R: %v", r.Rows)
+		}
+		if cell(t, r, i, 2) >= cell(t, r, i-1, 2) {
+			t.Fatalf("injection latency should fall with R: %v", r.Rows)
+		}
+	}
+}
+
+func TestAblateCreditShape(t *testing.T) {
+	r := runQuick(t, "ablate-credit")
+	for i := 1; i < len(r.Rows); i++ {
+		if cell(t, r, i, 1) >= cell(t, r, i-1, 1) {
+			t.Fatalf("reduce time should fall with larger credit tiles: %v", r.Rows)
+		}
+	}
+	// Diminishing returns: the last doubling helps far less than the first.
+	first := cell(t, r, 0, 1) - cell(t, r, 1, 1)
+	last := cell(t, r, len(r.Rows)-2, 1) - cell(t, r, len(r.Rows)-1, 1)
+	if last >= first {
+		t.Fatalf("credit benefit should diminish: first %f, last %f", first, last)
+	}
+}
+
+func TestAblateRoutingShape(t *testing.T) {
+	r := runQuick(t, "ablate-routing")
+	if r.Rows[0][3] != "NO" {
+		t.Fatalf("shortest-path on the torus should have a CDG cycle: %v", r.Rows[0])
+	}
+	if r.Rows[1][3] != "yes" {
+		t.Fatalf("up*/down* must be deadlock-free: %v", r.Rows[1])
+	}
+	// On the 2x4 torus up*/down* should not dilate paths by more than 2x.
+	if cell(t, r, 1, 1) > 2*cell(t, r, 0, 1) {
+		t.Fatalf("excessive up*/down* dilation: %v", r.Rows)
+	}
+}
+
+func TestAblateBufferShape(t *testing.T) {
+	r := runQuick(t, "ablate-buffer")
+	first := cell(t, r, 0, 1)
+	last := cell(t, r, len(r.Rows)-1, 1)
+	if last >= first {
+		t.Fatalf("larger buffers should let the sender finish earlier: %v", r.Rows)
+	}
+	if last > 0.5*first {
+		t.Fatalf("a message-sized buffer should cut sender time at least 2x: %v", r.Rows)
+	}
+}
+
+func TestAblateTreeShape(t *testing.T) {
+	r := runQuick(t, "ablate-tree")
+	for i := range r.Rows {
+		if sp := cell(t, r, i, 3); sp <= 1.0 {
+			t.Fatalf("tree should beat linear for %s: %v", r.Rows[i][0], r.Rows[i])
+		}
+	}
+}
+
+func TestAblateFlowControlShape(t *testing.T) {
+	r := runQuick(t, "ablate-flowcontrol")
+	if r.Rows[0][2] != "DEADLOCK" {
+		t.Fatalf("eager with a tiny buffer should deadlock: %v", r.Rows[0])
+	}
+	for i := 1; i < len(r.Rows); i++ {
+		if r.Rows[i][2] != "ok" {
+			t.Fatalf("row %v should complete", r.Rows[i])
+		}
+	}
+	// Credited with a small buffer trades bulk throughput for safety; a
+	// moderate buffer recovers most of it.
+	small := cell(t, r, 2, 4)
+	moderate := cell(t, r, 3, 4)
+	if moderate >= small {
+		t.Fatalf("larger credited buffer should speed the bulk transfer: %v", r.Rows)
+	}
+}
+
+func TestAblateArbiterShape(t *testing.T) {
+	r := runQuick(t, "ablate-arbiter")
+	rrBW, skipBW := cell(t, r, 0, 1), cell(t, r, 1, 1)
+	if skipBW <= rrBW {
+		t.Fatalf("skip-idle should raise bandwidth: %f vs %f", skipBW, rrBW)
+	}
+	// Skip-idle should approach the 35 Gbit/s payload peak.
+	if skipBW < 30 {
+		t.Fatalf("skip-idle bandwidth = %f, want near the payload peak", skipBW)
+	}
+	if cell(t, r, 1, 3) >= cell(t, r, 0, 3) {
+		t.Fatal("skip-idle should also lower injection latency")
+	}
+}
+
+func TestAblateSwitchingShape(t *testing.T) {
+	r := runQuick(t, "ablate-switching")
+	pktBW, circBW := cell(t, r, 0, 1), cell(t, r, 1, 1)
+	if circBW <= pktBW {
+		t.Fatalf("circuit switching should raise payload bandwidth: %f vs %f", circBW, pktBW)
+	}
+	pktCtl, circCtl := cell(t, r, 0, 2), cell(t, r, 1, 2)
+	if circCtl <= pktCtl {
+		t.Fatalf("circuit switching should delay the concurrent message: %f vs %f", circCtl, pktCtl)
+	}
+}
+
+func TestMetricNameSanitization(t *testing.T) {
+	r := &Report{}
+	r.metric("speedup_1 bank / 1 FPGA", 1.5)
+	if _, ok := r.Metrics["speedup_1_bank_1_FPGA"]; !ok {
+		t.Fatalf("metric name not sanitized: %v", r.Metrics)
+	}
+	for name := range r.Metrics {
+		if strings.ContainsAny(name, " \t/") {
+			t.Fatalf("metric %q contains forbidden characters", name)
+		}
+	}
+}
+
+func TestExtScatterGatherShape(t *testing.T) {
+	r := runQuick(t, "ext-scattergather")
+	// SMI beats the host at small sizes for both collectives.
+	if cell(t, r, 0, 1) >= cell(t, r, 0, 3) || cell(t, r, 0, 2) >= cell(t, r, 0, 4) {
+		t.Fatalf("SMI should win small scatter/gather: %v", r.Rows[0])
+	}
+	// Time grows with size.
+	last := len(r.Rows) - 1
+	if cell(t, r, last, 1) <= cell(t, r, 0, 1) || cell(t, r, last, 2) <= cell(t, r, 0, 2) {
+		t.Fatalf("collective time should grow with size: %v", r.Rows)
+	}
+}

@@ -1,0 +1,78 @@
+package smi
+
+import "fmt"
+
+// Barrier synchronizes every rank of the communicator: no rank returns
+// before all ranks have entered. It is composed from the streaming
+// collectives — a one-element Reduce into the communicator's first rank
+// followed by a one-element Bcast from it — so it needs one Reduce port
+// (Int, Add) and one Bcast port (Int) declared in the program.
+//
+// SMI programs are responsible for their own phase coordination: §3.3
+// leaves correctness "even if the system provides no buffering" to the
+// user, and a rank that runs far ahead can fill shared transport FIFOs
+// with a later phase's eager traffic that earlier phases then deadlock
+// behind. A barrier between phases bounds that skew.
+func Barrier(x *Ctx, reducePort, bcastPort int, comm Comm) error {
+	rc, err := x.OpenReduceChannel(1, Int, Add, reducePort, 0, comm)
+	if err != nil {
+		return fmt.Errorf("smi: barrier reduce: %w", err)
+	}
+	rc.ReduceInt(1)
+	bc, err := x.OpenBcastChannel(1, Int, bcastPort, 0, comm)
+	if err != nil {
+		return fmt.Errorf("smi: barrier bcast: %w", err)
+	}
+	bc.BcastInt(1)
+	return nil
+}
+
+// AllReduce reduces count elements contributed through contribute and
+// delivers the combined result to every rank through consume, composed
+// from a Reduce into the communicator's first rank and a Bcast back out.
+// It needs one Reduce port (matching dt and op) and one Bcast port
+// (matching dt).
+//
+// contribute(i) supplies this rank's i-th element; consume(i, bits)
+// receives the i-th combined element. Elements move in lockstep — every
+// rank holds its (i+1)-th contribution until it has consumed the i-th
+// result — which is provably deadlock-free for any buffer size but pays
+// a network round trip per element. Applications that need bulk
+// all-reduce throughput should run the reduce and broadcast phases in
+// separate kernels, as a hardware design would.
+func AllReduce(x *Ctx, count int, dt Datatype, op Op, reducePort, bcastPort int, comm Comm,
+	contribute func(i int) uint64, consume func(i int, bits uint64)) error {
+	rc, err := x.OpenReduceChannel(count, dt, op, reducePort, 0, comm)
+	if err != nil {
+		return fmt.Errorf("smi: allreduce reduce: %w", err)
+	}
+	bc, err := x.OpenBcastChannel(count, dt, bcastPort, 0, comm)
+	if err != nil {
+		return fmt.Errorf("smi: allreduce bcast: %w", err)
+	}
+	// Lockstep at packet granularity: the broadcast flushes on packet
+	// boundaries, so element-wise lockstep would strand results inside a
+	// partially-packed packet and deadlock.
+	chunk := dt.ElemsPerPacket()
+	for i := 0; i < count; i += chunk {
+		m := chunk
+		if count-i < m {
+			m = count - i
+		}
+		if rc.Root() {
+			for j := 0; j < m; j++ {
+				bits, _ := rc.Reduce(contribute(i + j))
+				bc.Bcast(bits)
+				consume(i+j, bits)
+			}
+		} else {
+			for j := 0; j < m; j++ {
+				rc.Reduce(contribute(i + j))
+			}
+			for j := 0; j < m; j++ {
+				consume(i+j, bc.Bcast(0))
+			}
+		}
+	}
+	return nil
+}

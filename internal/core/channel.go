@@ -1,0 +1,367 @@
+package smi
+
+import (
+	"fmt"
+
+	"repro/internal/packet"
+)
+
+// SendChannel is a transient point-to-point send channel
+// (SMI_Open_send_channel). Data is pushed element by element; elements
+// are packed into network packets and handed to the transport layer.
+// The channel closes implicitly after count elements.
+type SendChannel struct {
+	x   *Ctx
+	ep  *endpoint
+	dt  Datatype
+	epp int // elements per packet
+	vec int // application datapath width, elements per cycle
+
+	count int
+	sent  int
+	dst   int // global destination rank
+	port  int
+
+	cur packet.Packet
+	n   int // elements in cur
+
+	// Credit-based flow control state (nil credits semantics when the
+	// port is eager): remaining elements the receiver has granted.
+	credited bool
+	credits  int
+
+	// Circuit switching state: the leading OpOpen has been sent, and
+	// payload packs into headerless 32-byte packets.
+	circuit bool
+	opened  bool
+}
+
+// OpenSendChannel opens a transient channel to stream count elements of
+// type dt to rank destination (relative to comm) on the given port.
+// Opening is a zero-overhead operation: it only records where data
+// should be sent (§3.3).
+func (x *Ctx) OpenSendChannel(count int, dt Datatype, destination, port int, comm Comm) (*SendChannel, error) {
+	ep, err := x.endpointFor(port, P2P, dt, count, comm)
+	if err != nil {
+		return nil, err
+	}
+	if destination < 0 || destination >= comm.size {
+		return nil, fmt.Errorf("smi: destination %d outside %v", destination, comm)
+	}
+	if ep.inUseSend {
+		return nil, fmt.Errorf("smi: rank %d port %d already has an open send channel", x.rank, port)
+	}
+	dstGlobal := comm.Global(destination)
+	if ep.spec.Credited {
+		// The reverse direction of a credited port carries the credits.
+		if ep.inUseRecv {
+			return nil, fmt.Errorf("smi: rank %d port %d: credited ports are half-duplex", x.rank, port)
+		}
+		if dstGlobal == x.rank {
+			return nil, fmt.Errorf("smi: rank %d port %d: credited channels cannot target their own rank", x.rank, port)
+		}
+		ep.inUseRecv = true
+	}
+	ep.inUseSend = true
+	epp := dt.ElemsPerPacket()
+	if ep.spec.Circuit {
+		epp = packet.RawElemsPerPacket(dt)
+	}
+	return &SendChannel{
+		x: x, ep: ep, dt: dt, epp: epp, vec: ep.spec.VecWidth,
+		count: count, dst: dstGlobal, port: port,
+		credited: ep.spec.Credited, credits: ep.spec.BufferElems,
+		circuit: ep.spec.Circuit,
+	}, nil
+}
+
+// Push streams one element (as raw bits) into the channel. It blocks —
+// consuming simulated cycles — while the endpoint buffer is full, so a
+// push "does not return before the data element has been safely sent to
+// the network" (§3.1.1). Pushing more than count elements panics.
+func (ch *SendChannel) Push(bits uint64) {
+	if ch.sent >= ch.count {
+		panic(fmt.Sprintf("smi: push beyond message size %d on port %d", ch.count, ch.port))
+	}
+	if ch.circuit {
+		if !ch.opened {
+			// Establish the circuit: one packet carries all the message
+			// meta-information; the payload that follows is headerless.
+			rawPkts := (ch.count + ch.epp - 1) / ch.epp
+			open := packet.EncodeOpen(uint8(ch.x.rank), uint8(ch.dst), uint8(ch.port),
+				packet.OpenInfo{RawPackets: uint32(rawPkts), Elems: uint32(ch.count)})
+			ch.ep.appSend.PushProc(ch.x.proc, open)
+			ch.opened = true
+		}
+		ch.cur.PutRawElem(ch.n, ch.dt, bits)
+	} else {
+		ch.cur.PutElem(ch.n, ch.dt, bits)
+	}
+	ch.n++
+	ch.sent++
+	if ch.n == ch.epp || ch.sent == ch.count {
+		ch.flush()
+	}
+	if ch.sent == ch.count {
+		ch.ep.inUseSend = false // channel implicitly closed
+		ch.opened = false
+		if ch.credited {
+			ch.ep.inUseRecv = false
+		}
+	}
+}
+
+// PushInt pushes an int32 element.
+func (ch *SendChannel) PushInt(v int32) { ch.Push(packet.IntBits(v)) }
+
+// PushFloat pushes a float32 element.
+func (ch *SendChannel) PushFloat(v float32) { ch.Push(packet.FloatBits(v)) }
+
+// PushDouble pushes a float64 element.
+func (ch *SendChannel) PushDouble(v float64) { ch.Push(packet.DoubleBits(v)) }
+
+// PushShort pushes an int16 element.
+func (ch *SendChannel) PushShort(v int16) { ch.Push(packet.ShortBits(v)) }
+
+// PushChar pushes a byte element.
+func (ch *SendChannel) PushChar(v byte) { ch.Push(uint64(v)) }
+
+// Remaining returns how many elements may still be pushed.
+func (ch *SendChannel) Remaining() int { return ch.count - ch.sent }
+
+// flush emits the current packet, charging the cycles the application
+// pipeline spent producing its elements: a kernel pushing one element
+// per cycle (VecWidth 1) pays one cycle per element; a vectorized kernel
+// pays proportionally less.
+func (ch *SendChannel) flush() {
+	if ch.credited {
+		// Block until the receiver has granted room for this packet, so
+		// the data never queues in the shared transport.
+		for ch.credits < ch.n {
+			grant := ch.ep.appRecv.PopProc(ch.x.proc)
+			if grant.Op != packet.OpCredit || int(grant.Src) != ch.dst {
+				panic(fmt.Sprintf("smi: rank %d port %d: expected credit from %d, got %v",
+					ch.x.rank, ch.port, ch.dst, grant))
+			}
+			ch.credits += int(decodeCreditElems(grant))
+		}
+		ch.credits -= ch.n
+	}
+	ch.cur.Src = uint8(ch.x.rank)
+	ch.cur.Dst = uint8(ch.dst)
+	ch.cur.Port = uint8(ch.port)
+	if ch.circuit {
+		ch.cur.Op = packet.OpRaw
+	} else {
+		ch.cur.Op = packet.OpData
+	}
+	ch.cur.Count = uint8(ch.n)
+	cycles := int64((ch.n + ch.vec - 1) / ch.vec)
+	if cycles > 1 {
+		ch.x.proc.Sleep(cycles - 1)
+	}
+	ch.ep.appSend.PushProc(ch.x.proc, ch.cur)
+	ch.cur = packet.Packet{}
+	ch.n = 0
+}
+
+// RecvChannel is a transient point-to-point receive channel
+// (SMI_Open_recv_channel). The channel closes implicitly after count
+// elements have been popped.
+type RecvChannel struct {
+	x   *Ctx
+	ep  *endpoint
+	dt  Datatype
+	vec int
+
+	count    int
+	received int
+	src      int // expected global source rank
+	port     int
+
+	cur  packet.Packet
+	have int // unread elements in cur
+	pos  int // next element index in cur
+
+	// Credit-based flow control state: elements drained since the last
+	// grant, the batch size at which grants are sent, and the total
+	// granted so far. Total grants are capped at count minus the initial
+	// credit so the sender's budget is exactly count elements and no
+	// stale credits outlive the channel.
+	credited   bool
+	freed      int
+	grantBatch int
+	granted    int
+
+	// Circuit switching state: the leading OpOpen has been consumed.
+	circuit bool
+	opened  bool
+}
+
+// OpenRecvChannel opens a transient channel to receive count elements of
+// type dt from rank source (relative to comm) on the given port.
+func (x *Ctx) OpenRecvChannel(count int, dt Datatype, source, port int, comm Comm) (*RecvChannel, error) {
+	ep, err := x.endpointFor(port, P2P, dt, count, comm)
+	if err != nil {
+		return nil, err
+	}
+	if source < 0 || source >= comm.size {
+		return nil, fmt.Errorf("smi: source %d outside %v", source, comm)
+	}
+	if ep.inUseRecv {
+		return nil, fmt.Errorf("smi: rank %d port %d already has an open recv channel", x.rank, port)
+	}
+	srcGlobal := comm.Global(source)
+	ch := &RecvChannel{
+		x: x, ep: ep, dt: dt, vec: ep.spec.VecWidth,
+		count: count, src: srcGlobal, port: port,
+	}
+	if ep.spec.Credited {
+		if ep.inUseSend {
+			return nil, fmt.Errorf("smi: rank %d port %d: credited ports are half-duplex", x.rank, port)
+		}
+		if srcGlobal == x.rank {
+			return nil, fmt.Errorf("smi: rank %d port %d: credited channels cannot target their own rank", x.rank, port)
+		}
+		ep.inUseSend = true
+		ch.credited = true
+		ch.grantBatch = ep.spec.BufferElems / 2
+		epp := dt.ElemsPerPacket()
+		if ch.grantBatch < epp {
+			ch.grantBatch = epp
+		}
+	}
+	ch.circuit = ep.spec.Circuit
+	ep.inUseRecv = true
+	return ch, nil
+}
+
+// Pop blocks until the next element arrives and returns its raw bits.
+// Popping past count elements panics, as does receiving a packet from an
+// unexpected source (a mismatched program).
+func (ch *RecvChannel) Pop() uint64 {
+	if ch.received >= ch.count {
+		panic(fmt.Sprintf("smi: pop beyond message size %d on port %d", ch.count, ch.port))
+	}
+	if ch.have == 0 {
+		ch.fetch()
+	}
+	var bits uint64
+	if ch.circuit {
+		bits = ch.cur.RawElem(ch.pos, ch.dt)
+	} else {
+		bits = ch.cur.Elem(ch.pos, ch.dt)
+	}
+	ch.pos++
+	ch.have--
+	ch.received++
+	if ch.received == ch.count {
+		ch.opened = false
+	}
+	if ch.credited {
+		ch.freed++
+		if ch.freed >= ch.grantBatch {
+			ch.sendCredit()
+		}
+	}
+	if ch.received == ch.count {
+		if ch.credited {
+			ch.ep.inUseSend = false
+		}
+		ch.ep.inUseRecv = false // channel implicitly closed
+	}
+	return bits
+}
+
+// sendCredit returns drained buffer space to the sender, never granting
+// more than the sender can still use.
+func (ch *RecvChannel) sendCredit() {
+	avail := ch.count - ch.ep.spec.BufferElems - ch.granted
+	if avail <= 0 {
+		ch.freed = 0 // the sender's budget already covers the message
+		return
+	}
+	n := ch.freed
+	if n > avail {
+		n = avail
+	}
+	ch.granted += n
+	ch.freed = 0
+	grant := packet.Packet{
+		Src: uint8(ch.x.rank), Dst: uint8(ch.src), Port: uint8(ch.port),
+		Op: packet.OpCredit,
+	}
+	encodeCreditElems(&grant, uint32(n))
+	ch.ep.appSend.PushProc(ch.x.proc, grant)
+}
+
+// PopInt pops an int32 element.
+func (ch *RecvChannel) PopInt() int32 { return packet.BitsInt(ch.Pop()) }
+
+// PopFloat pops a float32 element.
+func (ch *RecvChannel) PopFloat() float32 { return packet.BitsFloat(ch.Pop()) }
+
+// PopDouble pops a float64 element.
+func (ch *RecvChannel) PopDouble() float64 { return packet.BitsDouble(ch.Pop()) }
+
+// PopShort pops an int16 element.
+func (ch *RecvChannel) PopShort() int16 { return packet.BitsShort(ch.Pop()) }
+
+// PopChar pops a byte element.
+func (ch *RecvChannel) PopChar() byte { return byte(ch.Pop()) }
+
+// Remaining returns how many elements are still to be popped.
+func (ch *RecvChannel) Remaining() int { return ch.count - ch.received }
+
+func (ch *RecvChannel) fetch() {
+	pkt := ch.ep.appRecv.PopProc(ch.x.proc)
+	if ch.circuit && !ch.opened {
+		// The circuit's establishment packet arrives first.
+		if pkt.Op != packet.OpOpen {
+			panic(fmt.Sprintf("smi: rank %d port %d: expected circuit OPEN, got %v", ch.x.rank, ch.port, pkt.Op))
+		}
+		if int(pkt.Src) != ch.src {
+			panic(fmt.Sprintf("smi: rank %d port %d: circuit from rank %d, expected %d", ch.x.rank, ch.port, pkt.Src, ch.src))
+		}
+		if got := int(packet.DecodeOpen(pkt).Elems); got != ch.count {
+			panic(fmt.Sprintf("smi: rank %d port %d: circuit announces %d elements, channel expects %d", ch.x.rank, ch.port, got, ch.count))
+		}
+		ch.opened = true
+		pkt = ch.ep.appRecv.PopProc(ch.x.proc)
+	}
+	wantOp := packet.OpData
+	if ch.circuit {
+		wantOp = packet.OpRaw
+	}
+	if pkt.Op != wantOp {
+		panic(fmt.Sprintf("smi: rank %d port %d: unexpected %v packet on recv channel", ch.x.rank, ch.port, pkt.Op))
+	}
+	if !ch.circuit && int(pkt.Src) != ch.src {
+		panic(fmt.Sprintf("smi: rank %d port %d: packet from rank %d, expected %d", ch.x.rank, ch.port, pkt.Src, ch.src))
+	}
+	if pkt.Count == 0 {
+		panic(fmt.Sprintf("smi: rank %d port %d: empty data packet", ch.x.rank, ch.port))
+	}
+	// Charge the cycles a pipelined consumer spends draining the packet.
+	cycles := int64((int(pkt.Count) + ch.vec - 1) / ch.vec)
+	if cycles > 1 {
+		ch.x.proc.Sleep(cycles - 1)
+	}
+	ch.cur = pkt
+	ch.have = int(pkt.Count)
+	ch.pos = 0
+}
+
+// encodeCreditElems stores the granted element count in a credit packet.
+func encodeCreditElems(p *packet.Packet, elems uint32) {
+	p.Payload[0] = byte(elems)
+	p.Payload[1] = byte(elems >> 8)
+	p.Payload[2] = byte(elems >> 16)
+	p.Payload[3] = byte(elems >> 24)
+}
+
+// decodeCreditElems reads the granted element count from a credit packet.
+func decodeCreditElems(p packet.Packet) uint32 {
+	return uint32(p.Payload[0]) | uint32(p.Payload[1])<<8 |
+		uint32(p.Payload[2])<<16 | uint32(p.Payload[3])<<24
+}

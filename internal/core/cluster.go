@@ -1,0 +1,327 @@
+package smi
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/fpga"
+	"repro/internal/link"
+	"repro/internal/packet"
+	"repro/internal/routing"
+	"repro/internal/sim"
+	"repro/internal/topology"
+	"repro/internal/transport"
+	"repro/internal/vistrace"
+)
+
+// Config assembles an SMI cluster: the wiring, the program's declared
+// ports, and the transport parameters.
+type Config struct {
+	// Topology is the physical interconnect (required).
+	Topology *topology.Topology
+	// Program declares every SMI port the application uses (required).
+	Program ProgramSpec
+	// RoutingPolicy selects the route generator algorithm (default
+	// ShortestPath; use routing.UpDown for provable deadlock freedom).
+	RoutingPolicy routing.Policy
+	// Transport tunes the CKS/CKR kernels (polling factor R, FIFO depth).
+	Transport transport.Config
+	// LinkLatency is the one-way serial link latency in cycles
+	// (default link.DefaultLatency).
+	LinkLatency int64
+	// ClockHz is the design clock (default sim.DefaultClockHz,
+	// 156.25 MHz: one 32-byte packet per cycle = 40 Gbit/s per link).
+	ClockHz float64
+	// Board describes the FPGA card at every rank (default the
+	// Nallatech 520N used in the paper's evaluation).
+	Board fpga.Board
+	// MaxCycles bounds the simulation (default 4e9 cycles ≈ 25 s of
+	// simulated time).
+	MaxCycles int64
+	// Trace, if non-nil, receives a per-event text trace (slow).
+	Trace io.Writer
+	// ChromeTrace, if non-nil, receives a Chrome trace-event JSON file
+	// (load in chrome://tracing or Perfetto) with one lane per
+	// application kernel and hardware kernel, written when Run finishes.
+	// One trace microsecond equals one simulated cycle.
+	ChromeTrace io.Writer
+}
+
+// Cluster is a multi-FPGA system ready to execute rank programs.
+type Cluster struct {
+	cfg    Config
+	eng    *sim.Engine
+	routes *routing.Routes
+	world  Comm
+	clock  sim.Clock
+	board  fpga.Board
+
+	ranks  []*rankState
+	links  []*link.Link
+	procs  int
+	ran    bool
+	tracer *vistrace.Tracer
+}
+
+type rankState struct {
+	rank     int
+	dev      *transport.Device
+	eps      map[int]*endpoint
+	supports []*supportKernel
+}
+
+// endpoint is the application-facing side of one port at one rank.
+type endpoint struct {
+	spec PortSpec
+	// appSend carries packets from the application toward the network:
+	// directly into CKS for P2P ports, into the support kernel for
+	// collective ports. appRecv is the symmetric receive side.
+	appSend *sim.Fifo[packet.Packet]
+	appRecv *sim.Fifo[packet.Packet]
+	// inUseSend/inUseRecv guard against two open channels using the same
+	// endpoint direction concurrently (hardware has one wire per side).
+	inUseSend bool
+	inUseRecv bool
+}
+
+// NewCluster validates the configuration, generates routes, and builds
+// every rank's endpoint FIFOs, collective support kernels, transport
+// layer, and inter-FPGA links — the work the paper splits between its
+// code generator, route generator, and host setup (Fig 8).
+func NewCluster(cfg Config) (*Cluster, error) {
+	if cfg.Topology == nil {
+		return nil, fmt.Errorf("smi: config needs a topology")
+	}
+	if err := cfg.Topology.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.Topology.Devices > packet.MaxRanks {
+		return nil, fmt.Errorf("smi: %d devices exceed the %d-rank limit of the 8-bit packet header",
+			cfg.Topology.Devices, packet.MaxRanks)
+	}
+	if err := cfg.Program.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.Board.Name == "" {
+		cfg.Board = fpga.Nallatech520N()
+	}
+	if cfg.ClockHz <= 0 {
+		cfg.ClockHz = sim.DefaultClockHz
+	}
+	if cfg.MaxCycles <= 0 {
+		cfg.MaxCycles = 4_000_000_000
+	}
+
+	routes, err := routing.Compute(cfg.Topology, cfg.RoutingPolicy)
+	if err != nil {
+		return nil, err
+	}
+
+	eng := sim.NewEngine()
+	eng.SetMaxCycles(cfg.MaxCycles)
+	if cfg.Trace != nil {
+		eng.SetTrace(cfg.Trace)
+	}
+	var tracer *vistrace.Tracer
+	if cfg.ChromeTrace != nil {
+		tracer = vistrace.New()
+		eng.SetRecorder(tracer)
+	}
+
+	c := &Cluster{
+		cfg:    cfg,
+		eng:    eng,
+		routes: routes,
+		world:  Comm{base: 0, size: cfg.Topology.Devices},
+		clock:  sim.Clock{Hz: cfg.ClockHz},
+		board:  cfg.Board,
+		tracer: tracer,
+	}
+
+	ifaces := cfg.Topology.Ifaces
+	for r := 0; r < cfg.Topology.Devices; r++ {
+		rs := &rankState{rank: r, eps: make(map[int]*endpoint)}
+		var bindings []transport.PortBinding
+		for i := range cfg.Program.Ports {
+			spec := cfg.Program.Ports[i] // copy
+			spec.fill(i, ifaces)
+			epp := spec.Type.ElemsPerPacket()
+			depth := (spec.BufferElems + epp - 1) / epp
+			if depth < 2 {
+				depth = 2
+			}
+			name := func(side string) string {
+				return fmt.Sprintf("r%d.p%d.%s", r, spec.Port, side)
+			}
+			ep := &endpoint{spec: spec}
+			if spec.Kind == P2P {
+				ep.appSend = sim.NewFifo[packet.Packet](eng, name("send"), depth)
+				ep.appRecv = sim.NewFifo[packet.Packet](eng, name("recv"), depth)
+				bindings = append(bindings, transport.PortBinding{
+					Port: spec.Port, Iface: spec.Iface, Send: ep.appSend, Recv: ep.appRecv,
+				})
+			} else {
+				// Collective port: the support kernel sits between the
+				// application FIFOs and the transport layer.
+				recvDepth := depth
+				if spec.Kind == Reduce {
+					// The root must always be able to flush a full credit
+					// tile to its application FIFO, or flow control jams.
+					tilePkts := spec.CreditElems / epp
+					if recvDepth < tilePkts+2 {
+						recvDepth = tilePkts + 2
+					}
+				}
+				ep.appSend = sim.NewFifo[packet.Packet](eng, name("app2sup"), depth)
+				ep.appRecv = sim.NewFifo[packet.Packet](eng, name("sup2app"), recvDepth)
+				supSend := sim.NewFifo[packet.Packet](eng, name("sup.send"), depth)
+				supRecv := sim.NewFifo[packet.Packet](eng, name("sup.recv"), depth)
+				sup := newSupportKernel(fmt.Sprintf("r%d.p%d.%s", r, spec.Port, spec.Kind),
+					r, spec, ep.appSend, ep.appRecv, supSend, supRecv)
+				eng.AddKernel(sup)
+				rs.supports = append(rs.supports, sup)
+				bindings = append(bindings, transport.PortBinding{
+					Port: spec.Port, Iface: spec.Iface, Send: supSend, Recv: supRecv,
+				})
+			}
+			rs.eps[spec.Port] = ep
+		}
+		dev, err := transport.NewDevice(eng, r, ifaces, routes, bindings, cfg.Transport)
+		if err != nil {
+			return nil, err
+		}
+		rs.dev = dev
+		c.ranks = append(c.ranks, rs)
+	}
+
+	for _, conn := range cfg.Topology.Connections {
+		a, b := conn.A, conn.B
+		c.links = append(c.links,
+			link.New(eng, fmt.Sprintf("%s->%s", a, b),
+				c.ranks[a.Device].dev.NetOut[a.Iface], c.ranks[b.Device].dev.NetIn[b.Iface], cfg.LinkLatency),
+			link.New(eng, fmt.Sprintf("%s->%s", b, a),
+				c.ranks[b.Device].dev.NetOut[b.Iface], c.ranks[a.Device].dev.NetIn[a.Iface], cfg.LinkLatency),
+		)
+	}
+	return c, nil
+}
+
+// Size returns the number of ranks in the cluster.
+func (c *Cluster) Size() int { return len(c.ranks) }
+
+// Clock returns the cluster's clock for cycle/time conversions.
+func (c *Cluster) Clock() sim.Clock { return c.clock }
+
+// Board returns the FPGA board model of every rank.
+func (c *Cluster) Board() fpga.Board { return c.board }
+
+// Routes exposes the routing tables (useful for inspecting hop counts).
+func (c *Cluster) Routes() *routing.Routes { return c.routes }
+
+// OnRank registers a rank program: an application kernel running on the
+// given rank. Several kernels may run on one rank (MPMD); each gets its
+// own Ctx. Kernels start at cycle 0 when Run is called.
+func (c *Cluster) OnRank(rank int, name string, body func(*Ctx)) error {
+	if rank < 0 || rank >= len(c.ranks) {
+		return fmt.Errorf("smi: rank %d out of range [0,%d)", rank, len(c.ranks))
+	}
+	if c.ran {
+		return fmt.Errorf("smi: cluster already ran")
+	}
+	x := &Ctx{c: c, rank: rank}
+	x.proc = sim.NewProc(c.eng, fmt.Sprintf("r%d.%s", rank, name), func(p *sim.Proc) {
+		body(x)
+	})
+	c.procs++
+	return nil
+}
+
+// SPMD registers the same program on every rank (single program,
+// multiple data).
+func (c *Cluster) SPMD(name string, body func(*Ctx)) error {
+	for r := 0; r < len(c.ranks); r++ {
+		if err := c.OnRank(r, name, body); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Stats summarizes one cluster execution.
+type Stats struct {
+	// Cycles is the completion cycle of the slowest rank program.
+	Cycles int64
+	// Micros is Cycles converted to simulated microseconds.
+	Micros float64
+	// PacketsDelivered is the total count of packets moved across all
+	// inter-FPGA links.
+	PacketsDelivered uint64
+	// PacketsDropped counts undeliverable packets (normally 0).
+	PacketsDropped uint64
+}
+
+// LinkStats describes the traffic one directed link carried during a
+// run: useful for spotting hot links and congestion in a mapping.
+type LinkStats struct {
+	Name      string
+	Delivered uint64
+	// Stalls counts cycles the link head spent blocked on a full
+	// receiver FIFO (backpressure).
+	Stalls uint64
+	// Utilization is Delivered divided by the total cycles of the run.
+	Utilization float64
+}
+
+// LinkStats reports per-link traffic after Run (sorted by the builder's
+// link order: both directions of each cable in topology order).
+func (c *Cluster) LinkStats() []LinkStats {
+	cycles := c.eng.Now()
+	out := make([]LinkStats, 0, len(c.links))
+	for _, l := range c.links {
+		st := LinkStats{Name: l.Name(), Delivered: l.Delivered(), Stalls: l.Stalls()}
+		if cycles > 0 {
+			st.Utilization = float64(l.Delivered()) / float64(cycles)
+		}
+		out = append(out, st)
+	}
+	return out
+}
+
+// Run executes every registered rank program to completion and returns
+// timing and traffic statistics. It fails on deadlock (with a diagnostic
+// of every blocked operation), on a rank program panic, or if MaxCycles
+// is exceeded.
+func (c *Cluster) Run() (Stats, error) {
+	if c.procs == 0 {
+		return Stats{}, fmt.Errorf("smi: no rank programs registered")
+	}
+	if c.ran {
+		return Stats{}, fmt.Errorf("smi: cluster already ran")
+	}
+	c.ran = true
+	err := c.eng.Run()
+	if c.tracer != nil {
+		if werr := c.tracer.Write(c.cfg.ChromeTrace); werr != nil && err == nil {
+			err = fmt.Errorf("smi: writing chrome trace: %w", werr)
+		}
+	}
+	st := Stats{Cycles: c.eng.Now()}
+	st.Micros = c.clock.Micros(st.Cycles)
+	for _, l := range c.links {
+		st.PacketsDelivered += l.Delivered()
+	}
+	for _, rs := range c.ranks {
+		st.PacketsDropped += rs.dev.Dropped()
+	}
+	if err != nil {
+		return st, err
+	}
+	for _, rs := range c.ranks {
+		for _, sup := range rs.supports {
+			if sup.bad > 0 {
+				return st, fmt.Errorf("smi: support kernel %s saw %d protocol violations", sup.name, sup.bad)
+			}
+		}
+	}
+	return st, nil
+}

@@ -1,0 +1,408 @@
+package smi
+
+import (
+	"fmt"
+
+	"repro/internal/packet"
+)
+
+// collectiveBase holds the state shared by all collective channel types:
+// packing toward the support kernel and unpacking from it, with the same
+// cycle accounting as point-to-point channels.
+type collectiveBase struct {
+	x    *Ctx
+	ep   *endpoint
+	dt   Datatype
+	epp  int
+	vec  int
+	port int
+
+	comm   Comm
+	root   int // global root rank
+	isRoot bool
+
+	// Packing state (toward support kernel).
+	cur packet.Packet
+	n   int
+
+	// Unpacking state (from support kernel).
+	rcv  packet.Packet
+	have int
+	pos  int
+}
+
+func (x *Ctx) openCollective(kind PortKind, count int, dt Datatype, port, root int, comm Comm) (*collectiveBase, error) {
+	ep, err := x.endpointFor(port, kind, dt, count, comm)
+	if err != nil {
+		return nil, err
+	}
+	if root < 0 || root >= comm.size {
+		return nil, fmt.Errorf("smi: root %d outside %v", root, comm)
+	}
+	if comm.size > packet.MaxRanks {
+		return nil, fmt.Errorf("smi: communicator of %d ranks exceeds packet header limit", comm.size)
+	}
+	if ep.inUseSend || ep.inUseRecv {
+		return nil, fmt.Errorf("smi: rank %d port %d already has an open channel", x.rank, port)
+	}
+	ep.inUseSend, ep.inUseRecv = true, true
+	b := &collectiveBase{
+		x: x, ep: ep, dt: dt, epp: dt.ElemsPerPacket(), vec: ep.spec.VecWidth,
+		port: port, comm: comm, root: comm.Global(root), isRoot: comm.Global(root) == x.rank,
+	}
+	// Deliver the dynamic channel configuration to the support kernel.
+	cfg := packet.EncodeConfig(uint8(x.rank), uint8(port), packet.Config{
+		Root:  uint8(b.root),
+		Count: uint32(count),
+		Base:  uint8(comm.base),
+		Size:  uint8(comm.size),
+	})
+	ep.appSend.PushProc(x.proc, cfg)
+	return b, nil
+}
+
+func (b *collectiveBase) close() {
+	b.ep.inUseSend, b.ep.inUseRecv = false, false
+}
+
+// pushElem packs one element toward the support kernel, flushing on
+// packet boundaries and at flushAfter (total elements after which the
+// current packet must flush even if partial, e.g. a scatter chunk end).
+func (b *collectiveBase) pushElem(bits uint64, flushAfter bool) {
+	b.cur.PutElem(b.n, b.dt, bits)
+	b.n++
+	if b.n == b.epp || flushAfter {
+		b.flush()
+	}
+}
+
+func (b *collectiveBase) flush() {
+	if b.n == 0 {
+		return
+	}
+	b.cur.Src = uint8(b.x.rank)
+	b.cur.Dst = uint8(b.x.rank) // the support kernel retargets
+	b.cur.Port = uint8(b.port)
+	b.cur.Op = packet.OpData
+	b.cur.Count = uint8(b.n)
+	cycles := int64((b.n + b.vec - 1) / b.vec)
+	if cycles > 1 {
+		b.x.proc.Sleep(cycles - 1)
+	}
+	b.ep.appSend.PushProc(b.x.proc, b.cur)
+	b.cur = packet.Packet{}
+	b.n = 0
+}
+
+// popElemPaired unpacks one element delivered by the support kernel
+// without consuming a cycle: the caller's matching push already paid for
+// the loop iteration (the SMI_Reduce root path, where contribution and
+// result move through independent ports in one pipelined iteration).
+func (b *collectiveBase) popElemPaired() uint64 {
+	if b.have == 0 {
+		pkt := b.ep.appRecv.PopProcPaired(b.x.proc)
+		if pkt.Op != packet.OpData || pkt.Count == 0 {
+			panic(fmt.Sprintf("smi: rank %d port %d: unexpected %v packet from support kernel", b.x.rank, b.port, pkt.Op))
+		}
+		b.rcv = pkt
+		b.have = int(pkt.Count)
+		b.pos = 0
+	}
+	bits := b.rcv.Elem(b.pos, b.dt)
+	b.pos++
+	b.have--
+	return bits
+}
+
+// popElem unpacks one element delivered by the support kernel.
+func (b *collectiveBase) popElem() uint64 {
+	if b.have == 0 {
+		pkt := b.ep.appRecv.PopProc(b.x.proc)
+		if pkt.Op != packet.OpData || pkt.Count == 0 {
+			panic(fmt.Sprintf("smi: rank %d port %d: unexpected %v packet from support kernel", b.x.rank, b.port, pkt.Op))
+		}
+		cycles := int64((int(pkt.Count) + b.vec - 1) / b.vec)
+		if cycles > 1 {
+			b.x.proc.Sleep(cycles - 1)
+		}
+		b.rcv = pkt
+		b.have = int(pkt.Count)
+		b.pos = 0
+	}
+	bits := b.rcv.Elem(b.pos, b.dt)
+	b.pos++
+	b.have--
+	return bits
+}
+
+// BcastChannel is a broadcast channel (SMI_Open_bcast_channel /
+// SMI_Bcast). The root streams count elements; every other member of the
+// communicator receives them.
+type BcastChannel struct {
+	b     *collectiveBase
+	count int
+	used  int
+}
+
+// OpenBcastChannel opens a broadcast channel for count elements of type
+// dt on the given port. root is relative to comm and may be chosen at
+// run time: both root and non-root hardware exist at every rank.
+func (x *Ctx) OpenBcastChannel(count int, dt Datatype, port, root int, comm Comm) (*BcastChannel, error) {
+	b, err := x.openCollective(Bcast, count, dt, port, root, comm)
+	if err != nil {
+		return nil, err
+	}
+	return &BcastChannel{b: b, count: count}, nil
+}
+
+// Root reports whether this rank is the broadcast root.
+func (ch *BcastChannel) Root() bool { return ch.b.isRoot }
+
+// Bcast participates in the broadcast for one element: the root pushes
+// bits toward the other ranks (and gets them back unchanged); non-root
+// ranks ignore bits and return the received element.
+func (ch *BcastChannel) Bcast(bits uint64) uint64 {
+	if ch.used >= ch.count {
+		panic(fmt.Sprintf("smi: Bcast beyond message size %d on port %d", ch.count, ch.b.port))
+	}
+	ch.used++
+	var out uint64
+	if ch.b.isRoot {
+		ch.b.pushElem(bits, ch.used == ch.count)
+		out = bits
+	} else {
+		out = ch.b.popElem()
+	}
+	if ch.used == ch.count {
+		ch.b.close()
+	}
+	return out
+}
+
+// BcastFloat broadcasts one float32 element.
+func (ch *BcastChannel) BcastFloat(v float32) float32 {
+	return packet.BitsFloat(ch.Bcast(packet.FloatBits(v)))
+}
+
+// BcastInt broadcasts one int32 element.
+func (ch *BcastChannel) BcastInt(v int32) int32 {
+	return packet.BitsInt(ch.Bcast(packet.IntBits(v)))
+}
+
+// ReduceChannel is a reduction channel (SMI_Open_reduce_channel /
+// SMI_Reduce). Every member contributes count elements; the reduced
+// result is produced at the root.
+type ReduceChannel struct {
+	b     *collectiveBase
+	count int
+	sent  int
+}
+
+// OpenReduceChannel opens a reduce channel for count elements of type dt
+// with the declared reduction operation of the port. op must match the
+// port's declared operation (the combinational logic is fixed hardware).
+func (x *Ctx) OpenReduceChannel(count int, dt Datatype, op Op, port, root int, comm Comm) (*ReduceChannel, error) {
+	ep, ok := x.c.ranks[x.rank].eps[port]
+	if ok && ep.spec.Kind == Reduce && ep.spec.ReduceOp != op {
+		return nil, fmt.Errorf("smi: port %d implements %v, not %v", port, ep.spec.ReduceOp, op)
+	}
+	b, err := x.openCollective(Reduce, count, dt, port, root, comm)
+	if err != nil {
+		return nil, err
+	}
+	return &ReduceChannel{b: b, count: count}, nil
+}
+
+// Root reports whether this rank is the reduction root.
+func (ch *ReduceChannel) Root() bool { return ch.b.isRoot }
+
+// Reduce contributes one element; at the root it returns the fully
+// reduced element (ok=true), elsewhere ok=false. Elements are reduced in
+// order: the i-th result combines the i-th contribution of every rank.
+func (ch *ReduceChannel) Reduce(bits uint64) (result uint64, ok bool) {
+	if ch.sent >= ch.count {
+		panic(fmt.Sprintf("smi: Reduce beyond message size %d on port %d", ch.count, ch.b.port))
+	}
+	ch.sent++
+	// At the root every element flushes immediately: SMI_Reduce pushes a
+	// contribution and pops the result of the same element in one call,
+	// so the contribution must reach the support kernel (a local-only
+	// hop) before the pop. Non-root contributions pack normally.
+	ch.b.pushElem(bits, ch.b.isRoot || ch.sent == ch.count)
+	if ch.b.isRoot {
+		result, ok = ch.b.popElemPaired(), true
+	}
+	if ch.sent == ch.count {
+		ch.b.close()
+	}
+	return result, ok
+}
+
+// ReduceFloat contributes one float32 element.
+func (ch *ReduceChannel) ReduceFloat(v float32) (float32, bool) {
+	bits, ok := ch.Reduce(packet.FloatBits(v))
+	return packet.BitsFloat(bits), ok
+}
+
+// ReduceInt contributes one int32 element.
+func (ch *ReduceChannel) ReduceInt(v int32) (int32, bool) {
+	bits, ok := ch.Reduce(packet.IntBits(v))
+	return packet.BitsInt(bits), ok
+}
+
+// ScatterChannel distributes count elements to each member of the
+// communicator from the root (SMI-style streaming Scatter). The root
+// pushes comm.Size()*count elements in member-rank order; every member
+// (including the root) pops its count-element chunk.
+type ScatterChannel struct {
+	b     *collectiveBase
+	count int // per-member chunk size
+	sent  int
+	rcvd  int
+	local []uint64 // root's own chunk, kept application-local
+	lpos  int
+}
+
+// OpenScatterChannel opens a scatter channel with a per-member chunk of
+// count elements of type dt.
+func (x *Ctx) OpenScatterChannel(count int, dt Datatype, port, root int, comm Comm) (*ScatterChannel, error) {
+	b, err := x.openCollective(Scatter, count, dt, port, root, comm)
+	if err != nil {
+		return nil, err
+	}
+	return &ScatterChannel{b: b, count: count}, nil
+}
+
+// Root reports whether this rank is the scatter root.
+func (ch *ScatterChannel) Root() bool { return ch.b.isRoot }
+
+// Push streams the next element of the root's send buffer (member-rank
+// order, comm.Size()*count elements total). Only the root may push.
+func (ch *ScatterChannel) Push(bits uint64) {
+	if !ch.b.isRoot {
+		panic(fmt.Sprintf("smi: Scatter push on non-root rank %d", ch.b.x.rank))
+	}
+	total := ch.count * ch.b.comm.size
+	if ch.sent >= total {
+		panic(fmt.Sprintf("smi: Scatter push beyond %d elements on port %d", total, ch.b.port))
+	}
+	member := ch.sent / ch.count
+	if ch.b.comm.Global(member) == ch.b.x.rank {
+		// The root's own chunk stays local; it never crosses the
+		// support kernel (one cycle of datapath time still passes).
+		ch.local = append(ch.local, bits)
+		ch.b.x.proc.Tick()
+	} else {
+		chunkEnd := (ch.sent+1)%ch.count == 0
+		ch.b.pushElem(bits, chunkEnd)
+	}
+	ch.sent++
+	ch.maybeClose()
+}
+
+// Pop returns the next element of this rank's chunk.
+func (ch *ScatterChannel) Pop() uint64 {
+	if ch.rcvd >= ch.count {
+		panic(fmt.Sprintf("smi: Scatter pop beyond chunk size %d on port %d", ch.count, ch.b.port))
+	}
+	ch.rcvd++
+	var bits uint64
+	if ch.b.isRoot {
+		if ch.lpos >= len(ch.local) {
+			panic("smi: Scatter root must push its own chunk before popping it")
+		}
+		bits = ch.local[ch.lpos]
+		ch.lpos++
+		ch.b.x.proc.Tick()
+	} else {
+		bits = ch.b.popElem()
+	}
+	ch.maybeClose()
+	return bits
+}
+
+func (ch *ScatterChannel) maybeClose() {
+	done := ch.rcvd == ch.count
+	if ch.b.isRoot {
+		done = done && ch.sent == ch.count*ch.b.comm.size
+	}
+	if done {
+		ch.b.close()
+	}
+}
+
+// GatherChannel collects count elements from each member at the root.
+// Every member (including the root) pushes count elements; the root pops
+// comm.Size()*count elements in member-rank order.
+type GatherChannel struct {
+	b     *collectiveBase
+	count int
+	sent  int
+	rcvd  int
+	local []uint64 // root's own contribution, kept application-local
+	lpos  int
+}
+
+// OpenGatherChannel opens a gather channel with a per-member
+// contribution of count elements of type dt.
+func (x *Ctx) OpenGatherChannel(count int, dt Datatype, port, root int, comm Comm) (*GatherChannel, error) {
+	b, err := x.openCollective(Gather, count, dt, port, root, comm)
+	if err != nil {
+		return nil, err
+	}
+	return &GatherChannel{b: b, count: count}, nil
+}
+
+// Root reports whether this rank is the gather root.
+func (ch *GatherChannel) Root() bool { return ch.b.isRoot }
+
+// Push streams the next element of this rank's contribution.
+func (ch *GatherChannel) Push(bits uint64) {
+	if ch.sent >= ch.count {
+		panic(fmt.Sprintf("smi: Gather push beyond contribution size %d on port %d", ch.count, ch.b.port))
+	}
+	ch.sent++
+	if ch.b.isRoot {
+		ch.local = append(ch.local, bits)
+		ch.b.x.proc.Tick()
+	} else {
+		ch.b.pushElem(bits, ch.sent == ch.count)
+	}
+	ch.maybeClose()
+}
+
+// Pop returns the next gathered element at the root (member-rank order).
+func (ch *GatherChannel) Pop() uint64 {
+	if !ch.b.isRoot {
+		panic(fmt.Sprintf("smi: Gather pop on non-root rank %d", ch.b.x.rank))
+	}
+	total := ch.count * ch.b.comm.size
+	if ch.rcvd >= total {
+		panic(fmt.Sprintf("smi: Gather pop beyond %d elements on port %d", total, ch.b.port))
+	}
+	member := ch.rcvd / ch.count
+	ch.rcvd++
+	var bits uint64
+	if ch.b.comm.Global(member) == ch.b.x.rank {
+		if ch.lpos >= len(ch.local) {
+			panic("smi: Gather root must push its contribution before popping it")
+		}
+		bits = ch.local[ch.lpos]
+		ch.lpos++
+		ch.b.x.proc.Tick()
+	} else {
+		bits = ch.b.popElem()
+	}
+	ch.maybeClose()
+	return bits
+}
+
+func (ch *GatherChannel) maybeClose() {
+	done := ch.sent == ch.count
+	if ch.b.isRoot {
+		done = done && ch.rcvd == ch.count*ch.b.comm.size
+	}
+	if done {
+		ch.b.close()
+	}
+}

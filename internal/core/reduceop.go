@@ -1,0 +1,56 @@
+package smi
+
+import (
+	"fmt"
+
+	"repro/internal/packet"
+)
+
+// reduceBits applies the reduction op element-wise on two raw bit
+// patterns of the given datatype. This is the combinational logic the
+// Reduce support kernel instantiates (6 DSPs for FP32 SUM in Table 2).
+func reduceBits(dt Datatype, op Op, a, b uint64) uint64 {
+	switch dt {
+	case Int:
+		x, y := packet.BitsInt(a), packet.BitsInt(b)
+		return packet.IntBits(combine(op, x, y))
+	case Float:
+		x, y := packet.BitsFloat(a), packet.BitsFloat(b)
+		return packet.FloatBits(combine(op, x, y))
+	case Double:
+		x, y := packet.BitsDouble(a), packet.BitsDouble(b)
+		return packet.DoubleBits(combine(op, x, y))
+	case Short:
+		x, y := packet.BitsShort(a), packet.BitsShort(b)
+		return packet.ShortBits(combine(op, x, y))
+	case Char:
+		x, y := byte(a), byte(b)
+		return uint64(combine(op, x, y))
+	default:
+		panic(fmt.Sprintf("smi: reduce on invalid datatype %v", dt))
+	}
+}
+
+// number covers every element type a reduction can combine.
+type number interface {
+	~int16 | ~int32 | ~byte | ~float32 | ~float64
+}
+
+func combine[T number](op Op, a, b T) T {
+	switch op {
+	case Add:
+		return a + b
+	case Max:
+		if a > b {
+			return a
+		}
+		return b
+	case Min:
+		if a < b {
+			return a
+		}
+		return b
+	default:
+		panic(fmt.Sprintf("smi: invalid reduce op %v", op))
+	}
+}

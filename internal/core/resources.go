@@ -1,0 +1,51 @@
+package smi
+
+import (
+	"repro/internal/resources"
+)
+
+// RankResources is the estimated FPGA resource footprint of the SMI
+// infrastructure on one rank, split as in the paper's Tables 1 and 2.
+type RankResources struct {
+	// Interconnect covers the FIFOs between applications, communication
+	// kernels, and network ports (Table 1 row "Interconn.").
+	Interconnect resources.Usage
+	// Kernels covers the CKS/CKR communication kernels (Table 1 row
+	// "C. K.").
+	Kernels resources.Usage
+	// Supports covers the collective support kernels (Table 2).
+	Supports resources.Usage
+}
+
+// Total returns the combined usage.
+func (r RankResources) Total() resources.Usage {
+	return r.Interconnect.Add(r.Kernels).Add(r.Supports)
+}
+
+// RankResources estimates the SMI resource footprint at the given rank
+// from the hardware the cluster builder actually instantiated.
+func (c *Cluster) RankResources(rank int) RankResources {
+	rs := c.ranks[rank]
+	appFifos := 0
+	var sup resources.Usage
+	for _, ep := range rs.eps {
+		switch ep.spec.Kind {
+		case P2P:
+			appFifos += 2 // app send + app recv
+		default:
+			appFifos += 4 // app pair + support kernel's CK-side pair
+		}
+		switch ep.spec.Kind {
+		case Bcast:
+			sup = sup.Add(resources.BcastSupport())
+		case Reduce:
+			sup = sup.Add(resources.ReduceSupport(ep.spec.Type))
+		case Scatter:
+			sup = sup.Add(resources.ScatterSupport())
+		case Gather:
+			sup = sup.Add(resources.GatherSupport())
+		}
+	}
+	inter, ck := resources.Transport(rs.dev.Shape(), appFifos)
+	return RankResources{Interconnect: inter, Kernels: ck, Supports: sup}
+}

@@ -1,0 +1,42 @@
+package smi
+
+// binomialTree computes a node's parent and children in the binomial
+// tree the tree-based collectives use (the "tree-based schema for Bcast
+// and Reduce" the paper names as the natural extension of its linear
+// support kernels, §4.4).
+//
+// Ranks are communicator-relative; the tree is rooted at rootRel by
+// virtually renumbering ranks so the root is 0. In virtual numbering,
+// node v's parent clears v's lowest set bit, and its children are
+// v + 2^j for every 2^j below that bit (all powers of two for the
+// root). The returned parent is -1 for the root.
+func binomialTree(size, rootRel, selfRel int) (parentRel int, childrenRel []int) {
+	v := (selfRel - rootRel + size) % size
+	unvirtual := func(u int) int { return (u + rootRel) % size }
+
+	if v == 0 {
+		parentRel = -1
+	} else {
+		parentRel = unvirtual(v & (v - 1))
+	}
+	// Highest child step: for the root, every power of two below size;
+	// otherwise every power of two below the lowest set bit of v.
+	limit := v & (-v)
+	if v == 0 {
+		limit = size // all powers of two below size
+	}
+	for step := 1; step < limit && v+step < size; step <<= 1 {
+		childrenRel = append(childrenRel, unvirtual(v+step))
+	}
+	return parentRel, childrenRel
+}
+
+// treeDepth returns the depth of the binomial tree over size nodes
+// (the number of sequential hops from the root to the deepest leaf).
+func treeDepth(size int) int {
+	d := 0
+	for 1<<d < size {
+		d++
+	}
+	return d
+}

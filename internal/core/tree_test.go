@@ -1,0 +1,291 @@
+package smi
+
+import (
+	"fmt"
+	"testing"
+	"testing/quick"
+)
+
+func TestBinomialTreeStructure(t *testing.T) {
+	// Classic binomial tree over 8 nodes rooted at 0:
+	// 0 -> {1,2,4}, 2 -> {3}, 4 -> {5,6}, 6 -> {7}.
+	cases := []struct {
+		self     int
+		parent   int
+		children []int
+	}{
+		{0, -1, []int{1, 2, 4}},
+		{1, 0, nil},
+		{2, 0, []int{3}},
+		{3, 2, nil},
+		{4, 0, []int{5, 6}},
+		{5, 4, nil},
+		{6, 4, []int{7}},
+		{7, 6, nil},
+	}
+	for _, c := range cases {
+		p, ch := binomialTree(8, 0, c.self)
+		if p != c.parent {
+			t.Errorf("node %d parent = %d, want %d", c.self, p, c.parent)
+		}
+		if fmt.Sprint(ch) != fmt.Sprint(c.children) {
+			t.Errorf("node %d children = %v, want %v", c.self, ch, c.children)
+		}
+	}
+}
+
+// Property: for any size and root, the binomial tree is a spanning tree:
+// every non-root node has exactly one parent, parents agree with child
+// lists, and walking up always terminates at the root.
+func TestBinomialTreeSpanningQuick(t *testing.T) {
+	prop := func(sizeRaw, rootRaw uint8) bool {
+		size := int(sizeRaw%16) + 1
+		root := int(rootRaw) % size
+		childCount := 0
+		for v := 0; v < size; v++ {
+			p, children := binomialTree(size, root, v)
+			childCount += len(children)
+			for _, c := range children {
+				cp, _ := binomialTree(size, root, c)
+				if cp != v {
+					return false
+				}
+			}
+			if v == root {
+				if p != -1 {
+					return false
+				}
+				continue
+			}
+			// Walk up to the root in at most depth steps.
+			cur, steps := v, 0
+			for cur != root {
+				cur, _ = binomialTree(size, root, cur)
+				if cur < 0 || steps > treeDepth(size)+1 {
+					return false
+				}
+				steps++
+			}
+		}
+		return childCount == size-1
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTreeDepth(t *testing.T) {
+	for size, want := range map[int]int{1: 0, 2: 1, 3: 2, 4: 2, 8: 3, 9: 4, 16: 4} {
+		if got := treeDepth(size); got != want {
+			t.Errorf("treeDepth(%d) = %d, want %d", size, got, want)
+		}
+	}
+}
+
+func TestTreeBcastCorrectness(t *testing.T) {
+	for _, ranks := range []int{2, 5, 8} {
+		for _, root := range []int{0, ranks - 1} {
+			ranks, root := ranks, root
+			t.Run(fmt.Sprintf("ranks=%d root=%d", ranks, root), func(t *testing.T) {
+				const n = 60
+				c := busCluster(t, ranks, PortSpec{Port: 0, Kind: Bcast, Type: Float, Tree: true})
+				c.SPMD("tbcast", func(x *Ctx) {
+					ch, err := x.OpenBcastChannel(n, Float, 0, root, x.CommWorld())
+					if err != nil {
+						t.Error(err)
+						return
+					}
+					for i := 0; i < n; i++ {
+						v := float32(-1)
+						if ch.Root() {
+							v = float32(i) * 0.25
+						}
+						if got := ch.BcastFloat(v); got != float32(i)*0.25 {
+							t.Errorf("rank %d element %d = %g", x.Rank(), i, got)
+							return
+						}
+					}
+				})
+				if _, err := c.Run(); err != nil {
+					t.Fatal(err)
+				}
+			})
+		}
+	}
+}
+
+func TestTreeReduceCorrectness(t *testing.T) {
+	for _, ranks := range []int{2, 5, 8} {
+		for _, root := range []int{0, 2 % ranks} {
+			ranks, root := ranks, root
+			t.Run(fmt.Sprintf("ranks=%d root=%d", ranks, root), func(t *testing.T) {
+				const n = 500 // several credit tiles with C=128
+				c := busCluster(t, ranks, PortSpec{
+					Port: 0, Kind: Reduce, Type: Float, ReduceOp: Add, Tree: true, CreditElems: 128,
+				})
+				c.SPMD("treduce", func(x *Ctx) {
+					ch, err := x.OpenReduceChannel(n, Float, Add, 0, root, x.CommWorld())
+					if err != nil {
+						t.Error(err)
+						return
+					}
+					for i := 0; i < n; i++ {
+						got, ok := ch.ReduceFloat(float32(x.Rank()*n + i))
+						if ok != (x.Rank() == root) {
+							t.Errorf("rank %d ok=%v", x.Rank(), ok)
+							return
+						}
+						if ok {
+							want := float32(n*(ranks*(ranks-1)/2) + ranks*i)
+							if got != want {
+								t.Errorf("element %d = %g, want %g", i, got, want)
+								return
+							}
+						}
+					}
+				})
+				if _, err := c.Run(); err != nil {
+					t.Fatal(err)
+				}
+			})
+		}
+	}
+}
+
+func TestTreeReduceMaxMin(t *testing.T) {
+	const n, ranks = 50, 6
+	for _, tc := range []struct {
+		op   Op
+		want func(i int) int32
+	}{
+		{Max, func(i int) int32 { return int32((ranks-1)*10 - i) }},
+		{Min, func(i int) int32 { return int32(-i) }},
+	} {
+		tc := tc
+		t.Run(tc.op.String(), func(t *testing.T) {
+			c := busCluster(t, ranks, PortSpec{Port: 0, Kind: Reduce, Type: Int, ReduceOp: tc.op, Tree: true})
+			c.SPMD("treduce", func(x *Ctx) {
+				ch, err := x.OpenReduceChannel(n, Int, tc.op, 0, 1, x.CommWorld())
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				for i := 0; i < n; i++ {
+					got, ok := ch.ReduceInt(int32(x.Rank()*10 - i))
+					if ok && got != tc.want(i) {
+						t.Errorf("element %d = %d, want %d", i, got, tc.want(i))
+						return
+					}
+				}
+			})
+			if _, err := c.Run(); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+func TestTreeCollectivesRepeatedRounds(t *testing.T) {
+	const n, rounds = 40, 3
+	c := busCluster(t, 4,
+		PortSpec{Port: 0, Kind: Bcast, Type: Int, Tree: true},
+		PortSpec{Port: 1, Kind: Reduce, Type: Int, ReduceOp: Add, Tree: true},
+	)
+	c.SPMD("rounds", func(x *Ctx) {
+		for r := 0; r < rounds; r++ {
+			root := r % x.Size()
+			bc, err := x.OpenBcastChannel(n, Int, 0, root, x.CommWorld())
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			for i := 0; i < n; i++ {
+				if got := bc.BcastInt(int32(root + i)); got != int32(root+i) {
+					t.Errorf("round %d rank %d element %d = %d", r, x.Rank(), i, got)
+					return
+				}
+			}
+			rc, err := x.OpenReduceChannel(n, Int, Add, 1, root, x.CommWorld())
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			for i := 0; i < n; i++ {
+				got, ok := rc.ReduceInt(int32(i))
+				if ok && got != int32(4*i) {
+					t.Errorf("round %d reduce %d = %d", r, i, got)
+					return
+				}
+			}
+		}
+	})
+	if _, err := c.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTreeSubCommunicator(t *testing.T) {
+	const n = 30
+	c := busCluster(t, 8, PortSpec{Port: 0, Kind: Bcast, Type: Int, Tree: true})
+	c.SPMD("sub", func(x *Ctx) {
+		comm, err := x.CommWorld().Sub(3, 5)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		if !comm.Contains(x.Rank()) {
+			return
+		}
+		ch, err := x.OpenBcastChannel(n, Int, 0, 2, comm) // root = global rank 5
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		for i := 0; i < n; i++ {
+			if got := ch.BcastInt(int32(9 * i)); got != int32(9*i) {
+				t.Errorf("rank %d element %d = %d", x.Rank(), i, got)
+				return
+			}
+		}
+	})
+	if _, err := c.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTreeOnlyForBcastReduce(t *testing.T) {
+	spec := ProgramSpec{Ports: []PortSpec{{Port: 0, Kind: Gather, Type: Int, Tree: true}}}
+	if err := spec.Validate(); err == nil {
+		t.Fatal("tree gather should be rejected")
+	}
+}
+
+// TestTreeBcastFasterAtScale checks the point of the extension: with 8
+// ranks the root's fan-out drops from 7 sequential copies to 3, so a
+// large broadcast completes faster.
+func TestTreeBcastFasterAtScale(t *testing.T) {
+	run := func(tree bool) int64 {
+		const n, ranks = 8192, 8
+		c := busCluster(t, ranks, PortSpec{Port: 0, Kind: Bcast, Type: Float, Tree: tree, BufferElems: 512})
+		c.SPMD("bcast", func(x *Ctx) {
+			ch, err := x.OpenBcastChannel(n, Float, 0, 0, x.CommWorld())
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			for i := 0; i < n; i++ {
+				ch.BcastFloat(float32(i))
+			}
+		})
+		st, err := c.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return st.Cycles
+	}
+	linear := run(false)
+	tree := run(true)
+	if float64(tree) > 0.75*float64(linear) {
+		t.Fatalf("tree bcast (%d cycles) should clearly beat linear (%d cycles)", tree, linear)
+	}
+}

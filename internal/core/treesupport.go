@@ -1,0 +1,300 @@
+package smi
+
+import (
+	"repro/internal/packet"
+)
+
+// Tree-based collective support kernels. The linear schemes of §4.4
+// serialize all traffic at the root; the binomial-tree variants spread
+// the replication (Bcast) and combining (Reduce) over inner nodes, so
+// the per-node fan-out is at most log2(size). The paper names these as
+// the natural evolution of its support kernels ("they can also be
+// exploited to offer different implementations of collectives, such as
+// tree-based schema for Bcast and Reduce"); its reference implementation
+// "does not yet implement tree-based collectives", which is why its
+// Reduce suffers root congestion at scale (§5.3.4).
+//
+// Synchronization follows the same rendezvous discipline as the linear
+// kernels, applied per tree edge:
+//
+//   - Tree Bcast: a node signals readiness to its parent only after all
+//     its children have signaled, so the root's stream never meets an
+//     unready subtree.
+//   - Tree Reduce: each parent manages a C-element tile buffer fed by
+//     its children and its local application, streams fully-combined
+//     elements upward (gated by credits from its own parent), and grants
+//     its children one tile of credit whenever a tile completes.
+
+// setupTree initializes the tree-role state for the current round.
+func (s *supportKernel) setupTree() {
+	rootRel := s.root - s.base
+	selfRel := s.rank - s.base
+	parentRel, childrenRel := binomialTree(s.size, rootRel, selfRel)
+	if parentRel < 0 {
+		s.parentG = -1
+	} else {
+		s.parentG = s.base + parentRel
+	}
+	s.childrenG = s.childrenG[:0]
+	for _, c := range childrenRel {
+		s.childrenG = append(s.childrenG, s.base+c)
+	}
+}
+
+// --- Tree broadcast ---
+
+func (s *supportKernel) tickTBcastSync() bool {
+	if s.drainProtocol() {
+		return true
+	}
+	for _, c := range s.childrenG {
+		if s.syncCount[c] < 1 {
+			return false
+		}
+	}
+	for _, c := range s.childrenG {
+		s.syncCount[c]--
+	}
+	if s.parentG >= 0 {
+		// Tell the parent this whole subtree is ready.
+		if !s.netOut.TryPush(s.protocolPacket(packet.OpSyncReady, s.parentG)) {
+			// Retry next cycle; re-increment so the consume above is not
+			// lost (children counters were already decremented, so hold
+			// the state in a dedicated flag instead).
+			for _, c := range s.childrenG {
+				s.syncCount[c]++
+			}
+			return true
+		}
+		s.state = supTBcastForward
+		s.dupValid = false
+		return true
+	}
+	s.state = supTBcastStream
+	s.dupValid = false
+	return true
+}
+
+// tickTBcastStream replicates root application data to the root's
+// children only (at most log2(size) copies per packet).
+func (s *supportKernel) tickTBcastStream() bool {
+	s.drainProtocol()
+	if !s.dupValid {
+		p, ok := s.appIn.TryPop()
+		if !ok {
+			return false
+		}
+		if p.Op != packet.OpData {
+			s.bad++
+			return true
+		}
+		s.dup = p
+		s.dupValid = true
+		s.dupNext = 0
+	}
+	if s.dupNext >= len(s.childrenG) {
+		s.remaining -= int(s.dup.Count)
+		s.dupValid = false
+		if s.remaining <= 0 {
+			s.state = supIdle
+		}
+		return true
+	}
+	out := s.dup
+	out.Src = uint8(s.rank)
+	out.Dst = uint8(s.childrenG[s.dupNext])
+	if s.netOut.TryPush(out) {
+		s.dupNext++
+	}
+	return true
+}
+
+// tickTBcastForward receives the stream from the parent, delivers it to
+// the local application, and replicates it to the children. dupNext runs
+// from -1 (application delivery pending) through the child list.
+func (s *supportKernel) tickTBcastForward() bool {
+	if !s.dupValid {
+		p, ok := s.popNet()
+		if !ok {
+			return false
+		}
+		if int(p.Src) != s.parentG {
+			s.bad++
+			return true
+		}
+		s.dup = p
+		s.dupValid = true
+		s.dupNext = -1
+	}
+	if s.dupNext == -1 {
+		out := s.dup
+		out.Dst = uint8(s.rank)
+		if !s.appOut.TryPush(out) {
+			return false // blocked on the application
+		}
+		s.dupNext = 0
+		return true
+	}
+	if s.dupNext >= len(s.childrenG) {
+		s.remaining -= int(s.dup.Count)
+		s.dupValid = false
+		if s.remaining <= 0 {
+			s.state = supIdle
+		}
+		return true
+	}
+	out := s.dup
+	out.Src = uint8(s.rank)
+	out.Dst = uint8(s.childrenG[s.dupNext])
+	if s.netOut.TryPush(out) {
+		s.dupNext++
+	}
+	return true
+}
+
+// --- Tree reduce ---
+
+// startTreeReduceTile resets per-tile state. The member position array
+// covers every child plus the local application (last index).
+func (s *supportKernel) startTreeReduceTile() {
+	s.tileElems = s.nextTileSize(s.done)
+	members := len(s.childrenG) + 1
+	if cap(s.pos) < members {
+		s.pos = make([]int, members)
+	}
+	s.pos = s.pos[:members]
+	for i := range s.pos {
+		s.pos[i] = 0
+	}
+	for i := 0; i < s.tileElems; i++ {
+		s.tile[i] = 0
+	}
+	s.flushPos = 0
+	s.creditTo = 0
+}
+
+// treeMemberIndex maps a contribution source to its position slot:
+// children in order, the local application last. Returns -1 for unknown
+// sources.
+func (s *supportKernel) treeMemberIndex(src int) int {
+	for i, c := range s.childrenG {
+		if c == src {
+			return i
+		}
+	}
+	if src == s.rank {
+		return len(s.childrenG)
+	}
+	return -1
+}
+
+// accumulateTree folds a contribution packet into the tile buffer.
+func (s *supportKernel) accumulateTree(p packet.Packet, src int) {
+	mi := s.treeMemberIndex(src)
+	if mi < 0 {
+		s.bad++
+		return
+	}
+	n := int(p.Count)
+	if s.pos[mi]+n > s.tileElems {
+		s.bad++
+		n = s.tileElems - s.pos[mi]
+	}
+	for i := 0; i < n; i++ {
+		idx := s.pos[mi] + i
+		v := p.Elem(i, s.spec.Type)
+		if s.firstContribution(mi, idx) {
+			s.tile[idx] = v
+		} else {
+			s.tile[idx] = reduceBits(s.spec.Type, s.spec.ReduceOp, s.tile[idx], v)
+		}
+	}
+	s.pos[mi] += n
+}
+
+// tickTReduceCollect is the single state every tree-reduce node runs:
+// leaves (no children) degenerate to credit-gated upward streaming of
+// the local contribution; the root (no parent) flushes to the
+// application and grants credits; inner nodes do both.
+func (s *supportKernel) tickTReduceCollect() bool {
+	active := false
+
+	// Convert parent credits into upward allowance.
+	if s.credits > 0 {
+		s.credits--
+		s.upGranted += s.nextTileSize(s.upGranted)
+		active = true
+	}
+
+	// Stream fully-combined elements toward the parent (or the local
+	// application at the root).
+	if n := s.flushAvail(); n > 0 {
+		if s.parentG < 0 {
+			active = s.flushResults(n) || active
+		} else {
+			sent := s.done + s.flushPos
+			allow := s.upGranted - sent
+			if allow > 0 {
+				if n > allow {
+					n = allow
+				}
+				if n > s.epp {
+					n = s.epp
+				}
+				out := packet.Packet{
+					Src: uint8(s.rank), Dst: uint8(s.parentG), Port: uint8(s.spec.Port),
+					Op: packet.OpData, Count: uint8(n),
+				}
+				for i := 0; i < n; i++ {
+					out.PutElem(i, s.spec.Type, s.tile[s.flushPos+i])
+				}
+				if s.netOut.TryPush(out) {
+					s.flushPos += n
+					active = true
+				}
+			}
+		}
+	} else if s.flushPos >= s.tileElems && s.tileElems > 0 {
+		// Tile complete: grant the children their next tile.
+		s.done += s.tileElems
+		if s.done >= s.count {
+			s.state = supIdle
+			return true
+		}
+		s.creditTo = 0
+		s.state = supTReduceCredit
+		return true
+	}
+
+	// Ingest one packet from the children and one from the local
+	// application (independent hardware ports), staying within the tile.
+	if p, ok := s.popNet(); ok {
+		s.accumulateTree(p, int(p.Src))
+		active = true
+	}
+	self := len(s.childrenG)
+	if s.pos[self] < s.tileElems {
+		if p, ok := s.appIn.TryPop(); ok {
+			if p.Op != packet.OpData {
+				s.bad++
+				return true
+			}
+			s.accumulateTree(p, s.rank)
+			active = true
+		}
+	}
+	return active
+}
+
+func (s *supportKernel) tickTReduceCredit() bool {
+	s.drainProtocol()
+	if s.creditTo >= len(s.childrenG) {
+		s.startTreeReduceTile()
+		s.state = supTReduceCollect
+		return true
+	}
+	if s.netOut.TryPush(s.protocolPacket(packet.OpCredit, s.childrenG[s.creditTo])) {
+		s.creditTo++
+	}
+	return true
+}

@@ -1,0 +1,242 @@
+package smi
+
+import (
+	"fmt"
+
+	"repro/internal/packet"
+)
+
+// Datatype is an SMI element type. The constants mirror the paper's
+// SMI_INT, SMI_FLOAT, SMI_DOUBLE, SMI_CHAR and SMI_SHORT.
+type Datatype = packet.Datatype
+
+// Element datatypes.
+const (
+	Char   = packet.Char
+	Short  = packet.Short
+	Int    = packet.Int
+	Float  = packet.Float
+	Double = packet.Double
+)
+
+// Op is a reduction operation (SMI_ADD, SMI_MAX, SMI_MIN).
+type Op uint8
+
+// Reduction operations.
+const (
+	Add Op = iota
+	Max
+	Min
+
+	numOps
+)
+
+func (o Op) String() string {
+	switch o {
+	case Add:
+		return "SMI_ADD"
+	case Max:
+		return "SMI_MAX"
+	case Min:
+		return "SMI_MIN"
+	default:
+		return fmt.Sprintf("Op(%d)", uint8(o))
+	}
+}
+
+// PortKind declares what kind of communication endpoint a port
+// implements. Each collective operation "implies a distinct channel
+// type, open channel operation, and communication primitive" (§3.2), and
+// the hardware instantiated for a port depends on its kind.
+type PortKind uint8
+
+// Port kinds.
+const (
+	P2P PortKind = iota
+	Bcast
+	Reduce
+	Scatter
+	Gather
+
+	numPortKinds
+)
+
+func (k PortKind) String() string {
+	switch k {
+	case P2P:
+		return "p2p"
+	case Bcast:
+		return "bcast"
+	case Reduce:
+		return "reduce"
+	case Scatter:
+		return "scatter"
+	case Gather:
+		return "gather"
+	default:
+		return fmt.Sprintf("PortKind(%d)", uint8(k))
+	}
+}
+
+// PortSpec declares one communication endpoint. Ports must be known when
+// the cluster is built — the analog of the paper's requirement that "all
+// ports must be known at compile time" so the code generator can lay
+// down the FIFOs and support kernels connecting endpoints to the
+// transport layer.
+type PortSpec struct {
+	// Port is the endpoint identifier, unique within the program.
+	Port int
+	// Kind selects the endpoint hardware (default P2P).
+	Kind PortKind
+	// Type is the element datatype the endpoint hardware is specialized
+	// for (default Int). Channels opened on the port must match it.
+	Type Datatype
+	// ReduceOp is the reduction operation (Reduce ports only).
+	ReduceOp Op
+	// BufferElems is the endpoint FIFO capacity in elements — the
+	// channel's asynchronicity degree k (§3.3): the sender may run ahead
+	// of the receiver by up to k elements. Defaults to 64.
+	BufferElems int
+	// VecWidth is the datapath width of the attached application kernel
+	// in elements per cycle (vectorized HLS kernels push/pop several
+	// elements per clock). Defaults to 1.
+	VecWidth int
+	// CreditElems is the Reduce flow-control tile size C (§4.4): the
+	// root holds an accumulation buffer of C elements and grants senders
+	// one tile of credits at a time. Rounded up to a whole number of
+	// packets. Defaults to 256. Reduce ports only.
+	CreditElems int
+	// Tree selects binomial-tree support kernels for Bcast and Reduce
+	// ports instead of the paper's linear scheme: replication and
+	// combining spread over inner nodes, bounding per-node fan-out by
+	// log2 of the communicator size. (The paper names tree schemes as
+	// the natural extension its reference implementation lacks.)
+	Tree bool
+	// Circuit selects circuit switching for this point-to-point port
+	// (§4.2's alternative to the reference implementation's packet
+	// switching): each message first transmits a single packet with all
+	// meta-information, then a sequence of headerless payload packets
+	// using the full 32-byte wire word. This raises payload efficiency
+	// from 28/32 to 32/32 of the wire, but every communication kernel on
+	// the path locks onto the message until it completes, stalling other
+	// channels that share those kernels.
+	Circuit bool
+	// Credited selects the credit-based point-to-point flow control of
+	// §3.3 for this port: the paper prescribes it when the buffer size
+	// is smaller than the message size, "to guarantee that the
+	// communication occurring on a transient channel will not block the
+	// transmission of other streaming messages". The receiver grants the
+	// sender BufferElems of initial credit and tops it up as it drains,
+	// so the sender never commits more data than the receiver can
+	// buffer, keeping long messages out of the shared transport.
+	// Credited ports are half-duplex: while a credited channel is open,
+	// the opposite direction of the same port carries its credits.
+	// The default (eager, §3.3) relies on buffering and backpressure.
+	Credited bool
+	// Iface pins the endpoint to a specific CKS/CKR pair when PinIface
+	// is set; otherwise ports are assigned round-robin across pairs.
+	Iface    int
+	PinIface bool
+}
+
+func (s *PortSpec) fill(index, ifaces int) {
+	if s.Type == packet.Invalid {
+		s.Type = Int
+	}
+	if s.BufferElems <= 0 {
+		s.BufferElems = 64
+	}
+	if s.VecWidth <= 0 {
+		s.VecWidth = 1
+	}
+	epp := s.Type.ElemsPerPacket()
+	if s.CreditElems <= 0 {
+		s.CreditElems = 256
+	}
+	// Round the credit tile up to whole packets so tile boundaries align
+	// with packet boundaries.
+	if rem := s.CreditElems % epp; rem != 0 {
+		s.CreditElems += epp - rem
+	}
+	if !s.PinIface || s.Iface < 0 || s.Iface >= ifaces {
+		s.Iface = index % ifaces
+	}
+}
+
+// ProgramSpec is the set of SMI operations a program uses: the input the
+// paper's metadata extractor produces and its code generator consumes.
+type ProgramSpec struct {
+	Ports []PortSpec
+}
+
+// Validate checks the program for well-formedness.
+func (p *ProgramSpec) Validate() error {
+	if len(p.Ports) == 0 {
+		return fmt.Errorf("smi: program declares no ports")
+	}
+	seen := make(map[int]bool)
+	for _, s := range p.Ports {
+		if s.Port < 0 || s.Port >= packet.MaxPorts {
+			return fmt.Errorf("smi: port %d out of range [0,%d)", s.Port, packet.MaxPorts)
+		}
+		if seen[s.Port] {
+			return fmt.Errorf("smi: port %d declared twice", s.Port)
+		}
+		seen[s.Port] = true
+		if s.Kind >= numPortKinds {
+			return fmt.Errorf("smi: port %d has invalid kind %d", s.Port, s.Kind)
+		}
+		if s.Type != 0 && !s.Type.Valid() {
+			return fmt.Errorf("smi: port %d has invalid datatype %d", s.Port, s.Type)
+		}
+		if s.Kind == Reduce && s.ReduceOp >= numOps {
+			return fmt.Errorf("smi: port %d has invalid reduce op %d", s.Port, s.ReduceOp)
+		}
+		if s.Tree && s.Kind != Bcast && s.Kind != Reduce {
+			return fmt.Errorf("smi: port %d: tree support kernels exist only for bcast and reduce", s.Port)
+		}
+		if s.Circuit && s.Kind != P2P {
+			return fmt.Errorf("smi: port %d: circuit switching applies to point-to-point ports only", s.Port)
+		}
+		if s.Circuit && s.Credited {
+			return fmt.Errorf("smi: port %d: circuit switching and credit-based flow control are mutually exclusive", s.Port)
+		}
+	}
+	return nil
+}
+
+// Comm is a communicator: a contiguous group of global ranks.
+// Communicators "can be established at runtime, and allow communication
+// to be further organized into logical groups" (§3.1.1). Rank arguments
+// to channel-open calls are relative to the communicator.
+type Comm struct {
+	base int
+	size int
+}
+
+// Size returns the number of ranks in the communicator.
+func (c Comm) Size() int { return c.size }
+
+// Base returns the first global rank of the communicator.
+func (c Comm) Base() int { return c.base }
+
+// Global translates a communicator-relative rank to a global rank.
+func (c Comm) Global(rank int) int { return c.base + rank }
+
+// Contains reports whether the global rank belongs to the communicator.
+func (c Comm) Contains(global int) bool {
+	return global >= c.base && global < c.base+c.size
+}
+
+// Sub returns a sub-communicator of the given size starting at the given
+// communicator-relative base rank.
+func (c Comm) Sub(base, size int) (Comm, error) {
+	if base < 0 || size <= 0 || base+size > c.size {
+		return Comm{}, fmt.Errorf("smi: sub-communicator [%d,%d) outside parent of size %d", base, base+size, c.size)
+	}
+	return Comm{base: c.base + base, size: size}, nil
+}
+
+func (c Comm) String() string {
+	return fmt.Sprintf("comm[%d..%d)", c.base, c.base+c.size)
+}

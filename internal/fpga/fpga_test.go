@@ -1,0 +1,65 @@
+package fpga
+
+import "testing"
+
+func TestNallatech520N(t *testing.T) {
+	b := Nallatech520N()
+	if b.Ifaces != 4 || b.MemBanks != 4 {
+		t.Fatalf("520N has 4 QSFPs and 4 banks, got %d/%d", b.Ifaces, b.MemBanks)
+	}
+	// One bank streams 16 float32 elements per cycle (Fig 15's "16
+	// elements per cycle from a single DDR bank").
+	if got := b.ElemsPerCycle(4, 1); got != 16 {
+		t.Fatalf("1-bank float rate = %d elems/cycle, want 16", got)
+	}
+	if got := b.ElemsPerCycle(4, 4); got != 64 {
+		t.Fatalf("4-bank float rate = %d elems/cycle, want 64", got)
+	}
+}
+
+func TestStreamCycles(t *testing.T) {
+	b := Nallatech520N()
+	if got := b.StreamCycles(64, 1); got != 1 {
+		t.Fatalf("one bank-width transfer = %d cycles, want 1", got)
+	}
+	if got := b.StreamCycles(65, 1); got != 2 {
+		t.Fatalf("rounding up failed: %d", got)
+	}
+	if got := b.StreamCycles(1<<20, 4); got != (1<<20)/256 {
+		t.Fatalf("4-bank 1MiB = %d cycles", got)
+	}
+	// More banks strictly help.
+	if b.StreamCycles(1<<20, 4) >= b.StreamCycles(1<<20, 1) {
+		t.Fatal("more banks should reduce stream time")
+	}
+}
+
+func TestInvalidBankCountsPanic(t *testing.T) {
+	b := Nallatech520N()
+	for _, banks := range []int{0, -1, 5} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("banks=%d should panic", banks)
+				}
+			}()
+			b.StreamCycles(100, banks)
+		}()
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("ElemsPerCycle banks=%d should panic", banks)
+				}
+			}()
+			b.ElemsPerCycle(4, banks)
+		}()
+	}
+}
+
+func TestElemsPerCycleMinimumOne(t *testing.T) {
+	// Even exotic element sizes never stall the pipeline completely.
+	b := Board{Name: "tiny", Ifaces: 1, MemBanks: 1, BankBytesPerCycle: 4}
+	if got := b.ElemsPerCycle(8, 1); got != 1 {
+		t.Fatalf("rate floor = %d, want 1", got)
+	}
+}

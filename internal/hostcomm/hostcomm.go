@@ -1,0 +1,196 @@
+// Package hostcomm models the host-based communication baseline the
+// paper compares SMI against: "the application writes the message into
+// off-chip DRAM on the device, transfers it across PCIe to the host,
+// sends it to the remote host using an MPI_Send primitive. On the
+// receiving host, symmetric operations are performed" (§5.3.1).
+//
+// The model is a store-and-forward pipeline of stages, each with a
+// bandwidth and a latency, plus fixed OpenCL enqueue overheads and the
+// MPI eager/rendezvous protocol switch. Its parameters are calibrated to
+// the paper's measured baseline: ≈36.6 µs ping-pong latency (Table 3)
+// and roughly one third of SMI's bandwidth for large messages despite
+// the faster host interconnect (Fig 9) — the cost of "the long sequence
+// of copies through local device memory, local PCIe, host network,
+// remote PCIe, and remote device memory".
+//
+// Host collectives are modeled after the paper's measured baseline
+// curves, which grow linearly in both message size and rank count: the
+// root serializes its sends/receives (Figs 10-11). See BcastUs and
+// ReduceUs for details.
+package hostcomm
+
+import "math"
+
+// Params describe the host communication path of one cluster node.
+type Params struct {
+	// OpenCLOverheadUs is the fixed cost of one OpenCL transfer
+	// enqueue + completion (host-device synchronization).
+	OpenCLOverheadUs float64
+	// DevDRAMGBs is the device DRAM streaming bandwidth used by the
+	// buffer copies on the FPGA board.
+	DevDRAMGBs float64
+	// DevDRAMLatUs is the device DRAM access latency.
+	DevDRAMLatUs float64
+	// PCIeGBs / PCIeLatUs describe one PCIe direction.
+	PCIeGBs   float64
+	PCIeLatUs float64
+	// HostMemGBs is the host staging-buffer copy bandwidth (MPI packs
+	// and unpacks through host memory).
+	HostMemGBs float64
+	// NetGBs / NetLatUs describe the host network (Omni-Path,
+	// 100 Gbit/s on the Noctua cluster).
+	NetGBs   float64
+	NetLatUs float64
+	// EagerLimit is the MPI eager/rendezvous protocol threshold in
+	// bytes; rendezvous adds one network round trip.
+	EagerLimit int64
+	// ReduceGBs is the host-side bandwidth of the element-wise reduction
+	// loop (memory-bound vector op).
+	ReduceGBs float64
+}
+
+// Default returns parameters calibrated to the paper's testbed (Noctua:
+// Nallatech 520N over PCIe gen3 x8, Intel Omni-Path 100 Gbit/s,
+// OpenMPI 3.1).
+func Default() Params {
+	return Params{
+		OpenCLOverheadUs: 15.4,
+		DevDRAMGBs:       19.2,
+		DevDRAMLatUs:     0.2,
+		PCIeGBs:          8.0,
+		PCIeLatUs:        0.9,
+		HostMemGBs:       8.0,
+		NetGBs:           12.5, // 100 Gbit/s
+		NetLatUs:         1.5,
+		EagerLimit:       64 << 10,
+		ReduceGBs:        8.0,
+	}
+}
+
+// stage is one hop of the store-and-forward path.
+type stage struct {
+	gbs   float64
+	latUs float64
+}
+
+// transferUs returns the store-and-forward time of bytes through the
+// stages: every stage fully receives the message before the next starts
+// (the un-pipelined host path the baseline actually takes).
+func transferUs(stages []stage, bytes int64) float64 {
+	t := 0.0
+	for _, s := range stages {
+		t += s.latUs + float64(bytes)/(s.gbs*1e3) // GB/s = B/ns = 1e3 B/us
+	}
+	return t
+}
+
+// devicePath returns the stages from FPGA memory to the local host
+// (or back): device DRAM read/write plus one PCIe crossing.
+func (p Params) devicePath() []stage {
+	return []stage{
+		{p.DevDRAMGBs, p.DevDRAMLatUs},
+		{p.PCIeGBs, p.PCIeLatUs},
+	}
+}
+
+// hostSendUs is the host-to-host MPI send time: staging copy, wire
+// time, and the rendezvous round trip above the eager limit.
+func (p Params) hostSendUs(bytes int64) float64 {
+	t := transferUs([]stage{
+		{p.HostMemGBs, 0},
+		{p.NetGBs, p.NetLatUs},
+		{p.HostMemGBs, 0},
+	}, bytes)
+	if bytes > p.EagerLimit {
+		t += 2 * p.NetLatUs // rendezvous handshake
+	}
+	return t
+}
+
+// SendUs returns the one-way device-to-device transfer time in
+// microseconds: OpenCL readback, MPI send, OpenCL write.
+func (p Params) SendUs(bytes int64) float64 {
+	t := 2 * p.OpenCLOverheadUs // device->host and host->device enqueues
+	t += transferUs(p.devicePath(), bytes)
+	t += p.hostSendUs(bytes)
+	t += transferUs(p.devicePath(), bytes)
+	return t
+}
+
+// LatencyUs returns the ping-pong half-round-trip latency for a small
+// message, the quantity Table 3 reports (36.61 µs measured).
+func (p Params) LatencyUs() float64 { return p.SendUs(4) }
+
+// BandwidthGbps returns the effective payload bandwidth of a one-way
+// transfer of the given size.
+func (p Params) BandwidthGbps(bytes int64) float64 {
+	us := p.SendUs(bytes)
+	return float64(bytes) * 8 / (us * 1e3) // bits / ns = Gbit/s
+}
+
+// log2ceil returns ceil(log2(n)) for n >= 1.
+func log2ceil(n int) int {
+	if n <= 1 {
+		return 0
+	}
+	return int(math.Ceil(math.Log2(float64(n))))
+}
+
+// BcastUs returns the time to broadcast bytes from one device to n-1
+// others through the hosts: a device-to-host leg, host-level sends to
+// each receiver, and the receivers' host-to-device legs. The host sends
+// are modeled as serialized at the root (linear scheme): the paper's
+// measured MPI+OpenCL broadcast grows linearly in message size with an
+// effective rate far below one tree stage of the 100 Gbit/s network
+// (Fig 10), matching a root-serialized baseline rather than an ideal
+// binomial tree.
+func (p Params) BcastUs(n int, bytes int64) float64 {
+	if n <= 1 {
+		return 0
+	}
+	t := p.OpenCLOverheadUs + transferUs(p.devicePath(), bytes) // root readback
+	t += float64(n-1) * p.hostSendUs(bytes)                     // serialized sends
+	t += p.OpenCLOverheadUs + transferUs(p.devicePath(), bytes) // last leaf write
+	return t
+}
+
+// ReduceUs returns the time to reduce bytes from n devices to one root
+// through the hosts: parallel device-to-host legs, host-level receives
+// and element-wise combines serialized at the root (matching the same
+// root-serialized baseline style the measured broadcast exhibits), and
+// the root's host-to-device leg.
+func (p Params) ReduceUs(n int, bytes int64) float64 {
+	if n <= 1 {
+		return 0
+	}
+	t := p.OpenCLOverheadUs + transferUs(p.devicePath(), bytes)
+	combine := float64(bytes) / (p.ReduceGBs * 1e3)
+	t += float64(n-1) * (p.hostSendUs(bytes) + combine)
+	t += p.OpenCLOverheadUs + transferUs(p.devicePath(), bytes)
+	return t
+}
+
+// GatherUs returns the time to gather bytes-per-rank from n devices at
+// one root via the hosts (linear at the root network port, as the root's
+// ingest serializes).
+func (p Params) GatherUs(n int, bytes int64) float64 {
+	if n <= 1 {
+		return 0
+	}
+	t := p.OpenCLOverheadUs + transferUs(p.devicePath(), bytes)
+	t += float64(n-1) * p.hostSendUs(bytes)
+	t += p.OpenCLOverheadUs + transferUs(p.devicePath(), int64(n)*bytes)
+	return t
+}
+
+// ScatterUs returns the time to scatter bytes-per-rank from the root to
+// n devices via the hosts.
+func (p Params) ScatterUs(n int, bytes int64) float64 {
+	if n <= 1 {
+		return 0
+	}
+	t := p.OpenCLOverheadUs + transferUs(p.devicePath(), int64(n)*bytes)
+	t += float64(n-1) * p.hostSendUs(bytes)
+	t += p.OpenCLOverheadUs + transferUs(p.devicePath(), bytes)
+	return t
+}

@@ -1,0 +1,136 @@
+package hostcomm
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestLatencyMatchesTable3(t *testing.T) {
+	// Table 3 measures 36.61 us for the MPI+OpenCL ping-pong.
+	got := Default().LatencyUs()
+	if got < 34 || got > 39 {
+		t.Fatalf("host latency = %.2f us, want ~36.6 (Table 3)", got)
+	}
+}
+
+func TestLargeMessageBandwidthMatchesFig9(t *testing.T) {
+	// Fig 9: the host path reaches roughly one third of SMI's ~32 Gbit/s
+	// despite the 100 Gbit/s Omni-Path, due to the copy chain.
+	got := Default().BandwidthGbps(64 << 20)
+	if got < 9 || got > 15 {
+		t.Fatalf("host bandwidth = %.1f Gbit/s, want ~10-14 (Fig 9)", got)
+	}
+}
+
+func TestBandwidthMonotonicInSize(t *testing.T) {
+	p := Default()
+	prev := 0.0
+	for _, b := range []int64{64, 1 << 10, 32 << 10, 1 << 20, 32 << 20} {
+		bw := p.BandwidthGbps(b)
+		if bw <= prev {
+			t.Fatalf("bandwidth not increasing with size: %d bytes -> %.2f", b, bw)
+		}
+		prev = bw
+	}
+}
+
+func TestSendTimeComponents(t *testing.T) {
+	p := Default()
+	small := p.SendUs(4)
+	if small <= 2*p.OpenCLOverheadUs {
+		t.Fatal("send time must include both OpenCL overheads")
+	}
+	// Doubling a large message should roughly double the transfer part.
+	t1 := p.SendUs(8<<20) - small
+	t2 := p.SendUs(16<<20) - small
+	if t2 < 1.8*t1 || t2 > 2.2*t1 {
+		t.Fatalf("large-message scaling off: %f vs %f", t1, t2)
+	}
+}
+
+func TestRendezvousKicksIn(t *testing.T) {
+	p := Default()
+	below := p.SendUs(p.EagerLimit)
+	above := p.SendUs(p.EagerLimit + 1)
+	if above-below < 2*p.NetLatUs {
+		t.Fatalf("rendezvous handshake missing: %.3f -> %.3f", below, above)
+	}
+}
+
+func TestBcastLinearInRanks(t *testing.T) {
+	// Calibrated to Fig 10: the measured baseline broadcast serializes
+	// at the root, so time grows linearly with the receiver count.
+	p := Default()
+	const bytes = 1 << 20
+	d1 := p.BcastUs(3, bytes) - p.BcastUs(2, bytes)
+	d2 := p.BcastUs(8, bytes) - p.BcastUs(7, bytes)
+	if d1 <= 0 || d2 <= 0 {
+		t.Fatal("bcast must grow with rank count")
+	}
+	if d2 < 0.99*d1 || d2 > 1.01*d1 {
+		t.Fatalf("bcast per-rank increments not uniform: %f vs %f", d1, d2)
+	}
+}
+
+func TestReduceCostsMoreThanBcast(t *testing.T) {
+	// Both collectives serialize at the root; reduce additionally pays
+	// the element-wise combine per contribution.
+	p := Default()
+	const n, bytes = 8, 4 << 20
+	r := p.ReduceUs(n, bytes)
+	b := p.BcastUs(n, bytes)
+	if r <= b {
+		t.Fatalf("reduce (%.1f) should exceed bcast (%.1f): it pays the combine", r, b)
+	}
+	if r <= p.SendUs(bytes) {
+		t.Fatal("reduce cannot be cheaper than a single send")
+	}
+}
+
+func TestCollectiveEdgeCases(t *testing.T) {
+	p := Default()
+	for _, f := range []func(int, int64) float64{p.BcastUs, p.ReduceUs, p.GatherUs, p.ScatterUs} {
+		if f(1, 1024) != 0 {
+			t.Fatal("single-rank collectives are free")
+		}
+		if f(0, 1024) != 0 {
+			t.Fatal("degenerate rank counts are free")
+		}
+	}
+}
+
+func TestGatherLinearInRanks(t *testing.T) {
+	p := Default()
+	const bytes = 256 << 10
+	d1 := p.GatherUs(4, bytes) - p.GatherUs(3, bytes)
+	d2 := p.GatherUs(8, bytes) - p.GatherUs(7, bytes)
+	if d1 <= 0 || d2 <= 0 {
+		t.Fatal("gather must grow with rank count")
+	}
+}
+
+func TestLog2Ceil(t *testing.T) {
+	cases := map[int]int{1: 0, 2: 1, 3: 2, 4: 2, 5: 3, 8: 3, 9: 4, 16: 4}
+	for n, want := range cases {
+		if got := log2ceil(n); got != want {
+			t.Errorf("log2ceil(%d) = %d, want %d", n, got, want)
+		}
+	}
+}
+
+// Property: all times are positive and increase with message size.
+func TestTimesPositiveMonotonicQuick(t *testing.T) {
+	p := Default()
+	prop := func(kb uint16, nRaw uint8) bool {
+		bytes := int64(kb)*1024 + 4
+		n := int(nRaw%15) + 2
+		if p.SendUs(bytes) <= 0 || p.BcastUs(n, bytes) <= 0 || p.ReduceUs(n, bytes) <= 0 {
+			return false
+		}
+		return p.SendUs(bytes+4096) > p.SendUs(bytes) &&
+			p.BcastUs(n, bytes+4096) > p.BcastUs(n, bytes)
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Fatal(err)
+	}
+}

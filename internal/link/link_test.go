@@ -1,0 +1,115 @@
+package link
+
+import (
+	"testing"
+
+	"repro/internal/packet"
+	"repro/internal/sim"
+)
+
+func pkt(seq int) packet.Packet {
+	p := packet.Packet{Op: packet.OpData, Count: 1}
+	p.PutElem(0, packet.Int, packet.IntBits(int32(seq)))
+	return p
+}
+
+func seqOf(p packet.Packet) int32 { return packet.BitsInt(p.Elem(0, packet.Int)) }
+
+func TestLinkLatency(t *testing.T) {
+	e := sim.NewEngine()
+	in := sim.NewFifo[packet.Packet](e, "in", 4)
+	out := sim.NewFifo[packet.Packet](e, "out", 4)
+	l := New(e, "l", in, out, 50)
+	var sent, got int64
+	sim.NewProc(e, "tx", func(p *sim.Proc) {
+		in.PushProc(p, pkt(1))
+		sent = p.Now()
+	})
+	sim.NewProc(e, "rx", func(p *sim.Proc) {
+		out.PopProc(p)
+		got = p.Now()
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if d := got - sent; d < 50 || d > 56 {
+		t.Fatalf("delivery took %d cycles, want latency 50 plus small pipeline overhead", d)
+	}
+	if l.Delivered() != 1 {
+		t.Fatalf("delivered = %d", l.Delivered())
+	}
+}
+
+func TestLinkThroughputOnePacketPerCycle(t *testing.T) {
+	const n = 2000
+	e := sim.NewEngine()
+	in := sim.NewFifo[packet.Packet](e, "in", 8)
+	out := sim.NewFifo[packet.Packet](e, "out", 8)
+	New(e, "l", in, out, 20)
+	var done int64
+	sim.NewProc(e, "tx", func(p *sim.Proc) {
+		for i := 0; i < n; i++ {
+			in.PushProc(p, pkt(i))
+		}
+	})
+	sim.NewProc(e, "rx", func(p *sim.Proc) {
+		for i := 0; i < n; i++ {
+			got := out.PopProc(p)
+			if seqOf(got) != int32(i) {
+				t.Errorf("packet %d out of order: %d", i, seqOf(got))
+				return
+			}
+		}
+		done = p.Now()
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	// Steady state one packet per cycle: n packets in ~n cycles plus
+	// latency and pipeline fill.
+	if done > n+100 {
+		t.Fatalf("throughput below one packet/cycle: %d packets in %d cycles", n, done)
+	}
+}
+
+func TestLinkBackpressure(t *testing.T) {
+	// A receiver that never pops: the link may hold at most its in-flight
+	// window plus the output FIFO, and the rest backpressures the sender.
+	e := sim.NewEngine()
+	e.SetMaxCycles(5000)
+	in := sim.NewFifo[packet.Packet](e, "in", 2)
+	out := sim.NewFifo[packet.Packet](e, "out", 2)
+	l := New(e, "l", in, out, 10)
+	pushed := 0
+	sim.NewProc(e, "tx", func(p *sim.Proc) {
+		for i := 0; i < 100; i++ {
+			in.PushProc(p, pkt(i))
+			pushed++
+		}
+	})
+	err := e.Run()
+	if err == nil {
+		t.Fatal("expected the run to stall (deadlock or cycle limit)")
+	}
+	// Maximum absorbed: output fifo (2) + in-flight window (10) + input
+	// fifo (2) + the sender's current push.
+	if pushed > 15 {
+		t.Fatalf("backpressure failed: sender pushed %d packets into a dead sink", pushed)
+	}
+	if l.Stalls() == 0 {
+		t.Fatal("link should have recorded head-of-line stalls")
+	}
+}
+
+func TestLinkDefaultLatency(t *testing.T) {
+	e := sim.NewEngine()
+	in := sim.NewFifo[packet.Packet](e, "in", 2)
+	out := sim.NewFifo[packet.Packet](e, "out", 2)
+	l := New(e, "l", in, out, 0)
+	if l.latency != DefaultLatency {
+		t.Fatalf("latency = %d, want default %d", l.latency, DefaultLatency)
+	}
+	if l.Name() != "l" || l.String() == "" {
+		t.Fatal("accessors broken")
+	}
+}

@@ -1,0 +1,90 @@
+package packet
+
+import (
+	"fmt"
+	"math"
+)
+
+// Datatype identifies an SMI element type, mirroring the paper's
+// SMI_INT, SMI_FLOAT, SMI_DOUBLE, SMI_CHAR, and SMI_SHORT.
+type Datatype uint8
+
+const (
+	// Invalid is the zero value; it lets API layers detect "datatype not
+	// specified" and apply their own default.
+	Invalid Datatype = iota
+	Char             // 1 byte
+	Short            // 2 bytes
+	Int              // 4 bytes
+	Float            // 4 bytes
+	Double           // 8 bytes
+
+	numDatatypes
+)
+
+// Size returns the element size in bytes.
+func (d Datatype) Size() int {
+	switch d {
+	case Char:
+		return 1
+	case Short:
+		return 2
+	case Int, Float:
+		return 4
+	case Double:
+		return 8
+	default:
+		panic(fmt.Sprintf("packet: invalid datatype %d", d))
+	}
+}
+
+// ElemsPerPacket returns how many elements of this type fit in one
+// 28-byte payload: 28 chars, 14 shorts, 7 ints/floats, 3 doubles.
+func (d Datatype) ElemsPerPacket() int { return PayloadSize / d.Size() }
+
+func (d Datatype) String() string {
+	switch d {
+	case Char:
+		return "SMI_CHAR"
+	case Short:
+		return "SMI_SHORT"
+	case Int:
+		return "SMI_INT"
+	case Float:
+		return "SMI_FLOAT"
+	case Double:
+		return "SMI_DOUBLE"
+	default:
+		return fmt.Sprintf("Datatype(%d)", uint8(d))
+	}
+}
+
+// Valid reports whether d is a defined (non-Invalid) datatype.
+func (d Datatype) Valid() bool { return d > Invalid && d < numDatatypes }
+
+// Bit-pattern conversion helpers. SMI moves raw element bits; the typed
+// views below are used at the application boundary.
+
+// FloatBits returns the bit pattern of a float32 value.
+func FloatBits(v float32) uint64 { return uint64(math.Float32bits(v)) }
+
+// BitsFloat returns the float32 value of a bit pattern.
+func BitsFloat(b uint64) float32 { return math.Float32frombits(uint32(b)) }
+
+// DoubleBits returns the bit pattern of a float64 value.
+func DoubleBits(v float64) uint64 { return math.Float64bits(v) }
+
+// BitsDouble returns the float64 value of a bit pattern.
+func BitsDouble(b uint64) float64 { return math.Float64frombits(b) }
+
+// IntBits returns the bit pattern of an int32 value.
+func IntBits(v int32) uint64 { return uint64(uint32(v)) }
+
+// BitsInt returns the int32 value of a bit pattern.
+func BitsInt(b uint64) int32 { return int32(uint32(b)) }
+
+// ShortBits returns the bit pattern of an int16 value.
+func ShortBits(v int16) uint64 { return uint64(uint16(v)) }
+
+// BitsShort returns the int16 value of a bit pattern.
+func BitsShort(b uint64) int16 { return int16(uint16(b)) }

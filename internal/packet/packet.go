@@ -1,0 +1,251 @@
+// Package packet defines the SMI network packet format.
+//
+// A network packet is the minimal unit of routing (paper §4.2). It is 32
+// bytes — the width of one BSP I/O channel word — split into a 4-byte
+// header and a 28-byte payload:
+//
+//	byte 0: source rank
+//	byte 1: destination rank
+//	byte 2: port
+//	byte 3: operation type (3 bits) | number of valid elements (5 bits)
+//
+// Rank and port are truncated to 8 bits to mitigate the header overhead
+// of packet switching, exactly as in the reference implementation.
+package packet
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// Wire sizes in bytes.
+const (
+	Size        = 32
+	HeaderSize  = 4
+	PayloadSize = Size - HeaderSize // 28
+)
+
+// MaxRanks is the largest addressable rank count (8-bit rank field).
+const MaxRanks = 256
+
+// MaxPorts is the largest addressable port count (8-bit port field).
+const MaxPorts = 256
+
+// Op is the 3-bit packet operation type.
+type Op uint8
+
+const (
+	// OpData carries message payload elements.
+	OpData Op = iota
+	// OpSyncReady signals "ready to receive" for one-to-all collectives
+	// (Bcast, Scatter) and "your turn" grants for Gather.
+	OpSyncReady
+	// OpCredit grants one tile of credits in the Reduce flow-control
+	// protocol.
+	OpCredit
+	// OpConfig carries dynamic channel configuration (root rank, element
+	// count) from an application endpoint to its collective support
+	// kernel. It never crosses the network.
+	OpConfig
+	// OpOpen establishes a circuit (circuit-switching mode, §4.2): it
+	// carries the meta-information of the whole message — source and
+	// destination rank, port, and the number of raw payload packets that
+	// follow — so those payload packets need no headers of their own.
+	OpOpen
+	// OpRaw is a headerless circuit payload packet: all 32 bytes carry
+	// elements. Its routing is implied by the circuit its OpOpen opened.
+	OpRaw
+
+	numOps
+)
+
+func (o Op) String() string {
+	switch o {
+	case OpData:
+		return "DATA"
+	case OpSyncReady:
+		return "SYNC"
+	case OpCredit:
+		return "CREDIT"
+	case OpConfig:
+		return "CONFIG"
+	case OpOpen:
+		return "OPEN"
+	case OpRaw:
+		return "RAW"
+	default:
+		return fmt.Sprintf("Op(%d)", uint8(o))
+	}
+}
+
+// Packet is one 32-byte network packet.
+//
+// For OpRaw circuit payloads the header bytes are repurposed as four
+// extra payload bytes (Extra), giving the full 32-byte wire word to
+// data; the Op and Count fields then ride out-of-band in the simulator,
+// standing in for the state real circuit-switched hardware keeps per
+// established circuit.
+type Packet struct {
+	Src     uint8
+	Dst     uint8
+	Port    uint8
+	Op      Op
+	Count   uint8 // number of valid elements in Payload (5 bits, <= 28)
+	Extra   [HeaderSize]byte
+	Payload [PayloadSize]byte
+}
+
+// Encode serializes the packet into its 32-byte wire form.
+func (p *Packet) Encode() [Size]byte {
+	var w [Size]byte
+	w[0] = p.Src
+	w[1] = p.Dst
+	w[2] = p.Port
+	w[3] = uint8(p.Op)<<5 | p.Count&0x1f
+	copy(w[HeaderSize:], p.Payload[:])
+	return w
+}
+
+// Decode deserializes a 32-byte wire word into a packet.
+func Decode(w [Size]byte) Packet {
+	var p Packet
+	p.Src = w[0]
+	p.Dst = w[1]
+	p.Port = w[2]
+	p.Op = Op(w[3] >> 5)
+	p.Count = w[3] & 0x1f
+	copy(p.Payload[:], w[HeaderSize:])
+	return p
+}
+
+func (p Packet) String() string {
+	return fmt.Sprintf("{%s %d->%d port=%d n=%d}", p.Op, p.Src, p.Dst, p.Port, p.Count)
+}
+
+// PutElem stores the raw bits of element i of the given datatype into
+// the payload. Values are passed as uint64 bit patterns (see Datatype
+// helpers for conversions).
+func (p *Packet) PutElem(i int, dt Datatype, bits uint64) {
+	s := dt.Size()
+	off := i * s
+	switch s {
+	case 1:
+		p.Payload[off] = byte(bits)
+	case 2:
+		binary.LittleEndian.PutUint16(p.Payload[off:], uint16(bits))
+	case 4:
+		binary.LittleEndian.PutUint32(p.Payload[off:], uint32(bits))
+	case 8:
+		binary.LittleEndian.PutUint64(p.Payload[off:], bits)
+	}
+}
+
+// Elem loads the raw bits of element i of the given datatype.
+func (p *Packet) Elem(i int, dt Datatype) uint64 {
+	s := dt.Size()
+	off := i * s
+	switch s {
+	case 1:
+		return uint64(p.Payload[off])
+	case 2:
+		return uint64(binary.LittleEndian.Uint16(p.Payload[off:]))
+	case 4:
+		return uint64(binary.LittleEndian.Uint32(p.Payload[off:]))
+	case 8:
+		return binary.LittleEndian.Uint64(p.Payload[off:])
+	}
+	return 0
+}
+
+// Config is the dynamic per-channel information a collective support
+// kernel needs, delivered in an OpConfig packet on first use: collectives
+// can pick their root and message length at run time without rebuilding
+// hardware (paper §4.4: "Both the root and non-root behavior is
+// instantiated at every rank, to allow the root rank to be specified
+// dynamically").
+type Config struct {
+	Root  uint8
+	Count uint32 // message length in elements (per rank)
+	Base  uint8  // first global rank of the communicator
+	Size  uint8  // communicator size in ranks
+}
+
+// EncodeConfig packs a Config into an OpConfig packet for the given port.
+func EncodeConfig(src uint8, port uint8, c Config) Packet {
+	p := Packet{Src: src, Dst: src, Port: port, Op: OpConfig}
+	p.Payload[0] = c.Root
+	binary.LittleEndian.PutUint32(p.Payload[1:], c.Count)
+	p.Payload[5] = c.Base
+	p.Payload[6] = c.Size
+	return p
+}
+
+// DecodeConfig extracts a Config from an OpConfig packet.
+func DecodeConfig(p Packet) Config {
+	return Config{
+		Root:  p.Payload[0],
+		Count: binary.LittleEndian.Uint32(p.Payload[1:]),
+		Base:  p.Payload[5],
+		Size:  p.Payload[6],
+	}
+}
+
+// RawElemsPerPacket returns how many elements of the datatype fit in a
+// headerless circuit payload packet (32 bytes, capped at 31 by the
+// 5-bit count field): 31 chars, 16 shorts, 8 ints/floats, 4 doubles.
+func RawElemsPerPacket(dt Datatype) int {
+	n := Size / dt.Size()
+	if n > 31 {
+		n = 31
+	}
+	return n
+}
+
+// rawByte addresses the 32-byte raw payload: offsets 0-3 live in Extra,
+// 4-31 in Payload.
+func (p *Packet) rawByte(off int) *byte {
+	if off < HeaderSize {
+		return &p.Extra[off]
+	}
+	return &p.Payload[off-HeaderSize]
+}
+
+// PutRawElem stores element i of a raw circuit packet.
+func (p *Packet) PutRawElem(i int, dt Datatype, bits uint64) {
+	s := dt.Size()
+	for b := 0; b < s; b++ {
+		*p.rawByte(i*s + b) = byte(bits >> (8 * b))
+	}
+}
+
+// RawElem loads element i of a raw circuit packet.
+func (p *Packet) RawElem(i int, dt Datatype) uint64 {
+	s := dt.Size()
+	var bits uint64
+	for b := 0; b < s; b++ {
+		bits |= uint64(*p.rawByte(i*s + b)) << (8 * b)
+	}
+	return bits
+}
+
+// OpenInfo is the circuit meta-information an OpOpen packet carries.
+type OpenInfo struct {
+	RawPackets uint32 // headerless payload packets that follow
+	Elems      uint32 // total elements in the message
+}
+
+// EncodeOpen builds the circuit-establishment packet.
+func EncodeOpen(src, dst, port uint8, info OpenInfo) Packet {
+	p := Packet{Src: src, Dst: dst, Port: port, Op: OpOpen}
+	binary.LittleEndian.PutUint32(p.Payload[0:], info.RawPackets)
+	binary.LittleEndian.PutUint32(p.Payload[4:], info.Elems)
+	return p
+}
+
+// DecodeOpen extracts the circuit meta-information.
+func DecodeOpen(p Packet) OpenInfo {
+	return OpenInfo{
+		RawPackets: binary.LittleEndian.Uint32(p.Payload[0:]),
+		Elems:      binary.LittleEndian.Uint32(p.Payload[4:]),
+	}
+}

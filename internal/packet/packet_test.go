@@ -1,0 +1,225 @@
+package packet
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestSizes(t *testing.T) {
+	if Size != 32 || HeaderSize != 4 || PayloadSize != 28 {
+		t.Fatal("wire format must match the paper: 32B packet, 4B header, 28B payload")
+	}
+}
+
+func TestEncodeDecodeRoundtrip(t *testing.T) {
+	p := Packet{Src: 3, Dst: 200, Port: 17, Op: OpCredit, Count: 28}
+	for i := range p.Payload {
+		p.Payload[i] = byte(i * 7)
+	}
+	got := Decode(p.Encode())
+	if got != p {
+		t.Fatalf("roundtrip mismatch:\n got %+v\nwant %+v", got, p)
+	}
+}
+
+// Property: every packet with in-range fields survives the wire format.
+func TestEncodeDecodeQuick(t *testing.T) {
+	prop := func(src, dst, port uint8, op uint8, count uint8, payload [PayloadSize]byte) bool {
+		p := Packet{
+			Src: src, Dst: dst, Port: port,
+			Op:      Op(op % uint8(numOps)),
+			Count:   count % 29,
+			Payload: payload,
+		}
+		return Decode(p.Encode()) == p
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHeaderBitPacking(t *testing.T) {
+	// The op (3 bits) and count (5 bits) share header byte 3.
+	p := Packet{Op: OpCredit, Count: 28}
+	w := p.Encode()
+	if w[3] != uint8(OpCredit)<<5|28 {
+		t.Fatalf("byte 3 = %08b, want op in high 3 bits, count in low 5", w[3])
+	}
+}
+
+func TestDatatypeSizes(t *testing.T) {
+	cases := []struct {
+		dt    Datatype
+		size  int
+		elems int
+	}{
+		{Char, 1, 28},
+		{Short, 2, 14},
+		{Int, 4, 7},
+		{Float, 4, 7},
+		{Double, 8, 3},
+	}
+	for _, c := range cases {
+		if got := c.dt.Size(); got != c.size {
+			t.Errorf("%v size = %d, want %d", c.dt, got, c.size)
+		}
+		if got := c.dt.ElemsPerPacket(); got != c.elems {
+			t.Errorf("%v elems/packet = %d, want %d", c.dt, got, c.elems)
+		}
+	}
+}
+
+func TestInvalidDatatypePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Size on invalid datatype should panic")
+		}
+	}()
+	_ = Datatype(99).Size()
+}
+
+func TestElemPacking(t *testing.T) {
+	var p Packet
+	// Fill all 7 int slots and read them back.
+	for i := 0; i < Int.ElemsPerPacket(); i++ {
+		p.PutElem(i, Int, IntBits(int32(-100*i)))
+	}
+	for i := 0; i < Int.ElemsPerPacket(); i++ {
+		if got := BitsInt(p.Elem(i, Int)); got != int32(-100*i) {
+			t.Fatalf("int elem %d = %d, want %d", i, got, -100*i)
+		}
+	}
+}
+
+func TestElemPackingAllTypesQuick(t *testing.T) {
+	prop := func(raw uint64, dtRaw uint8, idxRaw uint8) bool {
+		dt := Datatype(dtRaw%uint8(numDatatypes-1)) + 1
+		i := int(idxRaw) % dt.ElemsPerPacket()
+		mask := uint64(1)<<(8*dt.Size()) - 1
+		if dt.Size() == 8 {
+			mask = ^uint64(0)
+		}
+		var p Packet
+		p.PutElem(i, dt, raw)
+		return p.Elem(i, dt) == raw&mask
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestElemAdjacencyNoOverlap(t *testing.T) {
+	var p Packet
+	p.PutElem(0, Double, DoubleBits(math.Pi))
+	p.PutElem(1, Double, DoubleBits(math.E))
+	p.PutElem(2, Double, DoubleBits(-1.5))
+	if BitsDouble(p.Elem(0, Double)) != math.Pi ||
+		BitsDouble(p.Elem(1, Double)) != math.E ||
+		BitsDouble(p.Elem(2, Double)) != -1.5 {
+		t.Fatal("adjacent doubles overlap in payload")
+	}
+}
+
+func TestFloatConversions(t *testing.T) {
+	vals := []float32{0, 1.5, -3.25, float32(math.Inf(1)), math.MaxFloat32}
+	for _, v := range vals {
+		if got := BitsFloat(FloatBits(v)); got != v {
+			t.Errorf("float roundtrip %g -> %g", v, got)
+		}
+	}
+	if BitsShort(ShortBits(-1234)) != -1234 {
+		t.Error("short roundtrip failed")
+	}
+	if BitsInt(IntBits(math.MinInt32)) != math.MinInt32 {
+		t.Error("int roundtrip failed")
+	}
+	if BitsDouble(DoubleBits(math.SmallestNonzeroFloat64)) != math.SmallestNonzeroFloat64 {
+		t.Error("double roundtrip failed")
+	}
+}
+
+func TestConfigRoundtrip(t *testing.T) {
+	c := Config{Root: 7, Count: 123456789, Base: 2, Size: 6}
+	p := EncodeConfig(3, 9, c)
+	if p.Op != OpConfig || p.Port != 9 || p.Src != 3 {
+		t.Fatalf("bad config packet header: %v", p)
+	}
+	if got := DecodeConfig(p); got != c {
+		t.Fatalf("config roundtrip: got %+v, want %+v", got, c)
+	}
+}
+
+func TestOpStrings(t *testing.T) {
+	for op, want := range map[Op]string{
+		OpData: "DATA", OpSyncReady: "SYNC", OpCredit: "CREDIT", OpConfig: "CONFIG",
+	} {
+		if op.String() != want {
+			t.Errorf("%d.String() = %q, want %q", op, op.String(), want)
+		}
+	}
+}
+
+func TestRawElemsPerPacket(t *testing.T) {
+	cases := map[Datatype]int{Char: 31, Short: 16, Int: 8, Float: 8, Double: 4}
+	for dt, want := range cases {
+		if got := RawElemsPerPacket(dt); got != want {
+			t.Errorf("%v raw elems = %d, want %d", dt, got, want)
+		}
+	}
+}
+
+func TestRawElemRoundtrip(t *testing.T) {
+	// Raw elements span the repurposed header bytes (Extra) and the
+	// payload; doubles straddle the boundary.
+	for _, dt := range []Datatype{Char, Short, Int, Float, Double} {
+		var p Packet
+		n := RawElemsPerPacket(dt)
+		mask := uint64(1)<<(8*dt.Size()) - 1
+		if dt.Size() == 8 {
+			mask = ^uint64(0)
+		}
+		for i := 0; i < n; i++ {
+			p.PutRawElem(i, dt, uint64(i)*0x9e3779b97f4a7c15)
+		}
+		for i := 0; i < n; i++ {
+			want := (uint64(i) * 0x9e3779b97f4a7c15) & mask
+			if got := p.RawElem(i, dt); got != want {
+				t.Fatalf("%v raw elem %d = %x, want %x", dt, i, got, want)
+			}
+		}
+	}
+}
+
+func TestRawElemUsesExtraBytes(t *testing.T) {
+	var p Packet
+	p.PutRawElem(0, Int, 0xDEADBEEF)
+	if p.Extra == ([4]byte{}) {
+		t.Fatal("raw element 0 should occupy the repurposed header bytes")
+	}
+	if p.Payload != ([PayloadSize]byte{}) {
+		t.Fatal("raw element 0 must not spill into the payload")
+	}
+}
+
+func TestOpenRoundtrip(t *testing.T) {
+	info := OpenInfo{RawPackets: 123456, Elems: 987654}
+	p := EncodeOpen(3, 7, 9, info)
+	if p.Op != OpOpen || p.Src != 3 || p.Dst != 7 || p.Port != 9 {
+		t.Fatalf("bad open header: %v", p)
+	}
+	if got := DecodeOpen(p); got != info {
+		t.Fatalf("open roundtrip: %+v != %+v", got, info)
+	}
+}
+
+func TestRawCapacityBeatsPacketSwitching(t *testing.T) {
+	// The whole point of circuit switching: every datatype packs at
+	// least as many elements per wire word, usually more.
+	for _, dt := range []Datatype{Char, Short, Int, Float, Double} {
+		if RawElemsPerPacket(dt) <= dt.ElemsPerPacket() {
+			t.Errorf("%v: raw %d should exceed packet-switched %d",
+				dt, RawElemsPerPacket(dt), dt.ElemsPerPacket())
+		}
+	}
+}

@@ -1,0 +1,136 @@
+// Package resources estimates the FPGA resource consumption (lookup
+// tables, flip-flops, M20K memory blocks, DSPs) of an SMI design.
+//
+// Synthesizing for silicon is outside the scope of this reproduction, so
+// the package provides an analytic cost model derived from the structure
+// a design actually instantiates — FIFOs, communication kernels with
+// their port counts, and collective support kernels — with per-unit
+// constants calibrated to the two design points the paper measured
+// (Table 1: one and four QSFPs; Table 2: Bcast and FP32-SUM Reduce
+// support kernels). The calibration falls out remarkably cleanly: the
+// interconnect numbers in Table 1 are an exact multiple of the FIFO
+// count (24 LUTs and ~812 FFs per FIFO), and the communication kernel
+// numbers fit a linear model in the kernel's port count.
+package resources
+
+import (
+	"fmt"
+
+	"repro/internal/packet"
+	"repro/internal/transport"
+)
+
+// Usage is a resource vector.
+type Usage struct {
+	LUTs  int
+	FFs   int
+	M20Ks int
+	DSPs  int
+}
+
+// Add returns the element-wise sum.
+func (u Usage) Add(v Usage) Usage {
+	return Usage{u.LUTs + v.LUTs, u.FFs + v.FFs, u.M20Ks + v.M20Ks, u.DSPs + v.DSPs}
+}
+
+// Scale returns the usage multiplied by n.
+func (u Usage) Scale(n int) Usage {
+	return Usage{u.LUTs * n, u.FFs * n, u.M20Ks * n, u.DSPs * n}
+}
+
+// Percent returns the fraction of a chip's capacity, per resource class,
+// in percent.
+func (u Usage) Percent(chip Usage) (lut, ff, m20k, dsp float64) {
+	pct := func(a, b int) float64 {
+		if b == 0 {
+			return 0
+		}
+		return 100 * float64(a) / float64(b)
+	}
+	return pct(u.LUTs, chip.LUTs), pct(u.FFs, chip.FFs), pct(u.M20Ks, chip.M20Ks), pct(u.DSPs, chip.DSPs)
+}
+
+func (u Usage) String() string {
+	return fmt.Sprintf("%d LUTs, %d FFs, %d M20Ks, %d DSPs", u.LUTs, u.FFs, u.M20Ks, u.DSPs)
+}
+
+// StratixGX2800 returns the capacity of the Stratix 10 GX2800 chip on
+// the Nallatech 520N.
+func StratixGX2800() Usage {
+	return Usage{LUTs: 1_866_240, FFs: 3_732_480, M20Ks: 11_721, DSPs: 5_760}
+}
+
+// Calibrated per-unit constants (see package comment).
+const (
+	fifoLUTs = 24
+	fifoFFs  = 812
+
+	// CK costs are linear in the port count; the constants are stored
+	// scaled (halves for LUTs, quarters for FFs) to keep the arithmetic
+	// exact: LUTs = 2575 + 129.5*ports, FFs = 3401.5 + 48.25*ports.
+	ckBaseLUTsX2    = 5150
+	ckPerPortLUTsX2 = 259
+	ckBaseFFsX4     = 13606
+	ckPerPortFFsX4  = 193
+	ckM20Ks         = 5 // CKS and CKR routing tables
+)
+
+// FIFO returns the cost of one inter-kernel FIFO (shallow, held in
+// logic: no M20K blocks, matching Table 1's zero M20K interconnect).
+func FIFO() Usage { return Usage{LUTs: fifoLUTs, FFs: fifoFFs} }
+
+// CK returns the cost of one communication kernel (CKS or CKR) with the
+// given total port count (inputs + outputs).
+func CK(ports int) Usage {
+	return Usage{
+		LUTs:  (ckBaseLUTsX2 + ckPerPortLUTsX2*ports) / 2,
+		FFs:   (ckBaseFFsX4 + ckPerPortFFsX4*ports) / 4,
+		M20Ks: ckM20Ks,
+	}
+}
+
+// BcastSupport returns the cost of one broadcast support kernel
+// (Table 2 measures 2560 LUTs, 3593 FFs).
+func BcastSupport() Usage { return Usage{LUTs: 2560, FFs: 3593} }
+
+// ScatterSupport returns the cost of one scatter support kernel: a
+// broadcast-style streamer plus per-chunk bookkeeping.
+func ScatterSupport() Usage { return Usage{LUTs: 2810, FFs: 3950} }
+
+// GatherSupport returns the cost of one gather support kernel: grant
+// sequencing plus in-order merge logic.
+func GatherSupport() Usage { return Usage{LUTs: 2980, FFs: 4180} }
+
+// ReduceSupport returns the cost of one reduce support kernel for the
+// given element type. The accumulator buffer and the vectorized
+// element-wise ALU dominate; Table 2 measures 10268 LUTs, 14648 FFs and
+// 6 DSPs for 32-bit floating point SUM.
+func ReduceSupport(dt packet.Datatype) Usage {
+	base := Usage{LUTs: 4100, FFs: 6500}
+	lanes := dt.ElemsPerPacket() // ALU lanes, one per payload element
+	switch dt {
+	case packet.Float:
+		return base.Add(Usage{LUTs: 881 * lanes, FFs: 1164 * lanes, DSPs: 6})
+	case packet.Double:
+		return base.Add(Usage{LUTs: 1850 * lanes, FFs: 2300 * lanes, DSPs: 8})
+	case packet.Int:
+		return base.Add(Usage{LUTs: 230 * lanes, FFs: 310 * lanes})
+	case packet.Short:
+		return base.Add(Usage{LUTs: 120 * lanes, FFs: 160 * lanes})
+	case packet.Char:
+		return base.Add(Usage{LUTs: 60 * lanes, FFs: 85 * lanes})
+	default:
+		return base
+	}
+}
+
+// Transport estimates a device's transport layer from its structural
+// shape, split into interconnect (FIFOs) and communication kernels, the
+// two rows of Table 1.
+func Transport(shape transport.Shape, appFifos int) (interconnect, kernels Usage) {
+	interconnect = FIFO().Scale(shape.Fifos + appFifos)
+	for _, ports := range shape.CKPorts {
+		kernels = kernels.Add(CK(ports))
+	}
+	return interconnect, kernels
+}

@@ -1,0 +1,133 @@
+package resources
+
+import (
+	"testing"
+
+	"repro/internal/packet"
+	"repro/internal/transport"
+)
+
+// shapeFor builds the structural shape of the paper's Table 1 scenarios:
+// q QSFP interfaces, one application endpoint per CKS/CKR pair.
+func shapeFor(q int) (transport.Shape, int) {
+	// Internal FIFOs: 2q network ports + 2q pair FIFOs + 2q(q-1) crossbars.
+	fifos := 2*q + 2*q + 2*q*(q-1)
+	var ports []int
+	// CKS: inputs = 1 app + 1 pair + (q-1) others; outputs = net + pair +
+	// (q-1) others. CKR is symmetric.
+	for i := 0; i < 2*q; i++ {
+		ports = append(ports, (1+1+(q-1))+(1+1+(q-1)))
+	}
+	return transport.Shape{Fifos: fifos, CKPorts: ports}, 2 * q // app fifos
+}
+
+func TestTable1OneQSFP(t *testing.T) {
+	shape, app := shapeFor(1)
+	inter, ck := Transport(shape, app)
+	// Paper: Interconn. 144 LUTs, 4872 FFs, 0 M20Ks.
+	if inter.LUTs != 144 || inter.FFs != 4872 || inter.M20Ks != 0 {
+		t.Fatalf("1-QSFP interconnect = %v, want 144/4872/0 (Table 1)", inter)
+	}
+	// Paper: C.K. 6186 LUTs, 7189 FFs, 10 M20Ks.
+	if ck.LUTs != 6186 || ck.M20Ks != 10 {
+		t.Fatalf("1-QSFP CK = %v, want 6186 LUTs / 10 M20Ks (Table 1)", ck)
+	}
+	if ck.FFs < 7000 || ck.FFs > 7400 {
+		t.Fatalf("1-QSFP CK FFs = %d, want ~7189 (Table 1)", ck.FFs)
+	}
+}
+
+func TestTable1FourQSFPs(t *testing.T) {
+	shape, app := shapeFor(4)
+	inter, ck := Transport(shape, app)
+	// Paper: Interconn. 1152 LUTs, 39264 FFs, 0 M20Ks.
+	if inter.LUTs != 1152 || inter.M20Ks != 0 {
+		t.Fatalf("4-QSFP interconnect = %v, want 1152 LUTs / 0 M20Ks (Table 1)", inter)
+	}
+	if inter.FFs < 38000 || inter.FFs > 40500 {
+		t.Fatalf("4-QSFP interconnect FFs = %d, want ~39264 (Table 1)", inter.FFs)
+	}
+	// Paper: C.K. 30960 LUTs, 31072 FFs, 40 M20Ks.
+	if ck.LUTs != 30960 || ck.FFs != 31072 || ck.M20Ks != 40 {
+		t.Fatalf("4-QSFP CK = %v, want 30960/31072/40 (Table 1)", ck)
+	}
+}
+
+func TestTable1OverheadUnderTwoPercent(t *testing.T) {
+	// "In all cases, the resource overhead of SMI is insignificant,
+	// amounting to less than 2% of the total chip resources."
+	shape, app := shapeFor(4)
+	inter, ck := Transport(shape, app)
+	lut, ff, m20k, _ := inter.Add(ck).Percent(StratixGX2800())
+	if lut >= 2 || ff >= 2 || m20k >= 2 {
+		t.Fatalf("4-QSFP overhead %.2f%%/%.2f%%/%.2f%% exceeds 2%%", lut, ff, m20k)
+	}
+}
+
+func TestSuperlinearGrowth(t *testing.T) {
+	// "The number of used resources grows slightly faster than linear"
+	// with the QSFP count, because each kernel's port count grows too.
+	s1, a1 := shapeFor(1)
+	s4, a4 := shapeFor(4)
+	i1, k1 := Transport(s1, a1)
+	i4, k4 := Transport(s4, a4)
+	if i4.LUTs <= 4*i1.LUTs || i4.FFs <= 4*i1.FFs {
+		t.Fatalf("interconnect growth not superlinear: %v -> %v", i1, i4)
+	}
+	if k4.LUTs <= 4*k1.LUTs {
+		t.Fatalf("CK LUT growth should exceed 4x: %d -> %d", k1.LUTs, k4.LUTs)
+	}
+}
+
+func TestTable2CollectiveKernels(t *testing.T) {
+	b := BcastSupport()
+	if b.LUTs != 2560 || b.FFs != 3593 || b.DSPs != 0 || b.M20Ks != 0 {
+		t.Fatalf("Bcast support = %v, want 2560/3593/0/0 (Table 2)", b)
+	}
+	r := ReduceSupport(packet.Float)
+	// Paper: 10268 LUTs, 14648 FFs, 0 M20Ks, 6 DSPs for FP32 SUM.
+	if r.DSPs != 6 {
+		t.Fatalf("FP32 reduce DSPs = %d, want 6 (Table 2)", r.DSPs)
+	}
+	if r.LUTs < 9700 || r.LUTs > 10800 {
+		t.Fatalf("FP32 reduce LUTs = %d, want ~10268 (Table 2)", r.LUTs)
+	}
+	if r.FFs < 13900 || r.FFs > 15400 {
+		t.Fatalf("FP32 reduce FFs = %d, want ~14648 (Table 2)", r.FFs)
+	}
+}
+
+func TestReduceSupportVariants(t *testing.T) {
+	// Integer reductions need no DSPs; doubles need more than floats.
+	if ReduceSupport(packet.Int).DSPs != 0 {
+		t.Error("integer reduce should use no DSPs")
+	}
+	if ReduceSupport(packet.Double).DSPs <= ReduceSupport(packet.Float).DSPs {
+		t.Error("double reduce should use more DSPs than float")
+	}
+	for _, dt := range []packet.Datatype{packet.Char, packet.Short, packet.Int, packet.Float, packet.Double} {
+		u := ReduceSupport(dt)
+		if u.LUTs <= 0 || u.FFs <= 0 {
+			t.Errorf("%v reduce usage not positive: %v", dt, u)
+		}
+	}
+}
+
+func TestUsageArithmetic(t *testing.T) {
+	a := Usage{1, 2, 3, 4}
+	b := Usage{10, 20, 30, 40}
+	if got := a.Add(b); got != (Usage{11, 22, 33, 44}) {
+		t.Fatalf("Add = %v", got)
+	}
+	if got := a.Scale(3); got != (Usage{3, 6, 9, 12}) {
+		t.Fatalf("Scale = %v", got)
+	}
+	lut, _, _, dsp := b.Percent(Usage{100, 100, 100, 100})
+	if lut != 10 || dsp != 40 {
+		t.Fatalf("Percent = %v, %v", lut, dsp)
+	}
+	// Division by zero capacity is defined as 0%.
+	if _, _, _, d := a.Percent(Usage{}); d != 0 {
+		t.Fatal("Percent with zero capacity should be 0")
+	}
+}

@@ -1,0 +1,295 @@
+package routing
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/topology"
+)
+
+func mustTorus(t *testing.T, r, c int) *topology.Topology {
+	t.Helper()
+	topo, err := topology.Torus2D(r, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return topo
+}
+
+func mustBus(t *testing.T, n int) *topology.Topology {
+	t.Helper()
+	topo, err := topology.Bus(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return topo
+}
+
+// allPairsReachable checks the paper's guarantee: "a rank is reachable
+// from all others, even if there is no physical direct connection
+// between them".
+func allPairsReachable(t *testing.T, r *Routes) {
+	t.Helper()
+	for s := 0; s < r.Devices; s++ {
+		for d := 0; d < r.Devices; d++ {
+			if s == d {
+				if r.At(s, d) != Local {
+					t.Fatalf("At(%d,%d) should be Local", s, d)
+				}
+				continue
+			}
+			if p := r.Path(s, d); p == nil {
+				t.Fatalf("no route %d -> %d", s, d)
+			}
+		}
+	}
+}
+
+func TestShortestPathBusDistances(t *testing.T) {
+	r, err := Compute(mustBus(t, 8), ShortestPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	allPairsReachable(t, r)
+	// On a bus, hop count equals index distance: the experiment of
+	// Fig 9/Table 3 places ranks at 1, 4, and 7 hops this way.
+	for s := 0; s < 8; s++ {
+		for d := 0; d < 8; d++ {
+			want := d - s
+			if want < 0 {
+				want = -want
+			}
+			if s == d {
+				continue
+			}
+			if got := r.Hops(s, d); got != want {
+				t.Fatalf("bus hops %d->%d = %d, want %d", s, d, got, want)
+			}
+		}
+	}
+}
+
+func TestShortestPathTorusOptimal(t *testing.T) {
+	topo := mustTorus(t, 2, 4)
+	r, err := Compute(topo, ShortestPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	allPairsReachable(t, r)
+	// In a 2x4 torus the diameter is 1 (vertical) + 2 (horizontal) = 3.
+	maxHops := 0
+	for s := 0; s < 8; s++ {
+		for d := 0; d < 8; d++ {
+			if s != d && r.Hops(s, d) > maxHops {
+				maxHops = r.Hops(s, d)
+			}
+		}
+	}
+	if maxHops != 3 {
+		t.Fatalf("2x4 torus diameter via shortest paths = %d, want 3", maxHops)
+	}
+}
+
+func TestUpDownReachabilityAndLegality(t *testing.T) {
+	for _, topo := range []*topology.Topology{
+		mustTorus(t, 2, 4), mustTorus(t, 3, 3), mustBus(t, 8),
+	} {
+		r, err := Compute(topo, UpDown)
+		if err != nil {
+			t.Fatal(err)
+		}
+		allPairsReachable(t, r)
+		if err := VerifyDeadlockFree(r); err != nil {
+			t.Fatalf("%s: up*/down* routes must be deadlock-free: %v", topo.Name, err)
+		}
+	}
+}
+
+func TestUpDownPathsAreUpThenDown(t *testing.T) {
+	topo := mustTorus(t, 3, 4)
+	r, err := Compute(topo, UpDown)
+	if err != nil {
+		t.Fatal(err)
+	}
+	adj := topo.Adjacent()
+	level := bfsDistances(adj, 0)
+	higher := func(a, b int) bool { // a strictly higher than b
+		if level[a] != level[b] {
+			return level[a] < level[b]
+		}
+		return a < b
+	}
+	for s := 0; s < topo.Devices; s++ {
+		for d := 0; d < topo.Devices; d++ {
+			if s == d {
+				continue
+			}
+			p := r.Path(s, d)
+			wentDown := false
+			for i := 0; i+1 < len(p); i++ {
+				up := higher(p[i+1], p[i])
+				if up && wentDown {
+					t.Fatalf("path %v from %d to %d goes up after down", p, s, d)
+				}
+				if !up {
+					wentDown = true
+				}
+			}
+		}
+	}
+}
+
+func TestBusShortestPathDeadlockFree(t *testing.T) {
+	// Acyclic topologies are trivially deadlock-free even under plain
+	// shortest-path routing.
+	r, _ := Compute(mustBus(t, 8), ShortestPath)
+	if err := VerifyDeadlockFree(r); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRingShortestPathHasCycle(t *testing.T) {
+	// On a unidirectionally-routed ring, shortest paths wrap around and
+	// create the classic channel-dependency cycle.
+	topo, err := topology.Ring(6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, _ := Compute(topo, ShortestPath)
+	err = VerifyDeadlockFree(r)
+	if err == nil {
+		t.Skip("this ring's shortest paths happened to be acyclic (tie-breaking)")
+	}
+	if _, ok := err.(*CycleError); !ok {
+		t.Fatalf("expected CycleError, got %T: %v", err, err)
+	}
+}
+
+func TestUpDownDilationBounded(t *testing.T) {
+	// up*/down* paths can exceed shortest paths but must stay within the
+	// tree-height bound: <= 2 * eccentricity of the root.
+	topo := mustTorus(t, 2, 4)
+	sp, _ := Compute(topo, ShortestPath)
+	ud, _ := Compute(topo, UpDown)
+	for s := 0; s < 8; s++ {
+		for d := 0; d < 8; d++ {
+			if s == d {
+				continue
+			}
+			if ud.Hops(s, d) < sp.Hops(s, d) {
+				t.Fatalf("up*/down* shorter than shortest path %d->%d", s, d)
+			}
+			if ud.Hops(s, d) > 6 {
+				t.Fatalf("up*/down* path %d->%d dilated to %d hops", s, d, ud.Hops(s, d))
+			}
+		}
+	}
+}
+
+func TestRoutesJSONRoundtrip(t *testing.T) {
+	topo := mustTorus(t, 2, 4)
+	r, _ := Compute(topo, UpDown)
+	var buf bytes.Buffer
+	if err := r.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadJSON(&buf, topo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for d := 0; d < 8; d++ {
+		for dst := 0; dst < 8; dst++ {
+			if got.At(d, dst) != r.At(d, dst) {
+				t.Fatalf("table differs at [%d][%d]", d, dst)
+			}
+		}
+	}
+	// Mismatched topology must be rejected.
+	other := mustBus(t, 4)
+	buf.Reset()
+	_ = r.WriteJSON(&buf)
+	if _, err := ReadJSON(&buf, other); err == nil {
+		t.Fatal("tables for the wrong topology should be rejected")
+	}
+}
+
+func TestComputeRejectsInvalidTopology(t *testing.T) {
+	bad := &topology.Topology{Devices: -1}
+	if _, err := Compute(bad, ShortestPath); err == nil {
+		t.Fatal("invalid topology should be rejected")
+	}
+}
+
+// Property: on random tori and buses, both policies route all pairs, and
+// up*/down* is always deadlock-free.
+func TestRoutingPropertiesQuick(t *testing.T) {
+	prop := func(rRaw, cRaw uint8, busRaw uint8, policyRaw bool) bool {
+		var topo *topology.Topology
+		var err error
+		if busRaw%2 == 0 {
+			topo, err = topology.Torus2D(int(rRaw%4)+2, int(cRaw%4)+2)
+		} else {
+			topo, err = topology.Bus(int(busRaw%14) + 2)
+		}
+		if err != nil {
+			return false
+		}
+		policy := ShortestPath
+		if policyRaw {
+			policy = UpDown
+		}
+		r, err := Compute(topo, policy)
+		if err != nil {
+			return false
+		}
+		for s := 0; s < topo.Devices; s++ {
+			for d := 0; d < topo.Devices; d++ {
+				if s != d && r.Path(s, d) == nil {
+					return false
+				}
+			}
+		}
+		if policy == UpDown && VerifyDeadlockFree(r) != nil {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHypercubeRouting(t *testing.T) {
+	topo, err := topology.Hypercube(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sp, err := Compute(topo, ShortestPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Hypercube shortest-path distance is the Hamming distance.
+	for s := 0; s < 8; s++ {
+		for d := 0; d < 8; d++ {
+			if s == d {
+				continue
+			}
+			want := 0
+			for x := s ^ d; x != 0; x >>= 1 {
+				want += x & 1
+			}
+			if got := sp.Hops(s, d); got != want {
+				t.Fatalf("hops %d->%d = %d, want Hamming %d", s, d, got, want)
+			}
+		}
+	}
+	ud, err := Compute(topo, UpDown)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := VerifyDeadlockFree(ud); err != nil {
+		t.Fatal(err)
+	}
+	allPairsReachable(t, ud)
+}

@@ -1,0 +1,138 @@
+package routing
+
+import (
+	"fmt"
+	"strings"
+)
+
+// channel identifies a directed use of a cable: device dev transmitting
+// on its local interface iface.
+type channel struct {
+	dev, iface int
+}
+
+func (c channel) String() string { return fmt.Sprintf("%d:%d", c.dev, c.iface) }
+
+// CycleError reports a channel-dependency cycle: a set of directed links
+// that can all be waiting for buffer space in each other, i.e. a
+// potential routing deadlock.
+type CycleError struct {
+	Cycle []string // directed channels forming the cycle
+}
+
+func (e *CycleError) Error() string {
+	return fmt.Sprintf("routing: channel dependency cycle: %s", strings.Join(e.Cycle, " -> "))
+}
+
+// VerifyDeadlockFree builds the channel dependency graph induced by the
+// routes — for every source/destination pair, each consecutive pair of
+// links on the path adds a dependency edge — and searches it for cycles.
+// A nil return proves the route set cannot deadlock under wormhole/
+// credit-based flow control; a CycleError pinpoints one offending cycle.
+func VerifyDeadlockFree(r *Routes) error {
+	adj := r.topo.Adjacent()
+	// Dependency edges between directed channels.
+	deps := make(map[channel]map[channel]bool)
+	addDep := func(a, b channel) {
+		m := deps[a]
+		if m == nil {
+			m = make(map[channel]bool)
+			deps[a] = m
+		}
+		m[b] = true
+	}
+	for src := 0; src < r.Devices; src++ {
+		for dst := 0; dst < r.Devices; dst++ {
+			if src == dst {
+				continue
+			}
+			dev := src
+			var prev *channel
+			for dev != dst {
+				i := r.Next[dev][dst]
+				if i == Unreachable {
+					break
+				}
+				cur := channel{dev, i}
+				if prev != nil {
+					addDep(*prev, cur)
+				}
+				prevv := cur
+				prev = &prevv
+				dev = adj[dev][i].Device
+			}
+		}
+	}
+
+	// Iterative DFS cycle detection with deterministic ordering.
+	const (
+		white = 0
+		gray  = 1
+		black = 2
+	)
+	color := make(map[channel]int)
+	var chans []channel
+	for d := 0; d < r.Devices; d++ {
+		for i := 0; i < r.Ifaces; i++ {
+			c := channel{d, i}
+			if deps[c] != nil {
+				chans = append(chans, c)
+			}
+		}
+	}
+	// Sorted successor lists for determinism.
+	succ := func(c channel) []channel {
+		var out []channel
+		for d := 0; d < r.Devices; d++ {
+			for i := 0; i < r.Ifaces; i++ {
+				n := channel{d, i}
+				if deps[c][n] {
+					out = append(out, n)
+				}
+			}
+		}
+		return out
+	}
+
+	var stack []channel
+	var dfs func(c channel) *CycleError
+	dfs = func(c channel) *CycleError {
+		color[c] = gray
+		stack = append(stack, c)
+		for _, n := range succ(c) {
+			switch color[n] {
+			case white:
+				if err := dfs(n); err != nil {
+					return err
+				}
+			case gray:
+				// Extract the cycle from the stack.
+				var cyc []string
+				start := 0
+				for i, s := range stack {
+					if s == n {
+						start = i
+						break
+					}
+				}
+				for _, s := range stack[start:] {
+					cyc = append(cyc, s.String())
+				}
+				cyc = append(cyc, n.String())
+				return &CycleError{Cycle: cyc}
+			}
+		}
+		stack = stack[:len(stack)-1]
+		color[c] = black
+		return nil
+	}
+	for _, c := range chans {
+		if color[c] == white {
+			stack = stack[:0]
+			if err := dfs(c); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,41 @@
+package sim
+
+import "time"
+
+// Clock converts cycle counts to wall-clock durations at a fixed
+// frequency. The default SMI transport clock is 156.25 MHz: at 32 bytes
+// per cycle this yields the 40 Gbit/s raw rate of one QSFP link.
+type Clock struct {
+	Hz float64
+}
+
+// DefaultClockHz is the frequency used throughout the reproduction
+// unless overridden: 156.25 MHz.
+const DefaultClockHz = 156.25e6
+
+// Duration converts a cycle count to simulated time.
+func (c Clock) Duration(cycles int64) time.Duration {
+	if c.Hz <= 0 {
+		c.Hz = DefaultClockHz
+	}
+	return time.Duration(float64(cycles) / c.Hz * 1e9)
+}
+
+// Seconds converts a cycle count to simulated seconds.
+func (c Clock) Seconds(cycles int64) float64 {
+	if c.Hz <= 0 {
+		c.Hz = DefaultClockHz
+	}
+	return float64(cycles) / c.Hz
+}
+
+// Micros converts a cycle count to simulated microseconds.
+func (c Clock) Micros(cycles int64) float64 { return c.Seconds(cycles) * 1e6 }
+
+// Cycles converts a duration to the nearest whole cycle count.
+func (c Clock) Cycles(d time.Duration) int64 {
+	if c.Hz <= 0 {
+		c.Hz = DefaultClockHz
+	}
+	return int64(d.Seconds()*c.Hz + 0.5)
+}

@@ -1,0 +1,341 @@
+// Package sim implements a deterministic cycle-driven simulator used to
+// model multi-FPGA systems at clock-cycle granularity.
+//
+// The engine advances a single global clock. Three kinds of entities
+// participate in every cycle, in a fixed, deterministic order:
+//
+//  1. Procs: cooperative processes backed by goroutines. A proc models a
+//     pipelined HLS kernel written as straight-line code; every blocking
+//     FIFO operation costs at least one clock cycle (initiation interval
+//     of one).
+//  2. Kernels: explicit state machines ticked once per cycle. These model
+//     generated hardware such as the SMI transport layer.
+//  3. FIFO commits: writes performed during a cycle become visible to
+//     readers in the next cycle (registered output), mirroring the
+//     semantics of Intel OpenCL channels.
+//
+// The engine detects global quiescence: if no entity makes progress and
+// no future wake-up is scheduled while procs are still blocked, the run
+// terminates with a deadlock error describing every blocked operation.
+package sim
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// Kernel is a hardware state machine ticked once per clock cycle.
+// Tick reports whether the kernel performed or is holding work; the
+// engine uses this to detect quiescence and to fast-forward idle spans.
+type Kernel interface {
+	Name() string
+	Tick(now int64) bool
+}
+
+// ErrMaxCycles is returned by Run when the cycle limit is exceeded.
+var ErrMaxCycles = errors.New("sim: maximum cycle count exceeded")
+
+// DeadlockError reports a global deadlock: all processes are blocked and
+// no hardware activity can ever unblock them.
+type DeadlockError struct {
+	Cycle   int64
+	Blocked []string // one human-readable line per blocked proc
+}
+
+func (e *DeadlockError) Error() string {
+	return fmt.Sprintf("sim: deadlock at cycle %d: %s", e.Cycle, strings.Join(e.Blocked, "; "))
+}
+
+// Engine is a single-clock cycle-driven simulator. The zero value is not
+// usable; create engines with NewEngine.
+type Engine struct {
+	now     int64
+	procs   []*Proc
+	kernels []Kernel
+	fifos   []fifoRef
+
+	maxCycles int64
+	trace     io.Writer
+	recorder  Recorder
+
+	procState  []procStatus // last state reported to the recorder
+	procSince  []int64
+	kernActive []bool
+	kernSince  []int64
+	kernWasBuf []bool // scratch for per-cycle kernel activity
+
+	started  bool
+	finished int // number of finished procs
+}
+
+// Recorder receives activity intervals for offline visualization (see
+// internal/vistrace for a Chrome trace-event implementation). Intervals
+// are reported as they close; Done closes any still-open intervals.
+type Recorder interface {
+	// ProcInterval reports that proc name was in the given state
+	// ("run", "blocked", "sleep") during [start, end) cycles.
+	ProcInterval(name, state string, start, end int64)
+	// KernelInterval reports that kernel name was active during
+	// [start, end) cycles.
+	KernelInterval(name string, start, end int64)
+	// Done marks the end of the simulation.
+	Done(now int64)
+}
+
+type fifoRef struct {
+	commit func() bool // returns true if any writes were committed
+	core   *fifoCore
+}
+
+// NewEngine returns an engine with a default cycle limit of one billion
+// cycles (several seconds of simulated time at typical FPGA clocks).
+func NewEngine() *Engine {
+	return &Engine{maxCycles: 1_000_000_000}
+}
+
+// SetMaxCycles bounds the simulation; Run returns ErrMaxCycles beyond it.
+func (e *Engine) SetMaxCycles(n int64) { e.maxCycles = n }
+
+// SetTrace directs a per-event text trace to w. Tracing is expensive and
+// intended for tests and debugging; pass nil to disable.
+func (e *Engine) SetTrace(w io.Writer) { e.trace = w }
+
+// SetRecorder attaches an activity recorder (see Recorder). Recording
+// costs a scan over procs and kernels per simulated cycle.
+func (e *Engine) SetRecorder(r Recorder) { e.recorder = r }
+
+// stateName maps a proc status to its recorder label.
+func stateName(s procStatus) string {
+	switch s {
+	case procRunnable:
+		return "run"
+	case procBlocked:
+		return "blocked"
+	case procSleeping:
+		return "sleep"
+	default:
+		return "done"
+	}
+}
+
+// record samples proc and kernel states at the end of a cycle, closing
+// intervals on transitions.
+func (e *Engine) record(kernelWasActive []bool) {
+	if e.procState == nil {
+		e.procState = make([]procStatus, len(e.procs))
+		e.procSince = make([]int64, len(e.procs))
+		for i, p := range e.procs {
+			e.procState[i] = p.status
+		}
+		e.kernActive = make([]bool, len(e.kernels))
+		e.kernSince = make([]int64, len(e.kernels))
+	}
+	for i, p := range e.procs {
+		if p.status != e.procState[i] {
+			e.recorder.ProcInterval(p.name, stateName(e.procState[i]), e.procSince[i], e.now)
+			e.procState[i] = p.status
+			e.procSince[i] = e.now
+		}
+	}
+	for i, k := range e.kernels {
+		if kernelWasActive[i] != e.kernActive[i] {
+			if e.kernActive[i] {
+				e.recorder.KernelInterval(k.Name(), e.kernSince[i], e.now)
+			}
+			e.kernActive[i] = kernelWasActive[i]
+			e.kernSince[i] = e.now
+		}
+	}
+}
+
+// finishRecording closes open intervals at simulation end.
+func (e *Engine) finishRecording() {
+	if e.recorder == nil || e.procState == nil {
+		return
+	}
+	for i, p := range e.procs {
+		if e.procSince[i] < e.now {
+			e.recorder.ProcInterval(p.name, stateName(e.procState[i]), e.procSince[i], e.now)
+		}
+	}
+	for i, k := range e.kernels {
+		if e.kernActive[i] && e.kernSince[i] < e.now {
+			e.recorder.KernelInterval(k.Name(), e.kernSince[i], e.now)
+		}
+	}
+	e.recorder.Done(e.now)
+}
+
+// Now returns the current cycle number.
+func (e *Engine) Now() int64 { return e.now }
+
+// AddKernel registers a state-machine kernel. Kernels tick in
+// registration order, after procs run and before FIFO writes commit.
+func (e *Engine) AddKernel(k Kernel) {
+	if e.started {
+		panic("sim: AddKernel after Run")
+	}
+	e.kernels = append(e.kernels, k)
+}
+
+// Tracef writes a trace line if tracing is enabled.
+func (e *Engine) Tracef(format string, args ...any) {
+	if e.trace != nil {
+		fmt.Fprintf(e.trace, "[%8d] ", e.now)
+		fmt.Fprintf(e.trace, format, args...)
+		fmt.Fprintln(e.trace)
+	}
+}
+
+// Run executes the simulation until every proc has finished, a deadlock
+// is detected, a proc fails, or the cycle limit is reached. It returns
+// the first error encountered, or nil on clean completion.
+func (e *Engine) Run() error {
+	e.started = true
+	for _, p := range e.procs {
+		p.start()
+	}
+	defer e.finishRecording()
+	for {
+		if e.finished == len(e.procs) && len(e.procs) > 0 {
+			return e.drain()
+		}
+		if e.now >= e.maxCycles {
+			e.stopProcs()
+			return fmt.Errorf("%w (limit %d)", ErrMaxCycles, e.maxCycles)
+		}
+
+		active := false
+
+		// Phase 1: run every runnable proc once.
+		for _, p := range e.procs {
+			switch p.status {
+			case procSleeping:
+				if p.wakeAt > e.now {
+					continue
+				}
+				p.status = procRunnable
+			case procRunnable:
+				if p.runAt > e.now {
+					continue
+				}
+			default:
+				continue
+			}
+			active = true
+			if err := e.step(p); err != nil {
+				e.stopProcs()
+				return err
+			}
+		}
+
+		// Phase 2: tick hardware kernels.
+		var kernelWas []bool
+		if e.recorder != nil {
+			if cap(e.kernWasBuf) < len(e.kernels) {
+				e.kernWasBuf = make([]bool, len(e.kernels))
+			}
+			kernelWas = e.kernWasBuf[:len(e.kernels)]
+		}
+		for i, k := range e.kernels {
+			did := k.Tick(e.now)
+			if did {
+				active = true
+			}
+			if kernelWas != nil {
+				kernelWas[i] = did
+			}
+		}
+
+		// Phase 3: commit registered FIFO writes, then wake waiters.
+		for _, f := range e.fifos {
+			if f.commit() {
+				active = true
+			}
+		}
+		for _, f := range e.fifos {
+			f.core.wake(e)
+		}
+		if e.recorder != nil {
+			e.record(kernelWas)
+		}
+
+		// Phase 4: termination and fast-forward.
+		if !active {
+			next, sleeping := e.nextWake()
+			switch {
+			case sleeping:
+				// Idle span: jump straight to the next scheduled wake-up.
+				if next > e.now+1 {
+					e.now = next
+					continue
+				}
+			case e.finished < len(e.procs):
+				err := e.deadlock()
+				e.stopProcs()
+				return err
+			}
+		}
+		e.now++
+	}
+}
+
+// step resumes proc p and waits for it to yield.
+func (e *Engine) step(p *Proc) error {
+	p.resume <- struct{}{}
+	<-p.yielded
+	if p.status == procFinished {
+		e.finished++
+		if p.err != nil {
+			return fmt.Errorf("sim: proc %s: %w", p.name, p.err)
+		}
+	}
+	return nil
+}
+
+// nextWake returns the earliest future wake-up among sleeping procs.
+func (e *Engine) nextWake() (at int64, ok bool) {
+	at = int64(1<<63 - 1)
+	for _, p := range e.procs {
+		switch p.status {
+		case procSleeping:
+			if p.wakeAt < at {
+				at = p.wakeAt
+			}
+			ok = true
+		case procRunnable:
+			if p.runAt < at {
+				at = p.runAt
+			}
+			ok = true
+		}
+	}
+	return at, ok
+}
+
+func (e *Engine) deadlock() error {
+	var blocked []string
+	for _, p := range e.procs {
+		if p.status == procBlocked {
+			blocked = append(blocked, fmt.Sprintf("%s waiting on %s", p.name, p.blockedOn))
+		}
+	}
+	sort.Strings(blocked)
+	return &DeadlockError{Cycle: e.now, Blocked: blocked}
+}
+
+// drain lets proc goroutines exit after completion.
+func (e *Engine) drain() error { return nil }
+
+// stopProcs terminates any still-running proc goroutines so they do not
+// leak after an error.
+func (e *Engine) stopProcs() {
+	for _, p := range e.procs {
+		if p.status != procFinished {
+			p.kill()
+		}
+	}
+}

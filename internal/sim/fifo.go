@@ -1,0 +1,179 @@
+package sim
+
+// fifoCore holds the type-independent bookkeeping of a FIFO: occupancy,
+// capacity, and the procs blocked on it.
+type fifoCore struct {
+	name      string
+	capacity  int
+	size      int // committed (reader-visible) occupancy
+	pendingIn int // writes performed this cycle, not yet visible
+
+	spaceWaiters []*Proc
+	dataWaiters  []*Proc
+
+	// statistics
+	pushes    uint64
+	maxSize   int
+	stallHint uint64 // failed TryPush attempts (approximate backpressure)
+}
+
+// wake transitions procs blocked on this FIFO back to runnable once the
+// condition they wait for holds. Called at the end of each cycle, after
+// commits; woken procs run no earlier than the following cycle.
+func (c *fifoCore) wake(e *Engine) {
+	if c.size > 0 && len(c.dataWaiters) > 0 {
+		for _, p := range c.dataWaiters {
+			p.status = procRunnable
+			p.runAt = e.now + 1
+		}
+		c.dataWaiters = c.dataWaiters[:0]
+	}
+	if c.size+c.pendingIn < c.capacity && len(c.spaceWaiters) > 0 {
+		for _, p := range c.spaceWaiters {
+			p.status = procRunnable
+			p.runAt = e.now + 1
+		}
+		c.spaceWaiters = c.spaceWaiters[:0]
+	}
+}
+
+// Fifo is a bounded queue with registered writes: an element pushed
+// during cycle t becomes visible to readers at cycle t+1, mirroring the
+// one-cycle output latency of an on-chip FIFO. Pops take effect
+// immediately (the freed slot is reusable in the same cycle).
+//
+// A Fifo supports one logical reader and one logical writer, matching
+// the single-reader/single-writer restriction of Intel OpenCL channels
+// that the paper's reference implementation works within.
+type Fifo[T any] struct {
+	fifoCore
+	buf     []T // ring buffer of committed elements
+	head    int
+	pending []T // writes awaiting commit
+}
+
+// NewFifo creates a FIFO of the given capacity (minimum 1) and registers
+// it with the engine for end-of-cycle commits.
+func NewFifo[T any](e *Engine, name string, capacity int) *Fifo[T] {
+	if e.started {
+		panic("sim: NewFifo after Run")
+	}
+	if capacity < 1 {
+		capacity = 1
+	}
+	f := &Fifo[T]{
+		fifoCore: fifoCore{name: name, capacity: capacity},
+		buf:      make([]T, capacity),
+	}
+	e.fifos = append(e.fifos, fifoRef{commit: f.commit, core: &f.fifoCore})
+	return f
+}
+
+// Name returns the FIFO's registered name.
+func (f *Fifo[T]) Name() string { return f.fifoCore.name }
+
+// Cap returns the FIFO's capacity.
+func (f *Fifo[T]) Cap() int { return f.capacity }
+
+// Len returns the committed (reader-visible) occupancy.
+func (f *Fifo[T]) Len() int { return f.size }
+
+// Pushes returns the total number of elements ever pushed.
+func (f *Fifo[T]) Pushes() uint64 { return f.pushes }
+
+// MaxLen returns the high-water mark of committed occupancy.
+func (f *Fifo[T]) MaxLen() int { return f.maxSize }
+
+// CanPush reports whether a push would be accepted this cycle.
+func (f *Fifo[T]) CanPush() bool { return f.size+f.pendingIn < f.capacity }
+
+// CanPop reports whether committed data is available.
+func (f *Fifo[T]) CanPop() bool { return f.size > 0 }
+
+// TryPush enqueues v if space is available, reporting success. The
+// element becomes visible to readers next cycle.
+func (f *Fifo[T]) TryPush(v T) bool {
+	if !f.CanPush() {
+		f.stallHint++
+		return false
+	}
+	f.pending = append(f.pending, v)
+	f.pendingIn++
+	f.pushes++
+	return true
+}
+
+// TryPop dequeues the oldest committed element, reporting success.
+func (f *Fifo[T]) TryPop() (T, bool) {
+	var zero T
+	if f.size == 0 {
+		return zero, false
+	}
+	v := f.buf[f.head]
+	f.buf[f.head] = zero
+	f.head = (f.head + 1) % f.capacity
+	f.size--
+	return v, true
+}
+
+// Peek returns the oldest committed element without removing it.
+func (f *Fifo[T]) Peek() (T, bool) {
+	var zero T
+	if f.size == 0 {
+		return zero, false
+	}
+	return f.buf[f.head], true
+}
+
+// PushProc pushes v on behalf of proc p, blocking (consuming cycles)
+// while the FIFO is full. A successful push consumes one cycle,
+// preserving the initiation-interval-one contract of pipelined loops.
+func (f *Fifo[T]) PushProc(p *Proc, v T) {
+	for !f.CanPush() {
+		p.waitCond(&f.fifoCore, true)
+	}
+	f.TryPush(v)
+	p.Tick()
+}
+
+// PopProc pops an element on behalf of proc p, blocking while empty.
+// A successful pop consumes one cycle.
+func (f *Fifo[T]) PopProc(p *Proc) T {
+	for !f.CanPop() {
+		p.waitCond(&f.fifoCore, false)
+	}
+	v, _ := f.TryPop()
+	p.Tick()
+	return v
+}
+
+// PopProcPaired pops an element on behalf of proc p, blocking while
+// empty, but a successful pop consumes no cycle of its own: it models
+// the second port of a dual-port operation that already paid its cycle
+// (e.g. SMI_Reduce at the root pushes a contribution and pops a result
+// in one pipelined loop iteration). Use sparingly — at most one paired
+// pop per cycle-consuming operation keeps the model honest.
+func (f *Fifo[T]) PopProcPaired(p *Proc) T {
+	for !f.CanPop() {
+		p.waitCond(&f.fifoCore, false)
+	}
+	v, _ := f.TryPop()
+	return v
+}
+
+// commit publishes this cycle's writes to readers.
+func (f *Fifo[T]) commit() bool {
+	if f.pendingIn == 0 {
+		return false
+	}
+	for _, v := range f.pending {
+		f.buf[(f.head+f.size)%f.capacity] = v
+		f.size++
+	}
+	f.pending = f.pending[:0]
+	f.pendingIn = 0
+	if f.size > f.maxSize {
+		f.maxSize = f.size
+	}
+	return true
+}

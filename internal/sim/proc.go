@@ -1,0 +1,139 @@
+package sim
+
+import (
+	"errors"
+	"fmt"
+	"runtime/debug"
+)
+
+type procStatus uint8
+
+const (
+	procRunnable procStatus = iota
+	procBlocked             // waiting on a FIFO condition
+	procSleeping            // waiting for a specific cycle
+	procFinished
+)
+
+// errKilled is thrown (via panic) into a proc goroutine when the engine
+// aborts; it unwinds the proc body and is swallowed by the runner.
+var errKilled = errors.New("sim: proc killed")
+
+// Proc is a cooperative process driven by the engine. A proc models a
+// pipelined hardware kernel written as ordinary sequential Go code; every
+// cycle-consuming operation (Tick, Sleep, blocking FIFO access) yields
+// control back to the engine.
+//
+// Proc methods must only be called from within the proc's own body
+// function, never from other goroutines or from Kernel.Tick.
+type Proc struct {
+	name string
+	eng  *Engine
+	body func(*Proc)
+
+	resume  chan struct{}
+	yielded chan struct{}
+	quit    chan struct{}
+
+	status    procStatus
+	runAt     int64  // earliest cycle a runnable proc may run
+	wakeAt    int64  // wake cycle while sleeping
+	blockedOn string // description of the blocking condition
+	err       error
+}
+
+// NewProc registers a process with the engine. The body runs when the
+// engine's Run is called. Procs run once per cycle in registration order.
+func NewProc(e *Engine, name string, body func(*Proc)) *Proc {
+	if e.started {
+		panic("sim: NewProc after Run")
+	}
+	p := &Proc{
+		name:    name,
+		eng:     e,
+		body:    body,
+		resume:  make(chan struct{}),
+		yielded: make(chan struct{}),
+		quit:    make(chan struct{}),
+	}
+	e.procs = append(e.procs, p)
+	return p
+}
+
+// Name returns the proc's registered name.
+func (p *Proc) Name() string { return p.name }
+
+// Engine returns the engine this proc belongs to.
+func (p *Proc) Engine() *Engine { return p.eng }
+
+// Now returns the current cycle.
+func (p *Proc) Now() int64 { return p.eng.now }
+
+func (p *Proc) start() {
+	go func() {
+		defer func() {
+			if r := recover(); r != nil {
+				if err, ok := r.(error); !ok || !errors.Is(err, errKilled) {
+					p.err = fmt.Errorf("panic: %v\n%s", r, debug.Stack())
+				}
+			}
+			p.status = procFinished
+			p.yielded <- struct{}{}
+		}()
+		<-p.resume
+		p.body(p)
+	}()
+}
+
+func (p *Proc) kill() {
+	close(p.quit)
+	select {
+	case p.resume <- struct{}{}:
+		<-p.yielded
+	default:
+	}
+}
+
+// pause yields control to the engine and blocks until resumed.
+func (p *Proc) pause() {
+	p.yielded <- struct{}{}
+	<-p.resume
+	select {
+	case <-p.quit:
+		panic(errKilled)
+	default:
+	}
+}
+
+// Tick consumes exactly one clock cycle.
+func (p *Proc) Tick() {
+	p.status = procSleeping
+	p.wakeAt = p.eng.now + 1
+	p.pause()
+}
+
+// Sleep consumes n clock cycles (n <= 0 consumes none). Sleeping models
+// a span of pipelined computation with no externally visible events; the
+// engine fast-forwards over fully idle spans, so long sleeps are cheap.
+func (p *Proc) Sleep(n int64) {
+	if n <= 0 {
+		return
+	}
+	p.status = procSleeping
+	p.wakeAt = p.eng.now + n
+	p.pause()
+}
+
+// waitCond blocks the proc on a FIFO condition. The FIFO's wake pass
+// marks the proc runnable again.
+func (p *Proc) waitCond(c *fifoCore, space bool) {
+	p.status = procBlocked
+	if space {
+		p.blockedOn = fmt.Sprintf("space in fifo %s", c.name)
+		c.spaceWaiters = append(c.spaceWaiters, p)
+	} else {
+		p.blockedOn = fmt.Sprintf("data in fifo %s", c.name)
+		c.dataWaiters = append(c.dataWaiters, p)
+	}
+	p.pause()
+}

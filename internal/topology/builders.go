@@ -1,0 +1,173 @@
+package topology
+
+import "fmt"
+
+// Interface direction conventions used by the builders. Applications do
+// not depend on these: routing tables abstract the wiring away.
+const (
+	IfaceNorth = 0
+	IfaceEast  = 1
+	IfaceSouth = 2
+	IfaceWest  = 3
+)
+
+// Torus2D builds a rows × cols 2D torus. Every device has its four
+// interfaces wired to four distinct neighbors, matching the 8-FPGA 2×4
+// torus of the paper's experimental setup. Both dimensions must be at
+// least 2 (a 1-wide torus would cable a device to itself).
+func Torus2D(rows, cols int) (*Topology, error) {
+	if rows < 2 || cols < 2 {
+		return nil, fmt.Errorf("topology: torus dimensions %dx%d must both be >= 2", rows, cols)
+	}
+	t := &Topology{
+		Devices: rows * cols,
+		Ifaces:  DefaultIfaces,
+		Name:    fmt.Sprintf("torus-%dx%d", rows, cols),
+	}
+	dev := func(r, c int) int { return r*cols + c }
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			// Southward cable: (r,c).South <-> (r+1,c).North.
+			t.Connections = append(t.Connections, Connection{
+				A: Endpoint{Device: dev(r, c), Iface: IfaceSouth},
+				B: Endpoint{Device: dev((r+1)%rows, c), Iface: IfaceNorth},
+			})
+			// Eastward cable: (r,c).East <-> (r,c+1).West.
+			t.Connections = append(t.Connections, Connection{
+				A: Endpoint{Device: dev(r, c), Iface: IfaceEast},
+				B: Endpoint{Device: dev(r, (c+1)%cols), Iface: IfaceWest},
+			})
+		}
+	}
+	if err := t.Validate(); err != nil {
+		return nil, err
+	}
+	return t, nil
+}
+
+// Bus builds a linear bus of n devices: device i's East interface is
+// cabled to device i+1's West interface. This is the topology the paper
+// uses to measure bandwidth and latency at controlled hop distances
+// (§5.3.1: "the 8 FPGAs are treated as being organized along a linear
+// bus").
+func Bus(n int) (*Topology, error) {
+	if n < 2 {
+		return nil, fmt.Errorf("topology: bus needs at least 2 devices, got %d", n)
+	}
+	t := &Topology{Devices: n, Ifaces: DefaultIfaces, Name: fmt.Sprintf("bus-%d", n)}
+	for i := 0; i < n-1; i++ {
+		t.Connections = append(t.Connections, Connection{
+			A: Endpoint{Device: i, Iface: IfaceEast},
+			B: Endpoint{Device: i + 1, Iface: IfaceWest},
+		})
+	}
+	if err := t.Validate(); err != nil {
+		return nil, err
+	}
+	return t, nil
+}
+
+// Ring builds a ring of n devices (a bus with the ends joined).
+func Ring(n int) (*Topology, error) {
+	if n < 3 {
+		return nil, fmt.Errorf("topology: ring needs at least 3 devices, got %d", n)
+	}
+	t := &Topology{Devices: n, Ifaces: DefaultIfaces, Name: fmt.Sprintf("ring-%d", n)}
+	for i := 0; i < n; i++ {
+		t.Connections = append(t.Connections, Connection{
+			A: Endpoint{Device: i, Iface: IfaceEast},
+			B: Endpoint{Device: (i + 1) % n, Iface: IfaceWest},
+		})
+	}
+	if err := t.Validate(); err != nil {
+		return nil, err
+	}
+	return t, nil
+}
+
+// Star builds a star: device 0 is the hub, devices 1..n-1 are leaves on
+// consecutive hub interfaces. The hub's interface count grows with n.
+func Star(n int) (*Topology, error) {
+	if n < 2 {
+		return nil, fmt.Errorf("topology: star needs at least 2 devices, got %d", n)
+	}
+	ifaces := DefaultIfaces
+	if n-1 > ifaces {
+		ifaces = n - 1
+	}
+	t := &Topology{Devices: n, Ifaces: ifaces, Name: fmt.Sprintf("star-%d", n)}
+	for i := 1; i < n; i++ {
+		t.Connections = append(t.Connections, Connection{
+			A: Endpoint{Device: 0, Iface: i - 1},
+			B: Endpoint{Device: i, Iface: 0},
+		})
+	}
+	if err := t.Validate(); err != nil {
+		return nil, err
+	}
+	return t, nil
+}
+
+// FullyConnected builds an all-to-all wiring of n devices. Each device
+// needs n-1 interfaces.
+func FullyConnected(n int) (*Topology, error) {
+	if n < 2 {
+		return nil, fmt.Errorf("topology: full mesh needs at least 2 devices, got %d", n)
+	}
+	ifaces := n - 1
+	if ifaces < DefaultIfaces {
+		ifaces = DefaultIfaces
+	}
+	t := &Topology{Devices: n, Ifaces: ifaces, Name: fmt.Sprintf("full-%d", n)}
+	// Device d talks to device e (e != d) on local interface e adjusted
+	// for the skipped self slot.
+	localIface := func(d, e int) int {
+		if e < d {
+			return e
+		}
+		return e - 1
+	}
+	for d := 0; d < n; d++ {
+		for e := d + 1; e < n; e++ {
+			t.Connections = append(t.Connections, Connection{
+				A: Endpoint{Device: d, Iface: localIface(d, e)},
+				B: Endpoint{Device: e, Iface: localIface(e, d)},
+			})
+		}
+	}
+	if err := t.Validate(); err != nil {
+		return nil, err
+	}
+	return t, nil
+}
+
+// Hypercube builds a d-dimensional hypercube of 2^d devices: device v is
+// cabled to v^(1<<k) for every dimension k, using local interface k on
+// both sides. Hypercubes give logarithmic diameter with d interfaces per
+// device.
+func Hypercube(dim int) (*Topology, error) {
+	if dim < 1 || dim > 8 {
+		return nil, fmt.Errorf("topology: hypercube dimension %d outside [1,8]", dim)
+	}
+	n := 1 << dim
+	ifaces := dim
+	if ifaces < DefaultIfaces {
+		ifaces = DefaultIfaces
+	}
+	t := &Topology{Devices: n, Ifaces: ifaces, Name: fmt.Sprintf("hypercube-%d", dim)}
+	for v := 0; v < n; v++ {
+		for k := 0; k < dim; k++ {
+			w := v ^ (1 << k)
+			if v < w {
+				t.Connections = append(t.Connections, Connection{
+					A: Endpoint{Device: v, Iface: k},
+					B: Endpoint{Device: w, Iface: k},
+				})
+			}
+		}
+	}
+	if err := t.Validate(); err != nil {
+		return nil, err
+	}
+	return t, nil
+}

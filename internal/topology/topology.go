@@ -1,0 +1,162 @@
+// Package topology describes the physical interconnect of a multi-FPGA
+// cluster: which QSFP network interface of which device is cabled to
+// which interface of which other device.
+//
+// A topology is pure wiring. It is consumed by the route generator
+// (internal/routing) to produce routing tables, and by the cluster
+// builder (internal/core) to instantiate links. Changing the topology
+// never requires "rebuilding the bitstream": the same compiled program
+// runs on any wiring once new routing tables are uploaded (paper §4.3).
+package topology
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// DefaultIfaces is the number of QSFP network interfaces per device on
+// the experimental platform (Nallatech 520N: 4 × 40 Gbit/s).
+const DefaultIfaces = 4
+
+// Endpoint identifies one side of a cable: a device and one of its
+// network interfaces.
+type Endpoint struct {
+	Device int `json:"device"`
+	Iface  int `json:"iface"`
+}
+
+func (e Endpoint) String() string { return fmt.Sprintf("%d:%d", e.Device, e.Iface) }
+
+// Connection is a full-duplex cable between two endpoints.
+type Connection struct {
+	A Endpoint `json:"a"`
+	B Endpoint `json:"b"`
+}
+
+// Topology is the wiring of a cluster.
+type Topology struct {
+	Devices     int          `json:"devices"`
+	Ifaces      int          `json:"ifaces_per_device"`
+	Connections []Connection `json:"connections"`
+	Name        string       `json:"name,omitempty"`
+}
+
+// Validate checks structural well-formedness: indices in range, each
+// interface used by at most one cable, and no device cabled to itself.
+func (t *Topology) Validate() error {
+	if t.Devices <= 0 {
+		return fmt.Errorf("topology: device count %d must be positive", t.Devices)
+	}
+	if t.Ifaces <= 0 {
+		return fmt.Errorf("topology: interface count %d must be positive", t.Ifaces)
+	}
+	used := make(map[Endpoint]bool)
+	for i, c := range t.Connections {
+		for _, e := range [2]Endpoint{c.A, c.B} {
+			if e.Device < 0 || e.Device >= t.Devices {
+				return fmt.Errorf("topology: connection %d: device %d out of range [0,%d)", i, e.Device, t.Devices)
+			}
+			if e.Iface < 0 || e.Iface >= t.Ifaces {
+				return fmt.Errorf("topology: connection %d: iface %d out of range [0,%d)", i, e.Iface, t.Ifaces)
+			}
+			if used[e] {
+				return fmt.Errorf("topology: connection %d: endpoint %s already cabled", i, e)
+			}
+			used[e] = true
+		}
+		if c.A.Device == c.B.Device {
+			return fmt.Errorf("topology: connection %d: device %d cabled to itself", i, c.A.Device)
+		}
+	}
+	return nil
+}
+
+// Neighbor returns the endpoint cabled to (device, iface), if any.
+func (t *Topology) Neighbor(device, iface int) (Endpoint, bool) {
+	e := Endpoint{Device: device, Iface: iface}
+	for _, c := range t.Connections {
+		if c.A == e {
+			return c.B, true
+		}
+		if c.B == e {
+			return c.A, true
+		}
+	}
+	return Endpoint{}, false
+}
+
+// Adjacent lists, for each device, its cabled neighbors as
+// (local interface -> remote endpoint). The returned slice is indexed by
+// device, then by local interface; entries without a cable have
+// Device == -1.
+func (t *Topology) Adjacent() [][]Endpoint {
+	adj := make([][]Endpoint, t.Devices)
+	for d := range adj {
+		adj[d] = make([]Endpoint, t.Ifaces)
+		for i := range adj[d] {
+			adj[d][i] = Endpoint{Device: -1, Iface: -1}
+		}
+	}
+	for _, c := range t.Connections {
+		adj[c.A.Device][c.A.Iface] = c.B
+		adj[c.B.Device][c.B.Iface] = c.A
+	}
+	return adj
+}
+
+// Degree returns the number of cabled interfaces of a device.
+func (t *Topology) Degree(device int) int {
+	n := 0
+	for _, c := range t.Connections {
+		if c.A.Device == device || c.B.Device == device {
+			n++
+		}
+	}
+	return n
+}
+
+// Connected reports whether every device can reach every other device.
+func (t *Topology) Connected() bool {
+	if t.Devices == 0 {
+		return false
+	}
+	adj := t.Adjacent()
+	seen := make([]bool, t.Devices)
+	stack := []int{0}
+	seen[0] = true
+	count := 1
+	for len(stack) > 0 {
+		d := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, e := range adj[d] {
+			if e.Device >= 0 && !seen[e.Device] {
+				seen[e.Device] = true
+				count++
+				stack = append(stack, e.Device)
+			}
+		}
+	}
+	return count == t.Devices
+}
+
+// WriteJSON serializes the topology in the JSON interchange format
+// consumed by cmd/routegen (the paper's "topology provided as a JSON
+// file", §4.5).
+func (t *Topology) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(t)
+}
+
+// ReadJSON parses a topology from its JSON form and validates it.
+func ReadJSON(r io.Reader) (*Topology, error) {
+	var t Topology
+	if err := json.NewDecoder(r).Decode(&t); err != nil {
+		return nil, fmt.Errorf("topology: parsing JSON: %w", err)
+	}
+	if err := t.Validate(); err != nil {
+		return nil, err
+	}
+	return &t, nil
+}

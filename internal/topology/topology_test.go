@@ -1,0 +1,246 @@
+package topology
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestTorus2x4MatchesPaperSetup(t *testing.T) {
+	// "8 FPGAs connected in a 2D torus, such that all the 4 QSFP ports
+	// in each FPGA are wired to 4 distinct other FPGAs."
+	topo, err := Torus2D(2, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if topo.Devices != 8 {
+		t.Fatalf("devices = %d, want 8", topo.Devices)
+	}
+	adj := topo.Adjacent()
+	for d := 0; d < 8; d++ {
+		if topo.Degree(d) != 4 {
+			t.Errorf("device %d degree = %d, want 4", d, topo.Degree(d))
+		}
+		neighbors := map[int]bool{}
+		for _, e := range adj[d] {
+			if e.Device < 0 {
+				t.Errorf("device %d has an uncabled interface", d)
+				continue
+			}
+			if e.Device == d {
+				t.Errorf("device %d cabled to itself", d)
+			}
+			neighbors[e.Device] = true
+		}
+		// In a 2-row torus the north and south cables reach the same
+		// device, so 3 distinct neighbors; >= 3x3 tori give 4.
+		if len(neighbors) != 3 {
+			t.Errorf("device %d has %d distinct neighbors, want 3 in a 2x4 torus", d, len(neighbors))
+		}
+	}
+}
+
+func TestTorusRejectsDegenerate(t *testing.T) {
+	if _, err := Torus2D(1, 4); err == nil {
+		t.Fatal("1-row torus should be rejected (self-cabling)")
+	}
+	if _, err := Torus2D(4, 1); err == nil {
+		t.Fatal("1-column torus should be rejected")
+	}
+}
+
+func TestBusEndpoints(t *testing.T) {
+	topo, err := Bus(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(topo.Connections) != 7 {
+		t.Fatalf("bus-8 should have 7 cables, got %d", len(topo.Connections))
+	}
+	if topo.Degree(0) != 1 || topo.Degree(7) != 1 {
+		t.Fatal("bus ends must have degree 1")
+	}
+	for d := 1; d < 7; d++ {
+		if topo.Degree(d) != 2 {
+			t.Fatalf("interior bus device %d degree = %d, want 2", d, topo.Degree(d))
+		}
+	}
+	if !topo.Connected() {
+		t.Fatal("bus must be connected")
+	}
+}
+
+func TestRingStarFull(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		topo *Topology
+		err  error
+	}{} {
+		_ = tc
+	}
+	ring, err := Ring(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for d := 0; d < 5; d++ {
+		if ring.Degree(d) != 2 {
+			t.Fatalf("ring degree %d, want 2", ring.Degree(d))
+		}
+	}
+	star, err := Star(6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if star.Degree(0) != 5 {
+		t.Fatalf("star hub degree = %d, want 5", star.Degree(0))
+	}
+	full, err := FullyConnected(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(full.Connections) != 10 {
+		t.Fatalf("K5 has 10 edges, got %d", len(full.Connections))
+	}
+	for d := 0; d < 5; d++ {
+		if full.Degree(d) != 4 {
+			t.Fatalf("K5 degree = %d, want 4", full.Degree(d))
+		}
+	}
+}
+
+func TestNeighborSymmetry(t *testing.T) {
+	topo, _ := Torus2D(2, 4)
+	for d := 0; d < topo.Devices; d++ {
+		for i := 0; i < topo.Ifaces; i++ {
+			remote, ok := topo.Neighbor(d, i)
+			if !ok {
+				t.Fatalf("torus interface %d:%d uncabled", d, i)
+			}
+			back, ok := topo.Neighbor(remote.Device, remote.Iface)
+			if !ok || back.Device != d || back.Iface != i {
+				t.Fatalf("cable not symmetric: %d:%d -> %s -> %s", d, i, remote, back)
+			}
+		}
+	}
+}
+
+func TestValidateRejectsBadWiring(t *testing.T) {
+	cases := []struct {
+		name string
+		topo Topology
+	}{
+		{"no devices", Topology{Devices: 0, Ifaces: 4}},
+		{"no ifaces", Topology{Devices: 2, Ifaces: 0}},
+		{"device out of range", Topology{Devices: 2, Ifaces: 4, Connections: []Connection{
+			{A: Endpoint{0, 0}, B: Endpoint{5, 0}}}}},
+		{"iface out of range", Topology{Devices: 2, Ifaces: 4, Connections: []Connection{
+			{A: Endpoint{0, 9}, B: Endpoint{1, 0}}}}},
+		{"endpoint reused", Topology{Devices: 3, Ifaces: 4, Connections: []Connection{
+			{A: Endpoint{0, 0}, B: Endpoint{1, 0}},
+			{A: Endpoint{0, 0}, B: Endpoint{2, 0}}}}},
+		{"self loop", Topology{Devices: 2, Ifaces: 4, Connections: []Connection{
+			{A: Endpoint{0, 0}, B: Endpoint{0, 1}}}}},
+	}
+	for _, c := range cases {
+		if err := c.topo.Validate(); err == nil {
+			t.Errorf("%s: expected validation error", c.name)
+		}
+	}
+}
+
+func TestConnectedDetectsPartition(t *testing.T) {
+	topo := Topology{Devices: 4, Ifaces: 4, Connections: []Connection{
+		{A: Endpoint{0, 0}, B: Endpoint{1, 0}},
+		{A: Endpoint{2, 0}, B: Endpoint{3, 0}},
+	}}
+	if err := topo.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if topo.Connected() {
+		t.Fatal("partitioned topology reported as connected")
+	}
+}
+
+func TestJSONRoundtrip(t *testing.T) {
+	orig, _ := Torus2D(2, 4)
+	var buf bytes.Buffer
+	if err := orig.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Devices != orig.Devices || got.Ifaces != orig.Ifaces || len(got.Connections) != len(orig.Connections) {
+		t.Fatalf("JSON roundtrip mismatch: %+v vs %+v", got, orig)
+	}
+	for i := range orig.Connections {
+		if got.Connections[i] != orig.Connections[i] {
+			t.Fatalf("connection %d differs", i)
+		}
+	}
+}
+
+func TestReadJSONRejectsInvalid(t *testing.T) {
+	if _, err := ReadJSON(strings.NewReader(`{"devices": -1}`)); err == nil {
+		t.Fatal("invalid topology should fail to parse")
+	}
+	if _, err := ReadJSON(strings.NewReader(`not json`)); err == nil {
+		t.Fatal("malformed JSON should fail to parse")
+	}
+}
+
+// Property: all torus sizes produce valid, connected, 4-regular wirings.
+func TestTorusAlwaysValidQuick(t *testing.T) {
+	prop := func(r, c uint8) bool {
+		rows := int(r%6) + 2
+		cols := int(c%6) + 2
+		topo, err := Torus2D(rows, cols)
+		if err != nil {
+			return false
+		}
+		if !topo.Connected() {
+			return false
+		}
+		for d := 0; d < topo.Devices; d++ {
+			if topo.Degree(d) != 4 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHypercube(t *testing.T) {
+	for dim := 1; dim <= 4; dim++ {
+		topo, err := Hypercube(dim)
+		if err != nil {
+			t.Fatal(err)
+		}
+		n := 1 << dim
+		if topo.Devices != n {
+			t.Fatalf("dim %d: devices = %d, want %d", dim, topo.Devices, n)
+		}
+		if len(topo.Connections) != n*dim/2 {
+			t.Fatalf("dim %d: %d cables, want %d", dim, len(topo.Connections), n*dim/2)
+		}
+		if !topo.Connected() {
+			t.Fatalf("dim %d: not connected", dim)
+		}
+		for d := 0; d < n; d++ {
+			if topo.Degree(d) != dim {
+				t.Fatalf("dim %d: device %d degree %d", dim, d, topo.Degree(d))
+			}
+		}
+	}
+	if _, err := Hypercube(0); err == nil {
+		t.Fatal("dimension 0 accepted")
+	}
+	if _, err := Hypercube(9); err == nil {
+		t.Fatal("dimension 9 accepted")
+	}
+}

@@ -1,0 +1,178 @@
+package transport
+
+import (
+	"repro/internal/packet"
+	"repro/internal/sim"
+)
+
+// ck is one communication kernel (CKS or CKR). It polls its inputs with
+// the paper's R scheme and forwards each packet to the FIFO selected by
+// the route function. A packet whose output FIFO is full is held in a
+// register until space frees (hardware stall), backpressuring the input
+// side.
+type ck struct {
+	name     string
+	inputs   []*sim.Fifo[packet.Packet]
+	inName   []string
+	r        int
+	skipIdle bool
+	route    func(packet.Packet) *sim.Fifo[packet.Packet]
+
+	nOut int // output FIFO count (structural metadata for resources)
+
+	cur   int // input currently polled
+	reads int // consecutive reads from cur
+
+	held    packet.Packet
+	heldOut *sim.Fifo[packet.Packet]
+	hasHeld bool
+
+	// Circuit switching state (§4.2, the multiplexing-free alternative):
+	// after forwarding an OpOpen the kernel locks onto its input and
+	// routes the announced number of headerless OpRaw packets to the same
+	// output, ignoring every other input until the circuit closes.
+	circuitOut  *sim.Fifo[packet.Packet]
+	circuitLeft int
+
+	forwarded uint64
+	stalls    uint64
+}
+
+func newCK(name string, inputs []*sim.Fifo[packet.Packet], inNames []string, nOut, r int, skipIdle bool, route func(packet.Packet) *sim.Fifo[packet.Packet]) *ck {
+	return &ck{name: name, inputs: inputs, inName: inNames, nOut: nOut, r: r, skipIdle: skipIdle, route: route}
+}
+
+func (c *ck) Name() string { return c.name }
+
+// Tick performs one cycle of the polling state machine:
+//
+//   - If a packet is held (output was full), retry the push.
+//   - Else if the current input has data and the read budget R is not
+//     exhausted, pop one packet and route it.
+//   - Else advance to the next input; advancing consumes the cycle, so
+//     with R=1 and one active input among k, a packet is injected every
+//     k cycles — the behaviour Table 4 measures.
+func (c *ck) Tick(now int64) bool {
+	if len(c.inputs) == 0 {
+		return false
+	}
+	if c.hasHeld {
+		c.stalls++
+		if c.heldOut.TryPush(c.held) {
+			c.hasHeld = false
+			c.forwarded++
+			return true
+		}
+		// A failed retry makes no progress: report inactivity so the
+		// engine can distinguish a jammed transport (whose resolution
+		// depends on some process draining an endpoint) from live
+		// traffic, and diagnose application deadlocks instead of
+		// spinning.
+		return false
+	}
+	if c.circuitLeft > 0 {
+		return c.tickCircuit()
+	}
+	in := c.inputs[c.cur]
+	if c.skipIdle && !in.CanPop() {
+		// Priority-encoder arbiter: select the next input holding data
+		// combinationally and serve it this very cycle.
+		for off := 1; off < len(c.inputs); off++ {
+			cand := (c.cur + off) % len(c.inputs)
+			if c.inputs[cand].CanPop() {
+				c.cur, c.reads = cand, 0
+				in = c.inputs[cand]
+				break
+			}
+		}
+	}
+	if p, ok := in.TryPop(); ok {
+		c.reads++
+		if c.reads >= c.r {
+			// The R-th read and the pointer advance share a cycle: with
+			// R=1 the kernel "polls a different connection every cycle".
+			c.advance()
+		}
+		out := c.route(p)
+		if out == nil {
+			// Undeliverable packet: dropped (counted by the device).
+			return true
+		}
+		if p.Op == packet.OpOpen {
+			// Establish the circuit: the announced raw packets follow on
+			// this same input and go to this same output, exclusively.
+			c.circuitOut = out
+			c.circuitLeft = int(packet.DecodeOpen(p).RawPackets)
+			// Stay locked on this input (undo any pointer advance).
+			c.cur, c.reads = indexOf(c.inputs, in), 0
+		}
+		if !out.TryPush(p) {
+			c.held, c.heldOut, c.hasHeld = p, out, true
+		} else {
+			c.forwarded++
+		}
+		return true
+	}
+	// Empty input: advancing to the next connection consumes the cycle.
+	c.advance()
+	// Advancing over idle inputs is not "work": report activity only if
+	// some input actually has data waiting (so the engine can fast-forward
+	// fully idle transport layers).
+	for _, f := range c.inputs {
+		if f.CanPop() {
+			return true
+		}
+	}
+	return false
+}
+
+func (c *ck) advance() {
+	c.cur = (c.cur + 1) % len(c.inputs)
+	c.reads = 0
+}
+
+// tickCircuit services an established circuit: one raw packet per cycle
+// from the locked input to the locked output, blind to every other
+// input — the multiplexing cost of circuit switching.
+func (c *ck) tickCircuit() bool {
+	in := c.inputs[c.cur]
+	p, ok := in.TryPop()
+	if !ok {
+		// The circuit is idle until its sender provides data; other
+		// inputs stay blocked behind the lock either way.
+		return false
+	}
+	if p.Op != packet.OpRaw {
+		// Protocol violation: close the circuit and fall back to normal
+		// routing next cycle rather than misroute data.
+		c.circuitLeft = 0
+		out := c.route(p)
+		if out == nil {
+			return true
+		}
+		if !out.TryPush(p) {
+			c.held, c.heldOut, c.hasHeld = p, out, true
+		} else {
+			c.forwarded++
+		}
+		return true
+	}
+	if !c.circuitOut.TryPush(p) {
+		c.held, c.heldOut, c.hasHeld = p, c.circuitOut, true
+		c.circuitLeft--
+		return true
+	}
+	c.forwarded++
+	c.circuitLeft--
+	return true
+}
+
+// indexOf returns the position of f in inputs (it is always present).
+func indexOf(inputs []*sim.Fifo[packet.Packet], f *sim.Fifo[packet.Packet]) int {
+	for i, in := range inputs {
+		if in == f {
+			return i
+		}
+	}
+	return 0
+}

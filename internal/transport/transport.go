@@ -1,0 +1,281 @@
+// Package transport implements SMI's transport layer: the send (CKS)
+// and receive (CKR) communication kernels that move network packets
+// between application endpoints and the device's network interfaces
+// (paper §4.2–4.3).
+//
+// One CKS/CKR pair manages each network interface, avoiding any single
+// centralization point. The kernels are interconnected as in the paper's
+// Fig 7:
+//
+//	CKS_q inputs:  application send endpoints bound to q, the paired
+//	               CKR_q, and every other CKS_j (j != q).
+//	CKS_q outputs: network port q, the paired CKR_q (local delivery),
+//	               and every other CKS_j.
+//	CKR_q inputs:  network port q, the paired CKS_q, and every other
+//	               CKR_j.
+//	CKR_q outputs: application receive endpoints bound to q, the paired
+//	               CKS_q (forwarding when this rank is an intermediate
+//	               hop), and every other CKR_j.
+//
+// Inputs are served with the configurable polling scheme of §4.3: a
+// kernel keeps reading from the same connection up to R times while data
+// is available before moving on; advancing to the next connection costs
+// one cycle.
+package transport
+
+import (
+	"fmt"
+
+	"repro/internal/packet"
+	"repro/internal/routing"
+	"repro/internal/sim"
+)
+
+// Config tunes the transport layer of one device.
+type Config struct {
+	// R is the polling factor: consecutive reads from one input while
+	// data is available. The paper's microbenchmarks use R = 8.
+	R int
+	// CKDepth is the depth of the FIFOs between communication kernels
+	// and of the network-port FIFOs.
+	CKDepth int
+	// SkipIdle selects a priority-encoder arbiter that jumps straight to
+	// the next input holding data instead of scanning idle inputs one
+	// per cycle. The default literal round-robin poller reproduces the
+	// paper's Table 4 injection numbers exactly; the skip-idle arbiter
+	// reproduces its Fig 9 bandwidth (91% of payload peak) instead — the
+	// published RTL evidently behaves in between (see EXPERIMENTS.md D1).
+	SkipIdle bool
+}
+
+// DefaultConfig mirrors the paper's experimental configuration.
+func DefaultConfig() Config { return Config{R: 8, CKDepth: 8} }
+
+func (c *Config) fill() {
+	if c.R <= 0 {
+		c.R = 8
+	}
+	if c.CKDepth <= 0 {
+		c.CKDepth = 8
+	}
+}
+
+// PortBinding wires one application endpoint (one SMI port) to the
+// transport layer. Ports must be known when the device is built — "all
+// ports must be known at compile time, such that, within each rank, the
+// necessary hardware connections ... can be instantiated" (§2.2).
+type PortBinding struct {
+	Port  int
+	Iface int // CKS/CKR pair the endpoint's FIFOs attach to
+
+	// Send carries packets from the application to CKS_Iface; Recv
+	// carries packets from CKR_Iface to the application. Either may be
+	// nil for one-directional endpoints.
+	Send *sim.Fifo[packet.Packet]
+	Recv *sim.Fifo[packet.Packet]
+}
+
+// Device is the transport layer of one FPGA: Q CKS/CKR pairs plus the
+// FIFO fabric between them.
+type Device struct {
+	Rank   int
+	Ifaces int
+
+	// NetOut[q] is written by CKS_q and drained by the outgoing link on
+	// interface q; NetIn[q] is filled by the incoming link and read by
+	// CKR_q.
+	NetOut []*sim.Fifo[packet.Packet]
+	NetIn  []*sim.Fifo[packet.Packet]
+
+	cks []*ck
+	ckr []*ck
+
+	numFifos int // internal FIFOs instantiated (excluding app endpoints)
+
+	dropped uint64 // packets addressed to unbound ports
+}
+
+// Shape describes the structural footprint of a device's transport
+// layer, the input to the resource model (internal/resources).
+type Shape struct {
+	// Fifos is the number of internal FIFOs (network ports, CKS/CKR
+	// pairs, inter-kernel crossbars), excluding application endpoints.
+	Fifos int
+	// CKPorts lists, for each communication kernel, its input+output
+	// port count (CKS kernels first, then CKR).
+	CKPorts []int
+}
+
+// Shape returns the device's structural footprint.
+func (d *Device) Shape() Shape {
+	s := Shape{Fifos: d.numFifos}
+	for _, k := range d.cks {
+		s.CKPorts = append(s.CKPorts, len(k.inputs)+k.nOut)
+	}
+	for _, k := range d.ckr {
+		s.CKPorts = append(s.CKPorts, len(k.inputs)+k.nOut)
+	}
+	return s
+}
+
+// NewDevice builds the transport layer for one rank and registers its
+// kernels with the engine. routes must cover the destination ranks this
+// device will see; bindings list every application endpoint.
+func NewDevice(e *sim.Engine, rank, ifaces int, routes *routing.Routes, bindings []PortBinding, cfg Config) (*Device, error) {
+	cfg.fill()
+	if ifaces <= 0 {
+		return nil, fmt.Errorf("transport: device %d needs at least one interface", rank)
+	}
+	d := &Device{Rank: rank, Ifaces: ifaces}
+
+	nf := func(kind string, q int) *sim.Fifo[packet.Packet] {
+		d.numFifos++
+		return sim.NewFifo[packet.Packet](e, fmt.Sprintf("dev%d.%s%d", rank, kind, q), cfg.CKDepth)
+	}
+
+	// Network port FIFOs.
+	for q := 0; q < ifaces; q++ {
+		d.NetOut = append(d.NetOut, nf("netout", q))
+		d.NetIn = append(d.NetIn, nf("netin", q))
+	}
+
+	// Pairwise FIFOs.
+	cksToCkr := make([]*sim.Fifo[packet.Packet], ifaces) // CKS_q -> CKR_q
+	ckrToCks := make([]*sim.Fifo[packet.Packet], ifaces) // CKR_q -> CKS_q
+	for q := 0; q < ifaces; q++ {
+		cksToCkr[q] = nf("cks2ckr", q)
+		ckrToCks[q] = nf("ckr2cks", q)
+	}
+	// Inter-kernel crossbars: interCKS[a][b] carries packets CKS_a ->
+	// CKS_b, likewise for CKR.
+	interCKS := make([][]*sim.Fifo[packet.Packet], ifaces)
+	interCKR := make([][]*sim.Fifo[packet.Packet], ifaces)
+	for a := 0; a < ifaces; a++ {
+		interCKS[a] = make([]*sim.Fifo[packet.Packet], ifaces)
+		interCKR[a] = make([]*sim.Fifo[packet.Packet], ifaces)
+		for b := 0; b < ifaces; b++ {
+			if a == b {
+				continue
+			}
+			interCKS[a][b] = sim.NewFifo[packet.Packet](e, fmt.Sprintf("dev%d.cks%d-cks%d", rank, a, b), cfg.CKDepth)
+			interCKR[a][b] = sim.NewFifo[packet.Packet](e, fmt.Sprintf("dev%d.ckr%d-ckr%d", rank, a, b), cfg.CKDepth)
+			d.numFifos += 2
+		}
+	}
+
+	// Port lookup tables.
+	portIface := make(map[int]int)
+	portRecv := make(map[int]*sim.Fifo[packet.Packet])
+	for _, b := range bindings {
+		if b.Iface < 0 || b.Iface >= ifaces {
+			return nil, fmt.Errorf("transport: device %d port %d bound to invalid interface %d", rank, b.Port, b.Iface)
+		}
+		if _, dup := portIface[b.Port]; dup {
+			return nil, fmt.Errorf("transport: device %d port %d bound twice", rank, b.Port)
+		}
+		portIface[b.Port] = b.Iface
+		if b.Recv != nil {
+			portRecv[b.Port] = b.Recv
+		}
+	}
+
+	// Build the CKS kernels.
+	for q := 0; q < ifaces; q++ {
+		q := q
+		var inputs []*sim.Fifo[packet.Packet]
+		var names []string
+		for _, b := range bindings {
+			if b.Iface == q && b.Send != nil {
+				inputs = append(inputs, b.Send)
+				names = append(names, fmt.Sprintf("app:%d", b.Port))
+			}
+		}
+		inputs = append(inputs, ckrToCks[q])
+		names = append(names, "pair-ckr")
+		for j := 0; j < ifaces; j++ {
+			if j != q {
+				inputs = append(inputs, interCKS[j][q])
+				names = append(names, fmt.Sprintf("cks%d", j))
+			}
+		}
+		route := func(p packet.Packet) *sim.Fifo[packet.Packet] {
+			if int(p.Dst) == rank {
+				return cksToCkr[q]
+			}
+			exit := routes.At(rank, int(p.Dst))
+			if exit < 0 {
+				d.dropped++
+				return nil
+			}
+			if exit == q {
+				return d.NetOut[q]
+			}
+			return interCKS[q][exit]
+		}
+		// Outputs: the network port, the paired CKR, and every other CKS.
+		k := newCK(fmt.Sprintf("dev%d.cks%d", rank, q), inputs, names, 1+1+(ifaces-1), cfg.R, cfg.SkipIdle, route)
+		d.cks = append(d.cks, k)
+		e.AddKernel(k)
+	}
+
+	// Build the CKR kernels.
+	for q := 0; q < ifaces; q++ {
+		q := q
+		inputs := []*sim.Fifo[packet.Packet]{d.NetIn[q], cksToCkr[q]}
+		names := []string{"net", "pair-cks"}
+		for j := 0; j < ifaces; j++ {
+			if j != q {
+				inputs = append(inputs, interCKR[j][q])
+				names = append(names, fmt.Sprintf("ckr%d", j))
+			}
+		}
+		route := func(p packet.Packet) *sim.Fifo[packet.Packet] {
+			if int(p.Dst) != rank {
+				// This rank is an intermediate hop: hand the packet to
+				// the paired CKS for re-routing.
+				return ckrToCks[q]
+			}
+			target, ok := portIface[int(p.Port)]
+			if !ok {
+				d.dropped++
+				return nil
+			}
+			if target == q {
+				f := portRecv[int(p.Port)]
+				if f == nil {
+					d.dropped++
+				}
+				return f
+			}
+			return interCKR[q][target]
+		}
+		// Outputs: receive endpoints bound to q, the paired CKS, and
+		// every other CKR.
+		nApps := 0
+		for _, b := range bindings {
+			if b.Iface == q && b.Recv != nil {
+				nApps++
+			}
+		}
+		k := newCK(fmt.Sprintf("dev%d.ckr%d", rank, q), inputs, names, nApps+1+(ifaces-1), cfg.R, cfg.SkipIdle, route)
+		d.ckr = append(d.ckr, k)
+		e.AddKernel(k)
+	}
+	return d, nil
+}
+
+// Dropped returns the number of packets discarded because they addressed
+// an unbound port or unreachable rank.
+func (d *Device) Dropped() uint64 { return d.dropped }
+
+// Forwarded returns the total packets forwarded by all CKS and CKR
+// kernels of this device.
+func (d *Device) Forwarded() (cks, ckr uint64) {
+	for _, k := range d.cks {
+		cks += k.forwarded
+	}
+	for _, k := range d.ckr {
+		ckr += k.forwarded
+	}
+	return
+}

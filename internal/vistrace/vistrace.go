@@ -1,0 +1,128 @@
+// Package vistrace renders a simulation's activity as a Chrome
+// trace-event file (the JSON format chrome://tracing, Perfetto, and
+// speedscope load), one lane per application kernel and hardware kernel.
+// Timestamps are simulated clock cycles reported as microseconds, so one
+// trace microsecond equals one cycle.
+//
+// Usage:
+//
+//	tr := vistrace.New()
+//	engine.SetRecorder(tr)   // or smi.Config plumbing
+//	engine.Run()
+//	tr.Write(file)
+package vistrace
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+)
+
+// event is one Chrome trace "complete" event.
+type event struct {
+	Name  string `json:"name"`
+	Cat   string `json:"cat"`
+	Phase string `json:"ph"`
+	TS    int64  `json:"ts"`
+	Dur   int64  `json:"dur"`
+	PID   int    `json:"pid"`
+	TID   int    `json:"tid"`
+}
+
+// Tracer collects activity intervals (implements sim.Recorder).
+type Tracer struct {
+	events []event
+	lanes  map[string]int
+	end    int64
+	done   bool
+}
+
+// New returns an empty tracer.
+func New() *Tracer {
+	return &Tracer{lanes: make(map[string]int)}
+}
+
+func (t *Tracer) lane(name string) int {
+	if id, ok := t.lanes[name]; ok {
+		return id
+	}
+	id := len(t.lanes)
+	t.lanes[name] = id
+	return id
+}
+
+// ProcInterval implements sim.Recorder. Idle states ("sleep", "blocked")
+// are recorded too: stalls are usually what the viewer is hunting.
+func (t *Tracer) ProcInterval(name, state string, start, end int64) {
+	if end <= start {
+		return
+	}
+	t.events = append(t.events, event{
+		Name: state, Cat: "proc", Phase: "X",
+		TS: start, Dur: end - start, PID: 0, TID: t.lane("proc:" + name),
+	})
+}
+
+// KernelInterval implements sim.Recorder.
+func (t *Tracer) KernelInterval(name string, start, end int64) {
+	if end <= start {
+		return
+	}
+	t.events = append(t.events, event{
+		Name: "active", Cat: "kernel", Phase: "X",
+		TS: start, Dur: end - start, PID: 0, TID: t.lane("kernel:" + name),
+	})
+}
+
+// Done implements sim.Recorder.
+func (t *Tracer) Done(now int64) {
+	t.end = now
+	t.done = true
+}
+
+// Events returns the number of recorded intervals.
+func (t *Tracer) Events() int { return len(t.events) }
+
+// End returns the final cycle reported via Done.
+func (t *Tracer) End() int64 { return t.end }
+
+// Write emits the Chrome trace JSON (an object with traceEvents plus
+// thread-name metadata so lanes are labeled).
+func (t *Tracer) Write(w io.Writer) error {
+	type metaArgs struct {
+		Name string `json:"name"`
+	}
+	type metaEvent struct {
+		Name  string   `json:"name"`
+		Phase string   `json:"ph"`
+		PID   int      `json:"pid"`
+		TID   int      `json:"tid"`
+		Args  metaArgs `json:"args"`
+	}
+	names := make([]string, 0, len(t.lanes))
+	for n := range t.lanes {
+		names = append(names, n)
+	}
+	sort.Slice(names, func(i, j int) bool { return t.lanes[names[i]] < t.lanes[names[j]] })
+
+	out := struct {
+		TraceEvents []any  `json:"traceEvents"`
+		TimeUnit    string `json:"displayTimeUnit"`
+	}{TimeUnit: "ms"}
+	for _, n := range names {
+		out.TraceEvents = append(out.TraceEvents, metaEvent{
+			Name: "thread_name", Phase: "M", PID: 0, TID: t.lanes[n], Args: metaArgs{Name: n},
+		})
+	}
+	for _, ev := range t.events {
+		out.TraceEvents = append(out.TraceEvents, ev)
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(out)
+}
+
+// Summary returns a one-line description, useful for logs.
+func (t *Tracer) Summary() string {
+	return fmt.Sprintf("%d intervals over %d lanes, %d cycles", len(t.events), len(t.lanes), t.end)
+}

@@ -1,0 +1,76 @@
+package vistrace
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+func TestTracerRecordsIntervals(t *testing.T) {
+	tr := New()
+	e := sim.NewEngine()
+	e.SetRecorder(tr)
+	f := sim.NewFifo[int](e, "f", 2)
+	sim.NewProc(e, "writer", func(p *sim.Proc) {
+		for i := 0; i < 20; i++ {
+			f.PushProc(p, i)
+		}
+	})
+	sim.NewProc(e, "reader", func(p *sim.Proc) {
+		p.Sleep(50) // guarantees a visible blocked interval for the writer
+		for i := 0; i < 20; i++ {
+			f.PopProc(p)
+		}
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if tr.Events() == 0 {
+		t.Fatal("no intervals recorded")
+	}
+	if tr.End() <= 0 {
+		t.Fatal("Done not called with final cycle")
+	}
+
+	var buf bytes.Buffer
+	if err := tr.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	// The output must be valid JSON with labeled lanes and both procs.
+	var out struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &out); err != nil {
+		t.Fatalf("invalid trace JSON: %v", err)
+	}
+	if len(out.TraceEvents) < 3 {
+		t.Fatalf("too few events: %d", len(out.TraceEvents))
+	}
+	s := buf.String()
+	for _, want := range []string{"proc:writer", "proc:reader", "thread_name", `"ph":"X"`} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("trace missing %q", want)
+		}
+	}
+}
+
+func TestTracerIgnoresEmptyIntervals(t *testing.T) {
+	tr := New()
+	tr.ProcInterval("p", "run", 5, 5)
+	tr.KernelInterval("k", 9, 3)
+	if tr.Events() != 0 {
+		t.Fatal("zero/negative-length intervals should be dropped")
+	}
+}
+
+func TestTracerSummary(t *testing.T) {
+	tr := New()
+	tr.ProcInterval("p", "run", 0, 10)
+	tr.Done(10)
+	if !strings.Contains(tr.Summary(), "1 intervals") {
+		t.Fatalf("summary = %q", tr.Summary())
+	}
+}
