@@ -9,6 +9,12 @@
 //	smitrace -workload reduce -out trace.json
 //	smitrace -workload stencil -out trace.json
 //	smitrace -workload pingpong -out trace.json
+//	smitrace -workload stencil -faults spec.json -out trace.json
+//
+// With -faults, the JSON fault schedule (see internal/fault.Spec) is
+// replayed into the run: links retransmit through drops and flaps, and
+// every injected fault and failover phase appears as an instant marker
+// on a "fault:" lane of the trace.
 package main
 
 import (
@@ -17,13 +23,31 @@ import (
 	"os"
 
 	smi "repro/internal/core"
+	"repro/internal/fault"
+	"repro/internal/routing"
 	"repro/internal/topology"
 )
 
 func main() {
 	workload := flag.String("workload", "reduce", "workload to trace: pingpong, reduce, stencil")
 	out := flag.String("out", "trace.json", "output trace file")
+	faultsPath := flag.String("faults", "", "JSON fault schedule to replay into the run (fault.Spec)")
 	flag.Parse()
+
+	var spec *fault.Spec
+	if *faultsPath != "" {
+		sf, err := os.Open(*faultsPath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "smitrace:", err)
+			os.Exit(1)
+		}
+		spec, err = fault.ReadJSON(sf)
+		sf.Close()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "smitrace:", err)
+			os.Exit(1)
+		}
+	}
 
 	f, err := os.Create(*out)
 	if err != nil {
@@ -35,11 +59,11 @@ func main() {
 	var stats smi.Stats
 	switch *workload {
 	case "pingpong":
-		stats, err = tracePingPong(f)
+		stats, err = tracePingPong(f, spec)
 	case "reduce":
-		stats, err = traceReduce(f)
+		stats, err = traceReduce(f, spec)
 	case "stencil":
-		stats, err = traceStencil(f)
+		stats, err = traceStencil(f, spec)
 	default:
 		err = fmt.Errorf("unknown workload %q", *workload)
 	}
@@ -48,9 +72,14 @@ func main() {
 		os.Exit(1)
 	}
 	fmt.Printf("traced %s: %d cycles (%.2f us) -> %s\n", *workload, stats.Cycles, stats.Micros, *out)
+	if spec != nil {
+		fmt.Printf("faults: %d dropped, %d corrupted, %d lost to down links, %d retransmits, %d failovers\n",
+			stats.FaultsInjected.Dropped, stats.FaultsInjected.Corrupted, stats.FaultsInjected.FlapLost,
+			stats.Retransmits, stats.Failovers)
+	}
 }
 
-func tracePingPong(f *os.File) (smi.Stats, error) {
+func tracePingPong(f *os.File, spec *fault.Spec) (smi.Stats, error) {
 	topo, err := topology.Bus(4)
 	if err != nil {
 		return smi.Stats{}, err
@@ -60,7 +89,9 @@ func tracePingPong(f *os.File) (smi.Stats, error) {
 		Program: smi.ProgramSpec{Ports: []smi.PortSpec{
 			{Port: 0, Type: smi.Int}, {Port: 1, Type: smi.Int},
 		}},
-		ChromeTrace: f,
+		ChromeTrace:   f,
+		Faults:        spec,
+		RoutingPolicy: routing.UpDown,
 	})
 	if err != nil {
 		return smi.Stats{}, err
@@ -84,7 +115,7 @@ func tracePingPong(f *os.File) (smi.Stats, error) {
 	return c.Run()
 }
 
-func traceReduce(f *os.File) (smi.Stats, error) {
+func traceReduce(f *os.File, spec *fault.Spec) (smi.Stats, error) {
 	topo, err := topology.Torus2D(2, 4)
 	if err != nil {
 		return smi.Stats{}, err
@@ -94,7 +125,9 @@ func traceReduce(f *os.File) (smi.Stats, error) {
 		Program: smi.ProgramSpec{Ports: []smi.PortSpec{
 			{Port: 0, Kind: smi.Reduce, Type: smi.Float, ReduceOp: smi.Add, CreditElems: 128},
 		}},
-		ChromeTrace: f,
+		ChromeTrace:   f,
+		Faults:        spec,
+		RoutingPolicy: routing.UpDown,
 	})
 	if err != nil {
 		return smi.Stats{}, err
@@ -112,7 +145,7 @@ func traceReduce(f *os.File) (smi.Stats, error) {
 	return c.Run()
 }
 
-func traceStencil(f *os.File) (smi.Stats, error) {
+func traceStencil(f *os.File, spec *fault.Spec) (smi.Stats, error) {
 	topo, err := topology.Torus2D(2, 2)
 	if err != nil {
 		return smi.Stats{}, err
@@ -125,7 +158,9 @@ func traceStencil(f *os.File) (smi.Stats, error) {
 			{Port: 3, Type: smi.Float, BufferElems: 264},
 			{Port: 4, Type: smi.Float, BufferElems: 264},
 		}},
-		ChromeTrace: f,
+		ChromeTrace:   f,
+		Faults:        spec,
+		RoutingPolicy: routing.UpDown,
 	})
 	if err != nil {
 		return smi.Stats{}, err

@@ -1,0 +1,113 @@
+package apps
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/fault"
+	"repro/internal/routing"
+	"repro/internal/topology"
+)
+
+// TestMicrobenchZeroFaultParity guards the paper's headline numbers:
+// enabling the reliability layer with an empty fault schedule must leave
+// the bandwidth (Fig 9) and ping-pong latency (Table 3) measurements
+// cycle-identical to the pristine simulator.
+func TestMicrobenchZeroFaultParity(t *testing.T) {
+	topo, err := topology.Torus2D(2, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := NetConfig{Topology: topo, RoutingPolicy: routing.UpDown}
+	withSpec := base
+	withSpec.Faults = &fault.Spec{Seed: 7}
+
+	bw0, err := Bandwidth(base, 0, 5, 20000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bw1, err := Bandwidth(withSpec, 0, 5, 20000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bw0.Cycles != bw1.Cycles {
+		t.Fatalf("bandwidth run perturbed by idle fault layer: %d vs %d cycles", bw0.Cycles, bw1.Cycles)
+	}
+
+	pp0, err := PingPong(base, 0, 1, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pp1, err := PingPong(withSpec, 0, 1, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pp0.Cycles != pp1.Cycles {
+		t.Fatalf("ping-pong perturbed by idle fault layer: %d vs %d cycles", pp0.Cycles, pp1.Cycles)
+	}
+
+	bc0, err := BcastTime(base, 8, 2000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bc1, err := BcastTime(withSpec, 8, 2000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bc0.Cycles != bc1.Cycles {
+		t.Fatalf("bcast perturbed by idle fault layer: %d vs %d cycles", bc0.Cycles, bc1.Cycles)
+	}
+	if bc1.Net.Retransmits != 0 || bc1.Net.CrcErrors != 0 {
+		t.Fatalf("zero-fault run did repair work: %+v", bc1.Net)
+	}
+}
+
+// TestStencilSurvivesLinkDeath is the end-to-end failover acceptance
+// test: a cable of the 8-FPGA torus dies permanently while a verified
+// stencil halo exchange is in progress. The failover must regenerate
+// deadlock-free routes and the final grid must still match the
+// sequential reference bit for bit.
+func TestStencilSurvivesLinkDeath(t *testing.T) {
+	topo, err := topology.Torus2D(2, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Kill the cable between ranks 0 and 1 (they exchange east/west
+	// halos every timestep, so the death hits live channel traffic).
+	var dead *topology.Connection
+	for i, conn := range topo.Connections {
+		if (conn.A.Device == 0 && conn.B.Device == 1) || (conn.A.Device == 1 && conn.B.Device == 0) {
+			dead = &topo.Connections[i]
+			break
+		}
+	}
+	if dead == nil {
+		t.Fatal("no cable between ranks 0 and 1 in the torus")
+	}
+	cfg := StencilConfig{
+		N: 32, Timesteps: 8, RanksX: 2, RanksY: 4, Verify: true,
+		Topology:      topo,
+		RoutingPolicy: routing.UpDown,
+		Faults: &fault.Spec{Events: []fault.Event{
+			{Link: fmt.Sprintf("%s->%s", dead.A, dead.B), Kind: fault.Kill, At: 1500},
+		}},
+	}
+	res, err := Stencil(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Net.Failovers != 1 {
+		t.Fatalf("link death did not trigger exactly one failover (run of %d cycles): %+v", res.Cycles, res.Net)
+	}
+	want := StencilReference(cfg.N, cfg.Timesteps)
+	for i := range want {
+		for j := range want[i] {
+			if res.Grid[i][j] != want[i][j] {
+				t.Fatalf("grid[%d][%d] = %g, want %g: halo exchange corrupted by failover", i, j, res.Grid[i][j], want[i][j])
+			}
+		}
+	}
+	if res.Net.PacketsDropped != 0 {
+		t.Fatalf("failover dropped packets: %+v", res.Net)
+	}
+}

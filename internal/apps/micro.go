@@ -8,6 +8,7 @@ import (
 	"fmt"
 
 	smi "repro/internal/core"
+	"repro/internal/fault"
 	"repro/internal/routing"
 	"repro/internal/topology"
 	"repro/internal/transport"
@@ -27,6 +28,25 @@ type NetConfig struct {
 	BufferElems int
 	// MaxCycles optionally bounds the simulation.
 	MaxCycles int64
+	// Faults attaches a fault-injection schedule (enables the reliable
+	// link layer); Reliable enables the protocol without faults.
+	Faults   *fault.Spec
+	Reliable bool
+}
+
+// cluster translates the shared NetConfig knobs into an smi.Config with
+// the given program.
+func (cfg NetConfig) cluster(prog smi.ProgramSpec) (*smi.Cluster, error) {
+	return smi.NewCluster(smi.Config{
+		Topology:      cfg.Topology,
+		Program:       prog,
+		Transport:     cfg.Transport,
+		RoutingPolicy: cfg.RoutingPolicy,
+		LinkLatency:   cfg.LinkLatency,
+		MaxCycles:     cfg.MaxCycles,
+		Faults:        cfg.Faults,
+		Reliable:      cfg.Reliable,
+	})
 }
 
 // BandwidthResult reports one bandwidth measurement.
@@ -36,6 +56,7 @@ type BandwidthResult struct {
 	Micros float64 // simulated microseconds
 	Gbps   float64 // effective payload bandwidth
 	Hops   int     // network distance between the endpoints
+	Net    smi.Stats
 }
 
 // Bandwidth streams elems 32-bit integers from rank src to rank dst and
@@ -51,14 +72,7 @@ func Bandwidth(cfg NetConfig, src, dst, elems int) (BandwidthResult, error) {
 	if buf <= 0 {
 		buf = 4096
 	}
-	c, err := smi.NewCluster(smi.Config{
-		Topology:      cfg.Topology,
-		Program:       smi.ProgramSpec{Ports: []smi.PortSpec{{Port: 0, Type: smi.Int, VecWidth: vec, BufferElems: buf}}},
-		Transport:     cfg.Transport,
-		RoutingPolicy: cfg.RoutingPolicy,
-		LinkLatency:   cfg.LinkLatency,
-		MaxCycles:     cfg.MaxCycles,
-	})
+	c, err := cfg.cluster(smi.ProgramSpec{Ports: []smi.PortSpec{{Port: 0, Type: smi.Int, VecWidth: vec, BufferElems: buf}}})
 	if err != nil {
 		return BandwidthResult{}, err
 	}
@@ -92,6 +106,7 @@ func Bandwidth(cfg NetConfig, src, dst, elems int) (BandwidthResult, error) {
 		Cycles: st.Cycles,
 		Micros: st.Micros,
 		Hops:   c.Routes().Hops(src, dst),
+		Net:    st,
 	}
 	res.Gbps = float64(bytes) * 8 / (st.Micros * 1e3)
 	return res, nil
@@ -108,17 +123,10 @@ type PingPongResult struct {
 // PingPong bounces a single-element message between two ranks and
 // reports the one-way latency — the §5.3.2 microbenchmark and Table 3.
 func PingPong(cfg NetConfig, a, b, rounds int) (PingPongResult, error) {
-	c, err := smi.NewCluster(smi.Config{
-		Topology: cfg.Topology,
-		Program: smi.ProgramSpec{Ports: []smi.PortSpec{
-			{Port: 0, Type: smi.Int}, // a -> b
-			{Port: 1, Type: smi.Int}, // b -> a
-		}},
-		Transport:     cfg.Transport,
-		RoutingPolicy: cfg.RoutingPolicy,
-		LinkLatency:   cfg.LinkLatency,
-		MaxCycles:     cfg.MaxCycles,
-	})
+	c, err := cfg.cluster(smi.ProgramSpec{Ports: []smi.PortSpec{
+		{Port: 0, Type: smi.Int}, // a -> b
+		{Port: 1, Type: smi.Int}, // b -> a
+	}})
 	if err != nil {
 		return PingPongResult{}, err
 	}
@@ -168,14 +176,7 @@ type InjectionResult struct {
 // per message (channel creation is zero-overhead), so every message is
 // one network packet.
 func Injection(cfg NetConfig, messages int) (InjectionResult, error) {
-	c, err := smi.NewCluster(smi.Config{
-		Topology:      cfg.Topology,
-		Program:       smi.ProgramSpec{Ports: []smi.PortSpec{{Port: 0, Type: smi.Int, BufferElems: 64}}},
-		Transport:     cfg.Transport,
-		RoutingPolicy: cfg.RoutingPolicy,
-		LinkLatency:   cfg.LinkLatency,
-		MaxCycles:     cfg.MaxCycles,
-	})
+	c, err := cfg.cluster(smi.ProgramSpec{Ports: []smi.PortSpec{{Port: 0, Type: smi.Int, BufferElems: 64}}})
 	if err != nil {
 		return InjectionResult{}, err
 	}
@@ -220,6 +221,7 @@ type CollectiveResult struct {
 	Ranks  int
 	Cycles int64
 	Micros float64
+	Net    smi.Stats
 }
 
 // BcastTime broadcasts elems float32 elements from rank 0 to the first
@@ -230,14 +232,7 @@ func BcastTime(cfg NetConfig, ranks, elems int) (CollectiveResult, error) {
 	if buf <= 0 {
 		buf = 512
 	}
-	c, err := smi.NewCluster(smi.Config{
-		Topology:      cfg.Topology,
-		Program:       smi.ProgramSpec{Ports: []smi.PortSpec{{Port: 0, Kind: smi.Bcast, Type: smi.Float, BufferElems: buf}}},
-		Transport:     cfg.Transport,
-		RoutingPolicy: cfg.RoutingPolicy,
-		LinkLatency:   cfg.LinkLatency,
-		MaxCycles:     cfg.MaxCycles,
-	})
+	c, err := cfg.cluster(smi.ProgramSpec{Ports: []smi.PortSpec{{Port: 0, Kind: smi.Bcast, Type: smi.Float, BufferElems: buf}}})
 	if err != nil {
 		return CollectiveResult{}, err
 	}
@@ -268,7 +263,7 @@ func BcastTime(cfg NetConfig, ranks, elems int) (CollectiveResult, error) {
 	if err != nil {
 		return CollectiveResult{}, err
 	}
-	return CollectiveResult{Elems: elems, Ranks: ranks, Cycles: st.Cycles, Micros: st.Micros}, nil
+	return CollectiveResult{Elems: elems, Ranks: ranks, Cycles: st.Cycles, Micros: st.Micros, Net: st}, nil
 }
 
 // ReduceTime sum-reduces elems float32 elements from the first `ranks`
@@ -279,17 +274,10 @@ func ReduceTime(cfg NetConfig, ranks, elems, creditElems int) (CollectiveResult,
 	if buf <= 0 {
 		buf = 512
 	}
-	c, err := smi.NewCluster(smi.Config{
-		Topology: cfg.Topology,
-		Program: smi.ProgramSpec{Ports: []smi.PortSpec{{
-			Port: 0, Kind: smi.Reduce, Type: smi.Float, ReduceOp: smi.Add,
-			BufferElems: buf, CreditElems: creditElems,
-		}}},
-		Transport:     cfg.Transport,
-		RoutingPolicy: cfg.RoutingPolicy,
-		LinkLatency:   cfg.LinkLatency,
-		MaxCycles:     cfg.MaxCycles,
-	})
+	c, err := cfg.cluster(smi.ProgramSpec{Ports: []smi.PortSpec{{
+		Port: 0, Kind: smi.Reduce, Type: smi.Float, ReduceOp: smi.Add,
+		BufferElems: buf, CreditElems: creditElems,
+	}}})
 	if err != nil {
 		return CollectiveResult{}, err
 	}
@@ -339,14 +327,7 @@ func oneToAllTime(cfg NetConfig, ranks, elems int, kind smi.PortKind) (Collectiv
 	if buf <= 0 {
 		buf = 512
 	}
-	c, err := smi.NewCluster(smi.Config{
-		Topology:      cfg.Topology,
-		Program:       smi.ProgramSpec{Ports: []smi.PortSpec{{Port: 0, Kind: kind, Type: smi.Float, BufferElems: buf}}},
-		Transport:     cfg.Transport,
-		RoutingPolicy: cfg.RoutingPolicy,
-		LinkLatency:   cfg.LinkLatency,
-		MaxCycles:     cfg.MaxCycles,
-	})
+	c, err := cfg.cluster(smi.ProgramSpec{Ports: []smi.PortSpec{{Port: 0, Kind: kind, Type: smi.Float, BufferElems: buf}}})
 	if err != nil {
 		return CollectiveResult{}, err
 	}

@@ -4,6 +4,8 @@ import (
 	"fmt"
 
 	smi "repro/internal/core"
+	"repro/internal/fault"
+	"repro/internal/routing"
 	"repro/internal/topology"
 )
 
@@ -33,6 +35,11 @@ type StencilConfig struct {
 	// rank dimension is 1).
 	Topology  *topology.Topology
 	MaxCycles int64
+	// RoutingPolicy selects the route generator (use routing.UpDown with
+	// fault specs that kill cables: failover regenerates up*/down* routes).
+	RoutingPolicy routing.Policy
+	// Faults attaches a fault-injection schedule to the links.
+	Faults *fault.Spec
 }
 
 // StencilResult reports one stencil execution.
@@ -41,6 +48,7 @@ type StencilResult struct {
 	Micros     float64
 	NsPerPoint float64     // time per grid point per timestep
 	Grid       [][]float32 // assembled final grid when cfg.Verify
+	Net        smi.Stats
 }
 
 // Halo ports: the direction names the side the halo arrives from.
@@ -121,20 +129,27 @@ func Stencil(cfg StencilConfig) (StencilResult, error) {
 	H := cfg.N / cfg.RanksX // block rows
 	W := cfg.N / cfg.RanksY // block cols
 	// Halo channels use the eager protocol: the endpoint buffer (the
-	// channel's asynchronicity degree k) covers a full halo message, so
-	// a sender commits its halo to the network and proceeds while the
-	// receiving sweep consumes it at its own pace (SS3.3). Row halos are
-	// consumed in a burst at the sweep edges, so their full length must
-	// fit; column halos drain one element per row.
+	// channel's asynchronicity degree k) covers the worst-case
+	// outstanding data, so a sender commits its halo to the network and
+	// proceeds while the receiving sweep consumes it at its own pace
+	// (SS3.3). The go/done synchronization lets a neighbor run at most
+	// one timestep ahead, so up to two halos can be in flight per edge;
+	// buffering both keeps application backpressure out of the shared
+	// transport entirely — a CKR is never head-of-line blocked by a full
+	// endpoint, which would otherwise couple unrelated flows and can
+	// deadlock when a failover reroutes transit traffic through this
+	// rank (message-dependent deadlock).
 	c, err := smi.NewCluster(smi.Config{
 		Topology: topo,
 		Program: smi.ProgramSpec{Ports: []smi.PortSpec{
-			{Port: portFromNorth, Type: smi.Float, BufferElems: W + 8},
-			{Port: portFromSouth, Type: smi.Float, BufferElems: W + 8},
-			{Port: portFromWest, Type: smi.Float, BufferElems: H + 8},
-			{Port: portFromEast, Type: smi.Float, BufferElems: H + 8},
+			{Port: portFromNorth, Type: smi.Float, BufferElems: 2*W + 8},
+			{Port: portFromSouth, Type: smi.Float, BufferElems: 2*W + 8},
+			{Port: portFromWest, Type: smi.Float, BufferElems: 2*H + 8},
+			{Port: portFromEast, Type: smi.Float, BufferElems: 2*H + 8},
 		}},
-		MaxCycles: cfg.MaxCycles,
+		MaxCycles:     cfg.MaxCycles,
+		RoutingPolicy: cfg.RoutingPolicy,
+		Faults:        cfg.Faults,
 	})
 	if err != nil {
 		return StencilResult{}, err
@@ -336,6 +351,7 @@ func Stencil(cfg StencilConfig) (StencilResult, error) {
 		return StencilResult{}, err
 	}
 	res.Cycles, res.Micros = stats.Cycles, stats.Micros
+	res.Net = stats
 	res.NsPerPoint = stats.Micros * 1e3 / (float64(cfg.N) * float64(cfg.N) * float64(cfg.Timesteps))
 	if cfg.Verify {
 		res.Grid = make([][]float32, cfg.N)

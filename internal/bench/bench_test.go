@@ -352,3 +352,19 @@ func TestExtScatterGatherShape(t *testing.T) {
 		t.Fatalf("collective time should grow with size: %v", r.Rows)
 	}
 }
+
+func TestAblateFaults(t *testing.T) {
+	rep := runQuick(t, "ablate-faults")
+	// Row 1 is the drop=0 run; it must match the pristine row 0 cycle
+	// for cycle (the experiment itself also enforces this).
+	if cell(t, rep, 0, 1) != cell(t, rep, 1, 1) {
+		t.Errorf("drop=0 run not timing-transparent: %v vs %v", rep.Rows[0][1], rep.Rows[1][1])
+	}
+	last := len(rep.Rows) - 1
+	if rep.Rows[last][6] != "1" {
+		t.Errorf("killed-cable stencil reported %s failovers, want 1", rep.Rows[last][6])
+	}
+	if cell(t, rep, last, 7) == 0 {
+		t.Error("failover rescued no packets")
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"io"
 
+	"repro/internal/fault"
 	"repro/internal/fpga"
 	"repro/internal/link"
 	"repro/internal/packet"
@@ -45,6 +46,22 @@ type Config struct {
 	// application kernel and hardware kernel, written when Run finishes.
 	// One trace microsecond equals one simulated cycle.
 	ChromeTrace io.Writer
+	// Faults attaches a deterministic fault-injection schedule to the
+	// inter-FPGA links and implies the reliable link layer. nil keeps the
+	// paper's pristine links. A spec with no faults scheduled still runs
+	// the retransmission protocol, which is timing-transparent: cycle
+	// counts match the pristine links bit for bit.
+	Faults *fault.Spec
+	// Reliable forces the link-level retransmission protocol even
+	// without a fault spec.
+	Reliable bool
+	// LinkParams tunes the retransmission protocol; zero values pick
+	// latency-derived defaults.
+	LinkParams link.ReliableParams
+	// RepairCycles is the simulated host reaction time a failover
+	// charges between detecting a dead cable and re-enabling the
+	// transport kernels on regenerated routes (default 400 cycles).
+	RepairCycles int64
 }
 
 // Cluster is a multi-FPGA system ready to execute rank programs.
@@ -56,11 +73,15 @@ type Cluster struct {
 	clock  sim.Clock
 	board  fpga.Board
 
-	ranks  []*rankState
-	links  []*link.Link
-	procs  int
-	ran    bool
-	tracer *vistrace.Tracer
+	ranks    []*rankState
+	links    []*link.Link
+	rlinks   []*link.ReliableLink
+	cables   []*cable
+	injector *fault.Injector
+	manager  *faultManager
+	procs    int
+	ran      bool
+	tracer   *vistrace.Tracer
 }
 
 type rankState struct {
@@ -110,6 +131,14 @@ func NewCluster(cfg Config) (*Cluster, error) {
 	}
 	if cfg.MaxCycles <= 0 {
 		cfg.MaxCycles = 4_000_000_000
+	}
+	if cfg.Faults != nil {
+		if err := cfg.Faults.Validate(); err != nil {
+			return nil, err
+		}
+	}
+	if cfg.RepairCycles <= 0 {
+		cfg.RepairCycles = 400
 	}
 
 	routes, err := routing.Compute(cfg.Topology, cfg.RoutingPolicy)
@@ -194,14 +223,51 @@ func NewCluster(cfg Config) (*Cluster, error) {
 		c.ranks = append(c.ranks, rs)
 	}
 
+	reliable := cfg.Reliable || cfg.Faults != nil
+	if reliable {
+		c.injector = fault.NewInjector(cfg.Faults)
+	}
+	if cfg.Faults != nil {
+		// Scripted events must name real directed links, or the schedule
+		// silently does nothing — a misspelled link is a spec bug.
+		names := make(map[string]bool, 2*len(cfg.Topology.Connections))
+		for _, conn := range cfg.Topology.Connections {
+			names[fmt.Sprintf("%s->%s", conn.A, conn.B)] = true
+			names[fmt.Sprintf("%s->%s", conn.B, conn.A)] = true
+		}
+		for _, ev := range cfg.Faults.Events {
+			if ev.Link == "" { // wildcard: applies to every link
+				continue
+			}
+			if !names[ev.Link] {
+				return nil, fmt.Errorf("smi: fault event names unknown link %q (links are \"dev:iface->dev:iface\")", ev.Link)
+			}
+		}
+	}
 	for _, conn := range cfg.Topology.Connections {
 		a, b := conn.A, conn.B
-		c.links = append(c.links,
-			link.New(eng, fmt.Sprintf("%s->%s", a, b),
-				c.ranks[a.Device].dev.NetOut[a.Iface], c.ranks[b.Device].dev.NetIn[b.Iface], cfg.LinkLatency),
-			link.New(eng, fmt.Sprintf("%s->%s", b, a),
-				c.ranks[b.Device].dev.NetOut[b.Iface], c.ranks[a.Device].dev.NetIn[a.Iface], cfg.LinkLatency),
-		)
+		nameAB := fmt.Sprintf("%s->%s", a, b)
+		nameBA := fmt.Sprintf("%s->%s", b, a)
+		outA, inA := c.ranks[a.Device].dev.NetOut[a.Iface], c.ranks[a.Device].dev.NetIn[a.Iface]
+		outB, inB := c.ranks[b.Device].dev.NetOut[b.Iface], c.ranks[b.Device].dev.NetIn[b.Iface]
+		if reliable {
+			ab, ba := link.NewReliablePair(eng, nameAB, nameBA,
+				outA, inB, outB, inA, cfg.LinkLatency, cfg.LinkParams,
+				c.injector.ForLink(nameAB), c.injector.ForLink(nameBA))
+			c.rlinks = append(c.rlinks, ab, ba)
+			c.cables = append(c.cables, &cable{conn: conn, ab: ab, ba: ba})
+		} else {
+			c.links = append(c.links,
+				link.New(eng, nameAB, outA, inB, cfg.LinkLatency),
+				link.New(eng, nameBA, outB, inA, cfg.LinkLatency),
+			)
+		}
+	}
+	if reliable {
+		// Registered after every link so a death declared in cycle t is
+		// handled the same cycle.
+		c.manager = newFaultManager(c, cfg.RepairCycles)
+		eng.AddKernel(c.manager)
 	}
 	return c, nil
 }
@@ -258,6 +324,24 @@ type Stats struct {
 	PacketsDelivered uint64
 	// PacketsDropped counts undeliverable packets (normally 0).
 	PacketsDropped uint64
+	// LinkStalls counts cycles link heads spent blocked on full receiver
+	// FIFOs (backpressure).
+	LinkStalls uint64
+	// Retransmits counts data frames the reliable link layer sent more
+	// than once (always 0 in fault-free runs).
+	Retransmits uint64
+	// CrcErrors counts frames receivers discarded as corrupt.
+	CrcErrors uint64
+	// FaultsInjected aggregates what the fault injector actually did.
+	FaultsInjected fault.Counters
+	// Failovers counts permanent-link-death repairs performed.
+	Failovers int
+	// FailoverCycles is the total cycles between death detection and
+	// traffic resume, across all failovers.
+	FailoverCycles int64
+	// RescuedPackets counts packets the failover controller re-injected
+	// on regenerated routes.
+	RescuedPackets uint64
 }
 
 // LinkStats describes the traffic one directed link carried during a
@@ -268,6 +352,10 @@ type LinkStats struct {
 	// Stalls counts cycles the link head spent blocked on a full
 	// receiver FIFO (backpressure).
 	Stalls uint64
+	// Retransmits and CrcErrors are the reliable layer's repair work on
+	// this direction (0 on pristine links).
+	Retransmits uint64
+	CrcErrors   uint64
 	// Utilization is Delivered divided by the total cycles of the run.
 	Utilization float64
 }
@@ -276,9 +364,17 @@ type LinkStats struct {
 // link order: both directions of each cable in topology order).
 func (c *Cluster) LinkStats() []LinkStats {
 	cycles := c.eng.Now()
-	out := make([]LinkStats, 0, len(c.links))
+	out := make([]LinkStats, 0, len(c.links)+len(c.rlinks))
 	for _, l := range c.links {
 		st := LinkStats{Name: l.Name(), Delivered: l.Delivered(), Stalls: l.Stalls()}
+		if cycles > 0 {
+			st.Utilization = float64(l.Delivered()) / float64(cycles)
+		}
+		out = append(out, st)
+	}
+	for _, l := range c.rlinks {
+		st := LinkStats{Name: l.Name(), Delivered: l.Delivered(), Stalls: l.Stalls(),
+			Retransmits: l.Retransmits(), CrcErrors: l.CrcErrors()}
 		if cycles > 0 {
 			st.Utilization = float64(l.Delivered()) / float64(cycles)
 		}
@@ -300,7 +396,22 @@ func (c *Cluster) Run() (Stats, error) {
 	}
 	c.ran = true
 	err := c.eng.Run()
+	if c.manager != nil && c.manager.err != nil {
+		// A failed repair quiesces the cluster; the resulting deadlock is
+		// a symptom, the repair error is the cause.
+		err = c.manager.err
+	}
 	if c.tracer != nil {
+		if c.injector != nil {
+			for _, tf := range c.injector.Timeline() {
+				c.tracer.Instant("fault:"+tf.Link, tf.Kind, tf.Cycle)
+			}
+		}
+		if c.manager != nil {
+			for _, tf := range c.manager.log {
+				c.tracer.Instant("fault:manager", tf.Kind, tf.Cycle)
+			}
+		}
 		if werr := c.tracer.Write(c.cfg.ChromeTrace); werr != nil && err == nil {
 			err = fmt.Errorf("smi: writing chrome trace: %w", werr)
 		}
@@ -309,6 +420,21 @@ func (c *Cluster) Run() (Stats, error) {
 	st.Micros = c.clock.Micros(st.Cycles)
 	for _, l := range c.links {
 		st.PacketsDelivered += l.Delivered()
+		st.LinkStalls += l.Stalls()
+	}
+	for _, l := range c.rlinks {
+		st.PacketsDelivered += l.Delivered()
+		st.LinkStalls += l.Stalls()
+		st.Retransmits += l.Retransmits()
+		st.CrcErrors += l.CrcErrors()
+	}
+	if c.injector != nil {
+		st.FaultsInjected = c.injector.Counters()
+	}
+	if c.manager != nil {
+		st.Failovers = c.manager.failovers
+		st.FailoverCycles = c.manager.failoverCycles
+		st.RescuedPackets = c.manager.rescued
 	}
 	for _, rs := range c.ranks {
 		st.PacketsDropped += rs.dev.Dropped()

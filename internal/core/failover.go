@@ -1,0 +1,213 @@
+package smi
+
+import (
+	"fmt"
+
+	"repro/internal/fault"
+	"repro/internal/link"
+	"repro/internal/packet"
+	"repro/internal/routing"
+	"repro/internal/topology"
+)
+
+// cable pairs the two reliable directions of one physical connection.
+type cable struct {
+	conn   topology.Connection
+	ab, ba *link.ReliableLink // A->B and B->A directions
+	failed bool
+}
+
+// faultManager is the host-side failover controller for permanent link
+// deaths. The paper computes routes offline and uploads tables without
+// touching the bitstream (§4.3); this kernel models the same host loop
+// reacting at runtime: when a link layer declares its cable dead, the
+// manager quiesces the transport kernels ("held in reset" by the shell),
+// recomputes provably deadlock-free up*/down* routes on the surviving
+// wiring, verifies the channel dependency graph is acyclic, uploads the
+// tables, rescues the dead cable's unacknowledged and stranded packets
+// over the control plane (PCIe survives a QSFP cable failure), and
+// resumes. The retransmission protocol's cumulative acks make the rescue
+// exact: everything below the receiver's RxExpected was delivered once,
+// everything at or above it was not — so no packet is lost or duplicated.
+//
+// Rescued packets are re-routed by their headers; headerless OpRaw
+// payloads of an in-flight circuit cannot be re-addressed and are
+// counted as drops (circuit switching trades this robustness away, the
+// same trade-off §4.2 describes for multiplexing).
+type faultManager struct {
+	c            *Cluster
+	surviving    *topology.Topology
+	repairCycles int64
+
+	state     int // one of fmIdle/fmRepair/fmRescue/fmFailed
+	fail      *cable
+	failStart int64
+	repairEnd int64
+	newRoutes *routing.Routes
+
+	// One rescue queue per endpoint device of the dead cable, injected
+	// one packet per device per cycle (the control-plane write rate).
+	rescueRank  [2]int
+	rescueQueue [2][]packet.Packet
+
+	failovers      int
+	failoverCycles int64
+	rescued        uint64
+	unroutable     uint64
+	log            []fault.TimedFault
+	err            error
+}
+
+const (
+	fmIdle = iota
+	fmRepair
+	fmRescue
+	fmFailed
+)
+
+func newFaultManager(c *Cluster, repairCycles int64) *faultManager {
+	return &faultManager{c: c, surviving: c.cfg.Topology, repairCycles: repairCycles}
+}
+
+func (m *faultManager) Name() string { return "fault-manager" }
+
+func (m *faultManager) logEvent(now int64, kind string) {
+	m.log = append(m.log, fault.TimedFault{Cycle: now, Link: "manager", Kind: kind})
+}
+
+// Tick runs after every link kernel (registration order), so a death
+// declared this cycle is handled this cycle.
+func (m *faultManager) Tick(now int64) bool {
+	switch m.state {
+	case fmIdle:
+		for _, cb := range m.c.cables {
+			if !cb.failed && (cb.ab.Dead() || cb.ba.Dead()) {
+				m.begin(now, cb)
+				return true
+			}
+		}
+		return false
+	case fmRepair:
+		if now >= m.repairEnd {
+			m.swapAndRescue(now)
+		}
+		return true
+	case fmRescue:
+		m.injectRescues()
+		if len(m.rescueQueue[0]) == 0 && len(m.rescueQueue[1]) == 0 {
+			m.finish(now)
+		}
+		return true
+	default: // fmFailed: leave the cluster quiesced; Run surfaces m.err.
+		return false
+	}
+}
+
+// begin parks the dead cable, freezes every transport kernel, and starts
+// the repair clock. Route computation happens up front so an unroutable
+// surviving topology fails fast.
+func (m *faultManager) begin(now int64, cb *cable) {
+	cb.failed = true
+	cb.ab.Park()
+	cb.ba.Park()
+	m.fail = cb
+	m.failStart = now
+	m.surviving = m.surviving.Without(cb.conn)
+	m.logEvent(now, "dead:"+cb.ab.Name())
+	for _, rs := range m.c.ranks {
+		rs.dev.SetPaused(true)
+	}
+	nr, err := routing.Compute(m.surviving, routing.UpDown)
+	if err == nil {
+		err = routing.VerifyDeadlockFree(nr)
+	}
+	if err != nil {
+		m.err = fmt.Errorf("smi: failover after %s died: %w", cb.ab.Name(), err)
+		m.state = fmFailed
+		return
+	}
+	m.newRoutes = nr
+	m.repairEnd = now + m.repairCycles
+	m.state = fmRepair
+	m.logEvent(now, "repair-start")
+}
+
+// swapAndRescue uploads the regenerated tables through the shared Routes
+// pointer (every CK routes each packet at pop time, so the swap takes
+// effect atomically between cycles), collects the dead cable's loss set,
+// and resumes everything except the two endpoint devices' send sides —
+// those stay quiesced until the rescued (oldest) packets have re-entered
+// the network, preserving per-flow order.
+func (m *faultManager) swapAndRescue(now int64) {
+	m.c.routes.CopyFrom(m.newRoutes)
+	m.logEvent(now, "tables-swapped")
+	cb := m.fail
+	devA := m.c.ranks[cb.conn.A.Device].dev
+	devB := m.c.ranks[cb.conn.B.Device].dev
+	// Loss set per direction, oldest first: unacknowledged frames in the
+	// retransmit buffer (RxExpected bounds what the far side delivered),
+	// then packets already routed toward the dead exit but not yet
+	// handed to the link.
+	qa := cb.ab.Unacked(cb.ab.RxExpected())
+	qa = append(qa, devA.DrainExit(cb.conn.A.Iface)...)
+	qb := cb.ba.Unacked(cb.ba.RxExpected())
+	qb = append(qb, devB.DrainExit(cb.conn.B.Iface)...)
+	m.rescueRank = [2]int{cb.conn.A.Device, cb.conn.B.Device}
+	m.rescueQueue = [2][]packet.Packet{qa, qb}
+	for _, rs := range m.c.ranks {
+		rs.dev.SetPaused(false)
+	}
+	devA.SetSendPaused(true)
+	devB.SetSendPaused(true)
+	m.state = fmRescue
+	m.logEvent(now, fmt.Sprintf("rescue-start:%d+%d", len(qa), len(qb)))
+}
+
+// injectRescues feeds one rescued packet per endpoint device per cycle
+// into the network-port FIFO its new route selects. A full FIFO retries
+// next cycle; an unroutable packet (destination cut off, or a headerless
+// raw payload) is dropped and counted.
+func (m *faultManager) injectRescues() {
+	for i := 0; i < 2; i++ {
+		q := m.rescueQueue[i]
+		if len(q) == 0 {
+			continue
+		}
+		p := q[0]
+		rank := m.rescueRank[i]
+		dev := m.c.ranks[rank].dev
+		exit := routing.Unreachable
+		if p.Op != packet.OpRaw && int(p.Dst) < m.c.routes.Devices {
+			exit = m.c.routes.At(rank, int(p.Dst))
+		}
+		if exit < 0 {
+			dev.CountDropped(1)
+			m.unroutable++
+			m.rescueQueue[i] = q[1:]
+			continue
+		}
+		if dev.NetOut[exit].TryPush(p) {
+			m.rescued++
+			m.rescueQueue[i] = q[1:]
+		}
+	}
+}
+
+// finish resumes the endpoint devices' send sides and forgives the RTO
+// rounds the global pause inflicted on surviving links.
+func (m *faultManager) finish(now int64) {
+	cb := m.fail
+	m.c.ranks[cb.conn.A.Device].dev.SetSendPaused(false)
+	m.c.ranks[cb.conn.B.Device].dev.SetSendPaused(false)
+	for _, other := range m.c.cables {
+		if !other.failed {
+			other.ab.ForgiveTimeouts(now)
+			other.ba.ForgiveTimeouts(now)
+		}
+	}
+	m.failovers++
+	m.failoverCycles += now - m.failStart
+	m.fail = nil
+	m.state = fmIdle
+	m.logEvent(now, "resume")
+}

@@ -1,0 +1,167 @@
+package fault
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestSpecJSONRoundTrip(t *testing.T) {
+	s := &Spec{
+		Seed:        7,
+		DropProb:    0.01,
+		CorruptProb: 0.001,
+		Events: []Event{
+			{Link: "0:1->1:3", Kind: Drop, At: 1000},
+			{Link: "0:1->1:3", Kind: Corrupt, At: 2000, Bit: 17},
+			{Link: "1:3->0:1", Kind: Flap, At: 3000, Until: 3500},
+			{Kind: Kill, At: 9000},
+		},
+	}
+	var buf bytes.Buffer
+	if err := s.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Seed != s.Seed || got.DropProb != s.DropProb || got.CorruptProb != s.CorruptProb {
+		t.Fatalf("scalars did not round-trip: %+v", got)
+	}
+	if len(got.Events) != len(s.Events) {
+		t.Fatalf("events did not round-trip: %+v", got.Events)
+	}
+	for i := range s.Events {
+		if got.Events[i] != s.Events[i] {
+			t.Fatalf("event %d: got %+v want %+v", i, got.Events[i], s.Events[i])
+		}
+	}
+}
+
+func TestSpecValidate(t *testing.T) {
+	bad := []Spec{
+		{DropProb: 1.5},
+		{CorruptProb: -0.1},
+		{Events: []Event{{Kind: "melt", At: 1}}},
+		{Events: []Event{{Kind: Drop, At: -1}}},
+		{Events: []Event{{Kind: Flap, At: 100, Until: 100}}},
+		{Events: []Event{{Kind: Corrupt, At: 1, Bit: 256}}},
+	}
+	for i := range bad {
+		if err := bad[i].Validate(); err == nil {
+			t.Errorf("spec %d should not validate: %+v", i, bad[i])
+		}
+	}
+	good := Spec{Seed: 1, DropProb: 0.5, Events: []Event{{Kind: Flap, At: 1, Until: 2}}}
+	if err := good.Validate(); err != nil {
+		t.Errorf("valid spec rejected: %v", err)
+	}
+	if _, err := ReadJSON(strings.NewReader(`{"drop_prob": 2}`)); err == nil {
+		t.Error("ReadJSON must validate")
+	}
+}
+
+func TestSpecZero(t *testing.T) {
+	var nilSpec *Spec
+	if !nilSpec.Zero() {
+		t.Error("nil spec is zero")
+	}
+	if !(&Spec{Seed: 99}).Zero() {
+		t.Error("seed alone schedules nothing")
+	}
+	if (&Spec{DropProb: 0.1}).Zero() || (&Spec{Events: []Event{{Kind: Drop}}}).Zero() {
+		t.Error("spec with faults reported zero")
+	}
+}
+
+// TestStreamsIndependentOfCreationOrder: the per-link RNG streams are
+// keyed on (seed, link name) only, so the order links are registered in
+// cannot change the fault sequence.
+func TestStreamsIndependentOfCreationOrder(t *testing.T) {
+	spec := &Spec{Seed: 5, DropProb: 0.2}
+	sample := func(li *LinkInjector) []bool {
+		var out []bool
+		for i := 0; i < 64; i++ {
+			_, dropped := li.Transmit(int64(i), [WordSize]byte{})
+			out = append(out, dropped)
+		}
+		return out
+	}
+	a1 := sample(NewInjector(spec).ForLink("a"))
+	inj := NewInjector(spec)
+	inj.ForLink("zz")
+	inj.ForLink("b")
+	a2 := sample(inj.ForLink("a"))
+	for i := range a1 {
+		if a1[i] != a2[i] {
+			t.Fatalf("drop sequence diverged at packet %d", i)
+		}
+	}
+}
+
+func TestScriptedEventsOneShot(t *testing.T) {
+	spec := &Spec{Events: []Event{
+		{Link: "l", Kind: Drop, At: 10},
+		{Link: "l", Kind: Corrupt, At: 20, Bit: 0},
+	}}
+	li := NewInjector(spec).ForLink("l")
+	if _, dropped := li.Transmit(5, [WordSize]byte{}); dropped {
+		t.Fatal("drop fired before its cycle")
+	}
+	if _, dropped := li.Transmit(12, [WordSize]byte{}); !dropped {
+		t.Fatal("drop did not fire at/after its cycle")
+	}
+	if _, dropped := li.Transmit(13, [WordSize]byte{}); dropped {
+		t.Fatal("drop fired twice")
+	}
+	w, _ := li.Transmit(25, [WordSize]byte{})
+	if w[0] != 1 {
+		t.Fatalf("corrupt did not flip bit 0: %v", w[0])
+	}
+	w, _ = li.Transmit(26, [WordSize]byte{})
+	if w[0] != 0 {
+		t.Fatal("corrupt fired twice")
+	}
+	if li.Dropped() != 1 || li.Corrupted() != 1 {
+		t.Fatalf("counters: dropped=%d corrupted=%d", li.Dropped(), li.Corrupted())
+	}
+}
+
+func TestFlapAndKillWindows(t *testing.T) {
+	spec := &Spec{Events: []Event{
+		{Link: "l", Kind: Flap, At: 100, Until: 200},
+		{Link: "l", Kind: Kill, At: 1000},
+	}}
+	li := NewInjector(spec).ForLink("l")
+	if li.Down(99) {
+		t.Fatal("down before the flap window")
+	}
+	if !li.Down(100) || !li.Down(199) {
+		t.Fatal("not down inside the flap window")
+	}
+	if li.Down(200) {
+		t.Fatal("down after the flap window")
+	}
+	if li.Killed(999) {
+		t.Fatal("killed early")
+	}
+	if !li.Killed(1000) || !li.Down(5000) {
+		t.Fatal("kill is permanent")
+	}
+}
+
+func TestTimelineRecordsFaults(t *testing.T) {
+	spec := &Spec{Events: []Event{{Link: "l", Kind: Drop, At: 10}}}
+	inj := NewInjector(spec)
+	li := inj.ForLink("l")
+	li.Transmit(15, [WordSize]byte{})
+	li.LoseOnWire(30)
+	tl := inj.Timeline()
+	if len(tl) != 2 {
+		t.Fatalf("timeline has %d entries, want 2: %+v", len(tl), tl)
+	}
+	if tl[0].Cycle != 15 || tl[0].Kind != "drop" || tl[1].Cycle != 30 || tl[1].Kind != "wire-loss" {
+		t.Fatalf("timeline wrong: %+v", tl)
+	}
+}

@@ -1,0 +1,267 @@
+package fault
+
+import (
+	"hash/fnv"
+	"sort"
+	"sync"
+)
+
+// WordSize is the wire word the injector mutates: one 32-byte network
+// packet as serialized by internal/packet.
+const WordSize = 32
+
+// Injector instantiates a Spec over a set of links. Each link obtains
+// its own deterministic fault stream via ForLink.
+type Injector struct {
+	spec Spec
+
+	mu    sync.Mutex
+	links map[string]*LinkInjector
+}
+
+// NewInjector builds an injector for the spec (nil spec = no faults).
+func NewInjector(spec *Spec) *Injector {
+	inj := &Injector{links: make(map[string]*LinkInjector)}
+	if spec != nil {
+		inj.spec = *spec
+	}
+	return inj
+}
+
+// ForLink returns the per-link fault stream for the named directed link,
+// creating it on first use. Streams are independent of creation order.
+func (inj *Injector) ForLink(name string) *LinkInjector {
+	inj.mu.Lock()
+	defer inj.mu.Unlock()
+	if li, ok := inj.links[name]; ok {
+		return li
+	}
+	li := &LinkInjector{
+		name:   name,
+		rng:    splitmix64(uint64(inj.spec.Seed) ^ hashName(name)),
+		drop:   inj.spec.DropProb,
+		corr:   inj.spec.CorruptProb,
+		events: inj.spec.eventsFor(name),
+	}
+	inj.links[name] = li
+	return li
+}
+
+// TimedFault records one injected fault occurrence, for Chrome-trace
+// annotation and logs.
+type TimedFault struct {
+	Cycle int64
+	Link  string
+	Kind  string
+}
+
+// maxTimeline bounds the per-link fault log so a high-probability spec
+// cannot grow memory without bound; counters remain exact.
+const maxTimeline = 4096
+
+// Timeline returns every recorded fault occurrence across all links,
+// sorted by cycle then link name.
+func (inj *Injector) Timeline() []TimedFault {
+	inj.mu.Lock()
+	defer inj.mu.Unlock()
+	var out []TimedFault
+	for _, li := range inj.links {
+		out = append(out, li.timeline...)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Cycle != out[j].Cycle {
+			return out[i].Cycle < out[j].Cycle
+		}
+		return out[i].Link < out[j].Link
+	})
+	return out
+}
+
+// Counters aggregates injected-fault statistics across all links.
+type Counters struct {
+	Dropped   uint64 // packets silently discarded on the wire
+	Corrupted uint64 // packets with a flipped bit
+	FlapLost  uint64 // packets lost to a down (flapped or killed) link
+}
+
+// Counters sums the per-link fault counters (deterministic order).
+func (inj *Injector) Counters() Counters {
+	inj.mu.Lock()
+	defer inj.mu.Unlock()
+	names := make([]string, 0, len(inj.links))
+	for n := range inj.links {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	var c Counters
+	for _, n := range names {
+		li := inj.links[n]
+		c.Dropped += li.dropped
+		c.Corrupted += li.corrupted
+		c.FlapLost += li.flapLost
+	}
+	return c
+}
+
+// LinkInjector is the fault stream of one directed link. It is consulted
+// by the reliable link layer from the single simulation goroutine, so it
+// needs no locking of its own.
+type LinkInjector struct {
+	name   string
+	rng    *splitmix
+	drop   float64
+	corr   float64
+	events []Event
+	next   int // first unconsumed scripted event
+
+	killedAt  int64 // cycle the link died (-1 while alive)
+	killedSet bool
+
+	dropped   uint64
+	corrupted uint64
+	flapLost  uint64
+
+	timeline []TimedFault
+}
+
+func (li *LinkInjector) record(now int64, kind string) {
+	if len(li.timeline) < maxTimeline {
+		li.timeline = append(li.timeline, TimedFault{Cycle: now, Link: li.name, Kind: kind})
+	}
+}
+
+// Down reports whether the link is unusable at the given cycle: inside a
+// scripted flap window or at/after a kill.
+func (li *LinkInjector) Down(now int64) bool {
+	if li == nil {
+		return false
+	}
+	if li.killedSet && now >= li.killedAt {
+		return true
+	}
+	for _, ev := range li.events {
+		switch ev.Kind {
+		case Flap:
+			if now >= ev.At && now < ev.Until {
+				return true
+			}
+		case Kill:
+			if now >= ev.At {
+				li.killedAt, li.killedSet = ev.At, true
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// Killed reports whether the link is permanently dead at the given cycle.
+func (li *LinkInjector) Killed(now int64) bool {
+	if li == nil {
+		return false
+	}
+	if li.killedSet && now >= li.killedAt {
+		return true
+	}
+	for _, ev := range li.events {
+		if ev.Kind == Kill && now >= ev.At {
+			li.killedAt, li.killedSet = ev.At, true
+			return true
+		}
+	}
+	return false
+}
+
+// LoseOnWire records a packet lost because the link was down when the
+// packet entered or would have exited the wire.
+func (li *LinkInjector) LoseOnWire(now int64) {
+	if li != nil {
+		li.flapLost++
+		li.record(now, "wire-loss")
+	}
+}
+
+// Transmit passes one wire word through the fault model at wire entry.
+// It returns the (possibly corrupted) word and whether the packet was
+// dropped outright. Scripted one-shot events (Drop, Corrupt) consume
+// themselves on the first packet at or after their cycle; probabilistic
+// faults draw from the link's seeded stream.
+func (li *LinkInjector) Transmit(now int64, w [WordSize]byte) ([WordSize]byte, bool) {
+	if li == nil {
+		return w, false
+	}
+	// Scripted one-shots, in cycle order.
+	for li.next < len(li.events) {
+		ev := li.events[li.next]
+		if ev.Kind == Flap || ev.Kind == Kill {
+			// Window faults are handled by Down; skip past them once
+			// their arming cycle is reached so one-shots behind them in
+			// the schedule still fire.
+			if now >= ev.At {
+				li.next++
+				continue
+			}
+			break
+		}
+		if now < ev.At {
+			break
+		}
+		li.next++
+		switch ev.Kind {
+		case Drop:
+			li.dropped++
+			li.record(now, "drop")
+			return w, true
+		case Corrupt:
+			w[ev.Bit/8] ^= 1 << (ev.Bit % 8)
+			li.corrupted++
+			li.record(now, "corrupt")
+			return w, false
+		}
+	}
+	// Probabilistic background noise.
+	if li.drop > 0 && li.rng.float64() < li.drop {
+		li.dropped++
+		li.record(now, "drop")
+		return w, true
+	}
+	if li.corr > 0 && li.rng.float64() < li.corr {
+		bit := int(li.rng.next() % (WordSize * 8))
+		w[bit/8] ^= 1 << (bit % 8)
+		li.corrupted++
+		li.record(now, "corrupt")
+	}
+	return w, false
+}
+
+// Dropped returns the packets this link's stream discarded.
+func (li *LinkInjector) Dropped() uint64 { return li.dropped }
+
+// Corrupted returns the packets this link's stream bit-flipped.
+func (li *LinkInjector) Corrupted() uint64 { return li.corrupted }
+
+// hashName derives a stable 64-bit stream id from a link name.
+func hashName(name string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(name))
+	return h.Sum64()
+}
+
+// splitmix is the splitmix64 generator: tiny, fast, and fully
+// deterministic from its seed, with no global state.
+type splitmix struct{ s uint64 }
+
+func splitmix64(seed uint64) *splitmix { return &splitmix{s: seed} }
+
+func (r *splitmix) next() uint64 {
+	r.s += 0x9e3779b97f4a7c15
+	z := r.s
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// float64 returns a uniform value in [0,1).
+func (r *splitmix) float64() float64 {
+	return float64(r.next()>>11) / (1 << 53)
+}

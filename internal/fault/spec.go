@@ -1,0 +1,153 @@
+// Package fault implements a deterministic, replayable fault model for
+// the simulated inter-FPGA links.
+//
+// The paper assumes lossless serial links: the BSP's QSFP interfaces
+// "implement error correction, flow control, and handle backpressure"
+// (§5.1), so the baseline simulator's links are perfect delay lines.
+// This package supplies the machinery that assumption hides. A Spec — a
+// JSON artifact like the topology file — describes a schedule of faults:
+//
+//   - scripted events: drop one packet, corrupt one packet, flap a link
+//     for a cycle window, or kill a cable permanently, each pinned to a
+//     cycle and a link;
+//   - probabilistic background noise: per-link drop and bit-corruption
+//     probabilities driven by a seeded splitmix64 stream.
+//
+// Everything is deterministic: the same Spec (including its seed)
+// replays the exact same fault sequence cycle for cycle, because each
+// link derives an independent RNG stream from the spec seed and the
+// link's name, independent of map iteration or scheduling order.
+//
+// The injector is consulted by the reliable link layer (internal/link)
+// at wire entry and wire exit; it never reaches into higher layers, so
+// SMI semantics are preserved purely by the retransmission protocol and
+// the failover machinery built on top.
+package fault
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+)
+
+// Kind enumerates the fault classes of the model.
+type Kind string
+
+const (
+	// Drop discards a single packet entering the wire at or after the
+	// event cycle.
+	Drop Kind = "drop"
+	// Corrupt flips one bit of a single packet entering the wire at or
+	// after the event cycle (header or payload, selected by Bit).
+	Corrupt Kind = "corrupt"
+	// Flap takes the link down for the window [At, Until): packets on
+	// the wire during the outage are lost, and nothing new gets across.
+	Flap Kind = "flap"
+	// Kill takes the link down permanently from cycle At. The cluster's
+	// failover machinery is expected to detect it and reroute.
+	Kill Kind = "kill"
+)
+
+// Event is one scripted fault.
+type Event struct {
+	// Link names the directed link the fault applies to, in the cluster's
+	// "dev:iface->dev:iface" form. An empty Link applies to every link.
+	Link string `json:"link,omitempty"`
+	// Kind is the fault class.
+	Kind Kind `json:"kind"`
+	// At is the cycle the fault arms (Drop/Corrupt hit the first packet
+	// entering the wire at or after At; Flap/Kill take the link down at
+	// At).
+	At int64 `json:"at"`
+	// Until ends a Flap window (exclusive). Ignored for other kinds.
+	Until int64 `json:"until,omitempty"`
+	// Bit selects which bit of the 32-byte wire word a Corrupt event
+	// flips (0..255). Ignored for other kinds.
+	Bit int `json:"bit,omitempty"`
+}
+
+// Spec is a complete, replayable fault schedule.
+type Spec struct {
+	// Seed drives the probabilistic faults. Two runs with the same seed
+	// and schedule are cycle-for-cycle identical.
+	Seed int64 `json:"seed"`
+	// DropProb is the per-packet probability of a silent drop on every
+	// link (0 disables).
+	DropProb float64 `json:"drop_prob,omitempty"`
+	// CorruptProb is the per-packet probability of a single-bit flip on
+	// every link (0 disables).
+	CorruptProb float64 `json:"corrupt_prob,omitempty"`
+	// Events is the scripted schedule.
+	Events []Event `json:"events,omitempty"`
+}
+
+// Validate checks the spec for structural errors.
+func (s *Spec) Validate() error {
+	if s == nil {
+		return nil
+	}
+	if s.DropProb < 0 || s.DropProb > 1 {
+		return fmt.Errorf("fault: drop_prob %g outside [0,1]", s.DropProb)
+	}
+	if s.CorruptProb < 0 || s.CorruptProb > 1 {
+		return fmt.Errorf("fault: corrupt_prob %g outside [0,1]", s.CorruptProb)
+	}
+	for i, ev := range s.Events {
+		switch ev.Kind {
+		case Drop, Corrupt, Flap, Kill:
+		default:
+			return fmt.Errorf("fault: event %d: unknown kind %q", i, ev.Kind)
+		}
+		if ev.At < 0 {
+			return fmt.Errorf("fault: event %d: negative cycle %d", i, ev.At)
+		}
+		if ev.Kind == Flap && ev.Until <= ev.At {
+			return fmt.Errorf("fault: event %d: flap window [%d,%d) is empty", i, ev.At, ev.Until)
+		}
+		if ev.Kind == Corrupt && (ev.Bit < 0 || ev.Bit >= 256) {
+			return fmt.Errorf("fault: event %d: bit %d outside the 256-bit wire word", i, ev.Bit)
+		}
+	}
+	return nil
+}
+
+// Zero reports whether the spec schedules no faults at all. A zero spec
+// attached to a cluster enables the reliability layer but must not
+// change any measured cycle count.
+func (s *Spec) Zero() bool {
+	return s == nil || (s.DropProb == 0 && s.CorruptProb == 0 && len(s.Events) == 0)
+}
+
+// WriteJSON serializes the spec (the replayable artifact, mirroring the
+// topology and routing-table JSON files of the Fig 8 workflow).
+func (s *Spec) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(s)
+}
+
+// ReadJSON parses and validates a spec written by WriteJSON.
+func ReadJSON(r io.Reader) (*Spec, error) {
+	var s Spec
+	if err := json.NewDecoder(r).Decode(&s); err != nil {
+		return nil, fmt.Errorf("fault: parsing JSON: %w", err)
+	}
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	return &s, nil
+}
+
+// eventsFor returns the scripted events applying to one link, sorted by
+// arming cycle (stably, preserving spec order for equal cycles).
+func (s *Spec) eventsFor(link string) []Event {
+	var out []Event
+	for _, ev := range s.Events {
+		if ev.Link == "" || ev.Link == link {
+			out = append(out, ev)
+		}
+	}
+	sort.SliceStable(out, func(i, j int) bool { return out[i].At < out[j].At })
+	return out
+}

@@ -1,0 +1,457 @@
+package link
+
+import (
+	"fmt"
+
+	"repro/internal/fault"
+	"repro/internal/packet"
+	"repro/internal/sim"
+)
+
+// This file adds the reliability layer the BSP abstracts away: a
+// link-level retransmission protocol (go-back-N with per-frame CRC-32C,
+// sequence numbers, cumulative acks, nacks, and a retransmit timeout)
+// running over a faultable wire. The paper's QSFP interfaces "implement
+// error correction, flow control, and handle backpressure" (§5.1)
+// inside the shell; ReliableLink models that shell logic cycle for
+// cycle, so injected faults cost real bandwidth and latency.
+//
+// Frames and acknowledgements:
+//
+//   - Every data frame carries (seq, crc) plus a piggybacked cumulative
+//     ack for the opposite direction of the same cable.
+//   - When a direction has no data to send, it spends otherwise idle
+//     wire slots on pure control frames carrying the ack/nack state, so
+//     acknowledgements never delay payload traffic. With zero faults
+//     the data path is cycle-identical to the lossless Link.
+//   - The receiver accepts frames strictly in order. A CRC error or a
+//     sequence gap raises a nack; the sender rewinds to the first
+//     unacknowledged frame and retransmits (go-back-N), which occupies
+//     real forward wire slots.
+//   - A retransmit timeout (RTO) covers tail losses; it only runs while
+//     the wire has room, so pure backpressure never masquerades as
+//     loss. DeadAfter consecutive fruitless timeouts declare the link
+//     dead, handing control to the cluster's failover machinery.
+
+// ReliableParams tunes the retransmission protocol of one link.
+type ReliableParams struct {
+	// Window is the maximum number of unacknowledged frames the sender
+	// buffers (default 4*latency+64, comfortably above the
+	// bandwidth-delay product so it never binds in fault-free runs).
+	Window int
+	// RTO is the retransmit timeout in cycles (default 2*latency+64).
+	RTO int64
+	// DeadAfter is the number of consecutive timeout-triggered
+	// retransmission rounds with zero ack progress after which the link
+	// is declared dead (default 10).
+	DeadAfter int
+}
+
+func (p *ReliableParams) fill(latency int64) {
+	if p.Window <= 0 {
+		p.Window = int(4*latency) + 64
+	}
+	if p.RTO <= 0 {
+		p.RTO = 2*latency + 64
+	}
+	if p.DeadAfter <= 0 {
+		p.DeadAfter = 10
+	}
+}
+
+// frame is one wire transfer: a 32-byte word plus the link-layer
+// sideband (sequence number, cumulative ack for the opposite direction,
+// control flags, CRC). Real hardware carries the sideband in the
+// inter-frame gap / control symbols of the serial encoding.
+type frame struct {
+	word [packet.Size]byte
+	seq  uint64
+	ack  uint64 // receiver's next expected seq for the opposite direction
+	nack bool   // ask the opposite sender to rewind
+	data bool   // false: pure control frame (ack/nack only)
+	crc  uint32
+}
+
+func (f *frame) flags() byte {
+	var b byte
+	if f.nack {
+		b |= 1
+	}
+	if f.data {
+		b |= 2
+	}
+	return b
+}
+
+func (f *frame) seal() { f.crc = packet.Checksum(f.word, f.seq, f.ack, f.flags()) }
+
+func (f *frame) intact() bool {
+	return f.crc == packet.Checksum(f.word, f.seq, f.ack, f.flags())
+}
+
+type wireFrame struct {
+	f       frame
+	readyAt int64
+}
+
+// txFrame is one unacknowledged entry of the retransmit buffer.
+type txFrame struct {
+	word [packet.Size]byte
+	seq  uint64
+}
+
+// ReliableLink is one direction of a cable running the retransmission
+// protocol. The two directions are created together by NewReliablePair
+// and cross-linked: acknowledgements for this direction's data travel on
+// the peer direction's wire.
+type ReliableLink struct {
+	name    string
+	in      *sim.Fifo[packet.Packet] // sender-side transport FIFO
+	out     *sim.Fifo[packet.Packet] // receiver-side transport FIFO
+	latency int64
+	par     ReliableParams
+	inj     *fault.LinkInjector
+	peer    *ReliableLink
+
+	wire []wireFrame // delay line, oldest first
+
+	// Transmit state (lives at the source device).
+	buf        []txFrame // unacked frames, seq order
+	cursor     int       // next buf entry to put on the wire
+	nextSeq    uint64    // seq assigned to the next fresh frame
+	ackedSeq   uint64    // all seqs below this are acknowledged
+	maxSent    uint64    // highest seq ever placed on the wire + 1
+	timerBase  int64     // RTO reference: last send/progress/rewind
+	timerArmed bool
+	timeouts   int // consecutive fruitless RTO rounds
+	rewindOk   int64
+	dead       bool
+	parked     bool
+
+	// Receive state (lives at the destination device).
+	rxExpected uint64 // next in-order seq to deliver
+	ackOwed    bool   // delivered (or re-ack-worthy) frames not yet acked
+	nackOwed   bool
+	held       *frame // in-order frame waiting for space in out
+
+	// Stats.
+	delivered   uint64
+	stalls      uint64
+	retransmits uint64
+	crcErrors   uint64
+	acksSent    uint64
+	duplicates  uint64
+}
+
+// NewReliablePair registers both directions of a cable with the engine
+// and cross-links them for acknowledgement traffic. inAB/outAB are the
+// transmit/receive FIFOs of the A->B direction, inBA/outBA of B->A.
+// latency <= 0 selects DefaultLatency; inj may be nil per direction.
+func NewReliablePair(e *sim.Engine, nameAB, nameBA string,
+	inAB, outAB, inBA, outBA *sim.Fifo[packet.Packet],
+	latency int64, par ReliableParams,
+	injAB, injBA *fault.LinkInjector) (*ReliableLink, *ReliableLink) {
+	if latency <= 0 {
+		latency = DefaultLatency
+	}
+	par.fill(latency)
+	ab := &ReliableLink{name: nameAB, in: inAB, out: outAB, latency: latency, par: par, inj: injAB}
+	ba := &ReliableLink{name: nameBA, in: inBA, out: outBA, latency: latency, par: par, inj: injBA}
+	ab.peer, ba.peer = ba, ab
+	e.AddKernel(ab)
+	e.AddKernel(ba)
+	return ab, ba
+}
+
+// Name returns the link's name.
+func (l *ReliableLink) Name() string { return l.name }
+
+// Delivered returns in-order data packets delivered to the receiver
+// (duplicates excluded).
+func (l *ReliableLink) Delivered() uint64 { return l.delivered }
+
+// Stalls returns cycles the in-order head frame waited on a full
+// receiver FIFO.
+func (l *ReliableLink) Stalls() uint64 { return l.stalls }
+
+// Retransmits returns data frames sent more than once.
+func (l *ReliableLink) Retransmits() uint64 { return l.retransmits }
+
+// CrcErrors returns frames discarded by the receiver's CRC check.
+func (l *ReliableLink) CrcErrors() uint64 { return l.crcErrors }
+
+// AcksSent returns pure control frames spent on acknowledgements.
+func (l *ReliableLink) AcksSent() uint64 { return l.acksSent }
+
+// Duplicates returns already-delivered data frames rejected by the
+// receiver's sequence check.
+func (l *ReliableLink) Duplicates() uint64 { return l.duplicates }
+
+// Dead reports whether the sender has declared this direction dead
+// (DeadAfter consecutive fruitless retransmission rounds).
+func (l *ReliableLink) Dead() bool { return l.dead }
+
+// RxExpected returns the receiver's next expected sequence number: every
+// frame below it has been delivered exactly once. The failover
+// controller reads it over the host control plane (PCIe survives cable
+// failure) to rescue unacknowledged frames without duplication.
+func (l *ReliableLink) RxExpected() uint64 { return l.rxExpected }
+
+// Unacked decodes the retransmit-buffer frames the peer has not
+// delivered (seq >= peerDelivered), in order. Combined with RxExpected
+// of the same direction this is the exact loss set of a dead cable.
+func (l *ReliableLink) Unacked(peerDelivered uint64) []packet.Packet {
+	var out []packet.Packet
+	for _, t := range l.buf {
+		if t.seq >= peerDelivered {
+			out = append(out, packet.Decode(t.word))
+		}
+	}
+	return out
+}
+
+// Park permanently disables the link (failover has taken over): the wire
+// is cleared and Tick becomes a no-op reporting inactivity.
+func (l *ReliableLink) Park() {
+	l.parked = true
+	l.dead = true
+	l.wire = nil
+	l.held = nil
+}
+
+// ForgiveTimeouts resets the death counter and rebases the retransmit
+// timer. The failover controller calls it on surviving links after a
+// repair, since a global pause can legitimately starve them of acks for
+// longer than the RTO.
+func (l *ReliableLink) ForgiveTimeouts(now int64) {
+	if l.parked {
+		return
+	}
+	l.timeouts = 0
+	l.dead = false
+	if len(l.buf) > 0 {
+		l.timerArmed = true
+		l.timerBase = now
+	} else {
+		l.timerArmed = false
+	}
+}
+
+// Tick advances one cycle: deliver at most one frame (receive side),
+// then place at most one frame on the wire (transmit side), mirroring
+// the lossless Link's deliver-then-accept order so fault-free timing is
+// bit-identical.
+func (l *ReliableLink) Tick(now int64) bool {
+	if l.parked {
+		return false
+	}
+	active := l.tickReceive(now)
+	if l.tickTransmit(now) {
+		active = true
+	}
+	if active {
+		return true
+	}
+	// Frames still serializing arrive by the passage of time; a pending
+	// retransmit timeout is likewise a future event the engine cannot
+	// otherwise see.
+	for _, w := range l.wire {
+		if w.readyAt > now {
+			return true
+		}
+	}
+	if l.timerArmed && len(l.wire) < int(l.latency) {
+		return true
+	}
+	return false
+}
+
+// tickReceive delivers the head-of-wire frame if its flight time has
+// elapsed: CRC check, ack/nack processing for the opposite direction,
+// and strict in-order delivery with duplicate rejection.
+func (l *ReliableLink) tickReceive(now int64) bool {
+	// A held in-order frame retries its push before the wire moves.
+	if l.held != nil {
+		if l.out.TryPush(packet.Decode(l.held.word)) {
+			l.rxExpected = l.held.seq + 1
+			l.ackOwed = true
+			l.delivered++
+			l.held = nil
+			return true
+		}
+		l.stalls++
+		return false
+	}
+	if len(l.wire) == 0 || l.wire[0].readyAt > now {
+		return false
+	}
+	f := l.wire[0].f
+	l.wire = l.wire[1:]
+	if l.inj.Down(now) {
+		// The link dropped carrier while the frame was in flight.
+		l.inj.LoseOnWire(now)
+		return true
+	}
+	if !f.intact() {
+		l.crcErrors++
+		l.nackOwed = true
+		return true
+	}
+	// The sideband acknowledges the opposite direction's data.
+	l.peer.processAck(f.ack, f.nack, now)
+	if !f.data {
+		return true
+	}
+	switch {
+	case f.seq == l.rxExpected:
+		if l.out.TryPush(packet.Decode(f.word)) {
+			l.rxExpected = f.seq + 1
+			l.ackOwed = true
+			l.delivered++
+		} else {
+			// Receiver FIFO full: hold the frame (hardware stall), do
+			// not nack — backpressure is not loss.
+			held := f
+			l.held = &held
+			l.stalls++
+		}
+	case f.seq < l.rxExpected:
+		// Duplicate of a delivered frame (retransmission raced the
+		// ack): discard and re-advertise the cumulative ack.
+		l.duplicates++
+		l.ackOwed = true
+	default:
+		// Gap: an earlier frame was lost. Go-back-N discards
+		// out-of-order frames and asks for a rewind.
+		l.nackOwed = true
+	}
+	return true
+}
+
+// tickTransmit handles the retransmit timeout and places at most one
+// frame — backlog retransmission, fresh data, or a pure control frame —
+// on the wire.
+func (l *ReliableLink) tickTransmit(now int64) bool {
+	if l.dead {
+		return false
+	}
+	// Retransmit timeout. The timer only runs while the wire has room:
+	// a wire jammed by receiver backpressure proves the path is alive
+	// but congested, and retransmitting into it would be both futile
+	// and unfaithful.
+	if l.timerArmed && now-l.timerBase >= l.par.RTO {
+		if len(l.wire) >= int(l.latency) {
+			l.timerBase = now
+		} else {
+			l.cursor = 0 // go-back-N rewind
+			l.rewindOk = now + l.par.RTO
+			l.timerBase = now
+			l.timeouts++
+			if l.timeouts >= l.par.DeadAfter {
+				l.dead = true
+				return true
+			}
+		}
+	}
+	wireRoom := len(l.wire) < int(l.latency)
+	if !wireRoom {
+		return false
+	}
+	// Backlog first: frames already accepted but not yet (re)sent.
+	if l.cursor < len(l.buf) {
+		t := l.buf[l.cursor]
+		l.cursor++
+		l.sendData(now, t)
+		return true
+	}
+	// Fresh data, popped and transmitted in the same cycle — identical
+	// admission timing to the lossless Link.
+	if len(l.buf) < l.par.Window {
+		if p, ok := l.in.TryPop(); ok {
+			t := txFrame{word: p.Encode(), seq: l.nextSeq}
+			l.nextSeq++
+			l.buf = append(l.buf, t)
+			l.cursor = len(l.buf)
+			l.sendData(now, t)
+			return true
+		}
+	}
+	// Idle slot: spend it on acknowledgement state if any is owed for
+	// the opposite direction's receiver.
+	if l.peer.ackOwed || l.peer.nackOwed {
+		f := frame{ack: l.peer.rxExpected, nack: l.peer.nackOwed}
+		f.seal()
+		l.peer.ackOwed, l.peer.nackOwed = false, false
+		l.acksSent++
+		l.putOnWire(now, f)
+		return true
+	}
+	return false
+}
+
+// sendData places one data frame on the wire with the current
+// piggybacked ack state for the opposite direction.
+func (l *ReliableLink) sendData(now int64, t txFrame) {
+	if t.seq < l.maxSent {
+		l.retransmits++
+	} else {
+		l.maxSent = t.seq + 1
+	}
+	f := frame{word: t.word, seq: t.seq, data: true, ack: l.peer.rxExpected, nack: l.peer.nackOwed}
+	f.seal()
+	l.peer.ackOwed, l.peer.nackOwed = false, false
+	if !l.timerArmed {
+		l.timerArmed = true
+		l.timerBase = now
+	}
+	l.putOnWire(now, f)
+}
+
+// putOnWire passes a frame through the fault injector and, if it
+// survives, appends it to the delay line.
+func (l *ReliableLink) putOnWire(now int64, f frame) {
+	if l.inj.Down(now) {
+		l.inj.LoseOnWire(now)
+		return
+	}
+	word, dropped := l.inj.Transmit(now, f.word)
+	if dropped {
+		return
+	}
+	f.word = word // a corrupted word no longer matches f.crc
+	l.wire = append(l.wire, wireFrame{f: f, readyAt: now + l.latency})
+}
+
+// processAck applies a cumulative ack (and optional rewind request)
+// received on the opposite direction's wire to this direction's
+// transmit state.
+func (l *ReliableLink) processAck(ack uint64, nack bool, now int64) {
+	if ack > l.ackedSeq {
+		drop := int(ack - l.ackedSeq)
+		if drop > len(l.buf) {
+			drop = len(l.buf)
+		}
+		l.buf = l.buf[drop:]
+		l.cursor -= drop
+		if l.cursor < 0 {
+			l.cursor = 0
+		}
+		l.ackedSeq = ack
+		l.timeouts = 0
+		l.timerBase = now
+		if len(l.buf) == 0 && l.cursor == 0 {
+			l.timerArmed = false
+		}
+	}
+	if nack && now >= l.rewindOk && len(l.buf) > 0 {
+		// Rewind to the first unacked frame; guard so the burst of
+		// nacks a single loss provokes triggers only one rewind.
+		l.cursor = 0
+		l.rewindOk = now + 2*l.latency
+		l.timerBase = now
+	}
+}
+
+func (l *ReliableLink) String() string {
+	return fmt.Sprintf("rlink %s (lat=%d, delivered=%d, rexmit=%d)", l.name, l.latency, l.delivered, l.retransmits)
+}

@@ -1,0 +1,232 @@
+package link
+
+import (
+	"testing"
+
+	"repro/internal/fault"
+	"repro/internal/packet"
+	"repro/internal/sim"
+)
+
+// rig is one reliable cable with a unidirectional A->B workload attached.
+type rig struct {
+	eng    *sim.Engine
+	ab, ba *ReliableLink
+	done   int64 // rx completion cycle
+	order  []int32
+}
+
+func reliableRig(t *testing.T, n int, latency int64, spec *fault.Spec) *rig {
+	t.Helper()
+	r := &rig{eng: sim.NewEngine()}
+	r.eng.SetMaxCycles(500_000)
+	inAB := sim.NewFifo[packet.Packet](r.eng, "inAB", 8)
+	outAB := sim.NewFifo[packet.Packet](r.eng, "outAB", 8)
+	inBA := sim.NewFifo[packet.Packet](r.eng, "inBA", 8)
+	outBA := sim.NewFifo[packet.Packet](r.eng, "outBA", 8)
+	inj := fault.NewInjector(spec)
+	r.ab, r.ba = NewReliablePair(r.eng, "a->b", "b->a",
+		inAB, outAB, inBA, outBA, latency, ReliableParams{},
+		inj.ForLink("a->b"), inj.ForLink("b->a"))
+	sim.NewProc(r.eng, "tx", func(p *sim.Proc) {
+		for i := 0; i < n; i++ {
+			inAB.PushProc(p, pkt(i))
+		}
+	})
+	sim.NewProc(r.eng, "rx", func(p *sim.Proc) {
+		for i := 0; i < n; i++ {
+			r.order = append(r.order, seqOf(outAB.PopProc(p)))
+		}
+		r.done = p.Now()
+	})
+	return r
+}
+
+func (r *rig) checkPayload(t *testing.T, n int) {
+	t.Helper()
+	if len(r.order) != n {
+		t.Fatalf("received %d packets, want %d", len(r.order), n)
+	}
+	for i, v := range r.order {
+		if v != int32(i) {
+			t.Fatalf("packet %d carries %d: lost, duplicated or reordered", i, v)
+		}
+	}
+}
+
+// TestReliableZeroFaultParity is the headline property: with no faults
+// scheduled, the retransmission protocol is invisible — the workload
+// finishes on exactly the same cycle as over the lossless Link.
+func TestReliableZeroFaultParity(t *testing.T) {
+	const n, latency = 3000, 110
+
+	// Baseline: the paper's lossless link.
+	be := sim.NewEngine()
+	bin := sim.NewFifo[packet.Packet](be, "in", 8)
+	bout := sim.NewFifo[packet.Packet](be, "out", 8)
+	New(be, "l", bin, bout, latency)
+	var baseDone int64
+	sim.NewProc(be, "tx", func(p *sim.Proc) {
+		for i := 0; i < n; i++ {
+			bin.PushProc(p, pkt(i))
+		}
+	})
+	sim.NewProc(be, "rx", func(p *sim.Proc) {
+		for i := 0; i < n; i++ {
+			bout.PopProc(p)
+		}
+		baseDone = p.Now()
+	})
+	if err := be.Run(); err != nil {
+		t.Fatal(err)
+	}
+
+	r := reliableRig(t, n, latency, nil)
+	if err := r.eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	r.checkPayload(t, n)
+	if r.done != baseDone {
+		t.Fatalf("fault-free reliable link finished at cycle %d, lossless link at %d: protocol is not timing-transparent", r.done, baseDone)
+	}
+	if r.ab.Retransmits() != 0 || r.ab.CrcErrors() != 0 || r.ab.Duplicates() != 0 {
+		t.Fatalf("fault-free run did repair work: %s", r.ab)
+	}
+}
+
+func TestReliableScriptedDrop(t *testing.T) {
+	const n = 1000
+	spec := &fault.Spec{Events: []fault.Event{
+		{Link: "a->b", Kind: fault.Drop, At: 300},
+		{Link: "a->b", Kind: fault.Drop, At: 700},
+	}}
+	r := reliableRig(t, n, 110, spec)
+	if err := r.eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	r.checkPayload(t, n)
+	if r.ab.Retransmits() == 0 {
+		t.Fatal("recovering from a drop must retransmit")
+	}
+	if r.ab.Delivered() != n {
+		t.Fatalf("delivered %d, want %d", r.ab.Delivered(), n)
+	}
+}
+
+func TestReliableScriptedCorrupt(t *testing.T) {
+	const n = 1000
+	spec := &fault.Spec{Events: []fault.Event{
+		{Link: "a->b", Kind: fault.Corrupt, At: 400, Bit: 13},
+	}}
+	r := reliableRig(t, n, 110, spec)
+	if err := r.eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	r.checkPayload(t, n)
+	if r.ab.CrcErrors() == 0 {
+		t.Fatal("the corrupted frame must fail its CRC check")
+	}
+	if r.ab.Retransmits() == 0 {
+		t.Fatal("recovering from corruption must retransmit")
+	}
+}
+
+func TestReliableFlap(t *testing.T) {
+	const n = 2000
+	// A 150-cycle carrier loss mid-transfer: everything sent or in
+	// flight during the window is lost and must be retransmitted.
+	spec := &fault.Spec{Events: []fault.Event{
+		{Link: "a->b", Kind: fault.Flap, At: 500, Until: 650},
+	}}
+	r := reliableRig(t, n, 110, spec)
+	if err := r.eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	r.checkPayload(t, n)
+	if r.ab.Retransmits() == 0 {
+		t.Fatal("flap recovery must retransmit")
+	}
+	if r.ab.Dead() {
+		t.Fatal("a transient flap must not kill the link")
+	}
+}
+
+func TestReliableProbabilisticLossDeterministic(t *testing.T) {
+	const n = 2000
+	run := func() (int64, uint64) {
+		spec := &fault.Spec{Seed: 42, DropProb: 0.01, CorruptProb: 0.002}
+		r := reliableRig(t, n, 110, spec)
+		if err := r.eng.Run(); err != nil {
+			t.Fatal(err)
+		}
+		r.checkPayload(t, n)
+		return r.done, r.ab.Retransmits()
+	}
+	d1, rx1 := run()
+	d2, rx2 := run()
+	if d1 != d2 || rx1 != rx2 {
+		t.Fatalf("same seed diverged: cycles %d vs %d, retransmits %d vs %d", d1, d2, rx1, rx2)
+	}
+	if rx1 == 0 {
+		t.Fatal("1% drop probability over 2000 packets should have forced retransmissions")
+	}
+}
+
+// TestReliableKill checks a permanently dead link is detected as dead
+// rather than retried forever. Without a failover controller the
+// transfer cannot complete, so the run ends in an error.
+func TestReliableKill(t *testing.T) {
+	const n = 500
+	spec := &fault.Spec{Events: []fault.Event{
+		{Link: "a->b", Kind: fault.Kill, At: 300},
+	}}
+	r := reliableRig(t, n, 110, spec)
+	r.eng.SetMaxCycles(100_000)
+	if err := r.eng.Run(); err == nil {
+		t.Fatal("a killed link with no failover must not complete")
+	}
+	if !r.ab.Dead() {
+		t.Fatalf("sender never declared the killed link dead (timeouts observed: %s)", r.ab)
+	}
+}
+
+// TestReliableBackpressureIsNotLoss parks a receiver for a long time:
+// the RTO must not fire (the wire is jammed, not lossy) and nothing may
+// be retransmitted or declared dead.
+func TestReliableBackpressureIsNotLoss(t *testing.T) {
+	const n = 200
+	e := sim.NewEngine()
+	e.SetMaxCycles(200_000)
+	inAB := sim.NewFifo[packet.Packet](e, "inAB", 8)
+	outAB := sim.NewFifo[packet.Packet](e, "outAB", 2)
+	inBA := sim.NewFifo[packet.Packet](e, "inBA", 2)
+	outBA := sim.NewFifo[packet.Packet](e, "outBA", 2)
+	ab, _ := NewReliablePair(e, "a->b", "b->a",
+		inAB, outAB, inBA, outBA, 50, ReliableParams{}, nil, nil)
+	sim.NewProc(e, "tx", func(p *sim.Proc) {
+		for i := 0; i < n; i++ {
+			inAB.PushProc(p, pkt(i))
+		}
+	})
+	var got []int32
+	sim.NewProc(e, "rx", func(p *sim.Proc) {
+		p.Sleep(10_000) // receiver busy elsewhere for far longer than the RTO
+		for i := 0; i < n; i++ {
+			got = append(got, seqOf(outAB.PopProc(p)))
+		}
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range got {
+		if v != int32(i) {
+			t.Fatalf("packet %d carries %d", i, v)
+		}
+	}
+	if ab.Retransmits() != 0 {
+		t.Fatalf("backpressure provoked %d retransmits: the RTO must pause while the wire is full", ab.Retransmits())
+	}
+	if ab.Dead() {
+		t.Fatal("backpressure killed the link")
+	}
+}

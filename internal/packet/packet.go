@@ -16,6 +16,7 @@ package packet
 import (
 	"encoding/binary"
 	"fmt"
+	"hash/crc32"
 )
 
 // Wire sizes in bytes.
@@ -155,6 +156,25 @@ func (p *Packet) Elem(i int, dt Datatype) uint64 {
 		return binary.LittleEndian.Uint64(p.Payload[off:])
 	}
 	return 0
+}
+
+// castagnoli is the CRC-32C table used for link-level frame checksums
+// (the polynomial hardware link layers typically implement).
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// Checksum computes the link-level CRC-32C over one wire word plus the
+// frame metadata the reliable link layer adds around it (sequence
+// number, cumulative acknowledgement, control flags). The physical QSFP
+// links the paper relies on carry equivalent protection inside the BSP
+// (§5.1); the simulator makes it explicit so injected bit errors are
+// detectable.
+func Checksum(w [Size]byte, seq, ack uint64, flags byte) uint32 {
+	var meta [17]byte
+	binary.LittleEndian.PutUint64(meta[0:], seq)
+	binary.LittleEndian.PutUint64(meta[8:], ack)
+	meta[16] = flags
+	crc := crc32.Update(0, castagnoli, w[:])
+	return crc32.Update(crc, castagnoli, meta[:])
 }
 
 // Config is the dynamic per-channel information a collective support

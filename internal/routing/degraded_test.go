@@ -1,0 +1,138 @@
+package routing
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+
+	"repro/internal/topology"
+)
+
+// degradedTopologies yields every single-cable removal of the given
+// topology — the exact inputs the failover controller feeds the route
+// generator after a permanent link death.
+func degradedTopologies(t *testing.T, base *topology.Topology) []*topology.Topology {
+	t.Helper()
+	out := make([]*topology.Topology, 0, len(base.Connections))
+	for _, conn := range base.Connections {
+		d := base.Without(conn)
+		if len(d.Connections) != len(base.Connections)-1 {
+			t.Fatalf("Without removed %d cables", len(base.Connections)-len(d.Connections))
+		}
+		if err := d.Validate(); err != nil {
+			t.Fatalf("degraded topology invalid: %v", err)
+		}
+		out = append(out, d)
+	}
+	return out
+}
+
+// TestUpDownSurvivesAnySingleCableLoss: removing any one cable from a
+// 2D torus or a hypercube must still yield full reachability and a
+// provably deadlock-free up*/down* route set.
+func TestUpDownSurvivesAnySingleCableLoss(t *testing.T) {
+	bases := map[string]*topology.Topology{}
+	if topo, err := topology.Torus2D(2, 4); err == nil {
+		bases["torus2x4"] = topo
+	} else {
+		t.Fatal(err)
+	}
+	if topo, err := topology.Torus2D(4, 4); err == nil {
+		bases["torus4x4"] = topo
+	} else {
+		t.Fatal(err)
+	}
+	if topo, err := topology.Hypercube(3); err == nil {
+		bases["hypercube3"] = topo
+	} else {
+		t.Fatal(err)
+	}
+
+	for name, base := range bases {
+		name, base := name, base
+		t.Run(name, func(t *testing.T) {
+			for i, d := range degradedTopologies(t, base) {
+				if !d.Connected() {
+					t.Fatalf("cable %d: single removal disconnected the topology", i)
+				}
+				r, err := Compute(d, UpDown)
+				if err != nil {
+					t.Fatalf("cable %d: %v", i, err)
+				}
+				if err := VerifyDeadlockFree(r); err != nil {
+					t.Fatalf("cable %d: degraded up*/down* routes not deadlock-free: %v", i, err)
+				}
+				for src := 0; src < d.Devices; src++ {
+					for dst := 0; dst < d.Devices; dst++ {
+						if src == dst {
+							continue
+						}
+						if r.Hops(src, dst) < 0 {
+							t.Fatalf("cable %d: no route %d->%d on a connected topology", i, src, dst)
+						}
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestDegradedRoutesDeterministic: the tie-breaking of the route
+// generator must make repeated computations on the same degraded wiring
+// identical — a failover replayed from the same fault spec must produce
+// the same tables.
+func TestDegradedRoutesDeterministic(t *testing.T) {
+	base, err := topology.Torus2D(2, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, d := range degradedTopologies(t, base) {
+		a, err := Compute(d, UpDown)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := Compute(d, UpDown)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(a.Next, b.Next) {
+			t.Fatalf("cable %d: two computations of the same degraded topology differ", i)
+		}
+	}
+}
+
+// TestCopyFromSwapsTables: CopyFrom must make the destination
+// indistinguishable from the source (the in-place "table upload" the
+// failover controller performs through the shared pointer).
+func TestCopyFromSwapsTables(t *testing.T) {
+	base, err := topology.Torus2D(2, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	orig, err := Compute(base, UpDown)
+	if err != nil {
+		t.Fatal(err)
+	}
+	degraded := base.Without(base.Connections[0])
+	repl, err := Compute(degraded, UpDown)
+	if err != nil {
+		t.Fatal(err)
+	}
+	orig.CopyFrom(repl)
+	if !reflect.DeepEqual(orig.Next, repl.Next) {
+		t.Fatal("CopyFrom did not copy the tables")
+	}
+	// Deep copy: mutating the source afterwards must not leak through.
+	repl.Next[0][1] = 99
+	if orig.Next[0][1] == 99 {
+		t.Fatal("CopyFrom aliased the source rows")
+	}
+	for src := 0; src < degraded.Devices; src++ {
+		for dst := 0; dst < degraded.Devices; dst++ {
+			if src != dst && orig.Hops(src, dst) < 0 {
+				t.Fatalf("post-swap routes lost %d->%d", src, dst)
+			}
+		}
+	}
+	_ = fmt.Sprintf("%v", orig.Policy) // exercise the stringer on the copied policy
+}

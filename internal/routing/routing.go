@@ -254,6 +254,23 @@ func (r *Routes) computeUpDown() {
 // At returns the exit interface at device dev for destination dst.
 func (r *Routes) At(dev, dst int) int { return r.Next[dev][dst] }
 
+// CopyFrom overwrites this route set in place with o's tables, policy,
+// and topology. The transport layer holds a pointer to its Routes, so an
+// in-place copy is how the fault manager atomically "uploads" the
+// regenerated tables to every device between cycles after a permanent
+// link failure (the paper's host-side table upload of §4.3, without a
+// bitstream rebuild).
+func (r *Routes) CopyFrom(o *Routes) {
+	r.Policy = o.Policy
+	r.Devices = o.Devices
+	r.Ifaces = o.Ifaces
+	r.topo = o.topo
+	r.Next = make([][]int, len(o.Next))
+	for d := range o.Next {
+		r.Next[d] = append([]int(nil), o.Next[d]...)
+	}
+}
+
 // Path returns the device sequence from src to dst, inclusive, or nil if
 // unreachable.
 func (r *Routes) Path(src, dst int) []int {

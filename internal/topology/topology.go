@@ -105,6 +105,21 @@ func (t *Topology) Adjacent() [][]Endpoint {
 	return adj
 }
 
+// Without returns a copy of the topology with the given cable removed
+// (matched in either endpoint order). Used by the failover machinery to
+// derive the surviving wiring after a permanent link death, and by
+// degraded-topology tests.
+func (t *Topology) Without(c Connection) *Topology {
+	out := &Topology{Devices: t.Devices, Ifaces: t.Ifaces, Name: t.Name}
+	for _, o := range t.Connections {
+		if (o.A == c.A && o.B == c.B) || (o.A == c.B && o.B == c.A) {
+			continue
+		}
+		out.Connections = append(out.Connections, o)
+	}
+	return out
+}
+
 // Degree returns the number of cabled interfaces of a device.
 func (t *Topology) Degree(device int) int {
 	n := 0

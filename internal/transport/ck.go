@@ -17,6 +17,9 @@ type ck struct {
 	r        int
 	skipIdle bool
 	route    func(packet.Packet) *sim.Fifo[packet.Packet]
+	// frozen reports whether the kernel is held in reset by the host
+	// (failover reconfiguration); nil means never frozen.
+	frozen func() bool
 
 	nOut int // output FIFO count (structural metadata for resources)
 
@@ -54,6 +57,12 @@ func (c *ck) Name() string { return c.name }
 //     k cycles — the behaviour Table 4 measures.
 func (c *ck) Tick(now int64) bool {
 	if len(c.inputs) == 0 {
+		return false
+	}
+	if c.frozen != nil && c.frozen() {
+		// Held in reset during a failover repair: no packet moves, and
+		// the stall is externally resolved (the fault manager reports
+		// activity while it runs), so the kernel reports idle.
 		return false
 	}
 	if c.hasHeld {

@@ -90,10 +90,28 @@ type Device struct {
 	cks []*ck
 	ckr []*ck
 
+	// interCKS[a][b] carries packets CKS_a -> CKS_b (nil on the
+	// diagonal); retained for the failover drain.
+	interCKS [][]*sim.Fifo[packet.Packet]
+
 	numFifos int // internal FIFOs instantiated (excluding app endpoints)
 
 	dropped uint64 // packets addressed to unbound ports
+
+	// Failover controls (see internal/core's fault manager): paused
+	// freezes every CK of the device (host quiescing the shell during
+	// reconfiguration); sendPaused freezes only the CKS kernels so
+	// rescued packets can be injected ahead of new traffic without
+	// reordering, while inbound delivery continues.
+	paused     bool
+	sendPaused bool
 }
+
+// SetPaused freezes (or thaws) every communication kernel of the device.
+func (d *Device) SetPaused(v bool) { d.paused = v }
+
+// SetSendPaused freezes (or thaws) only the CKS kernels.
+func (d *Device) SetSendPaused(v bool) { d.sendPaused = v }
 
 // Shape describes the structural footprint of a device's transport
 // layer, the input to the resource model (internal/resources).
@@ -163,6 +181,8 @@ func NewDevice(e *sim.Engine, rank, ifaces int, routes *routing.Routes, bindings
 		}
 	}
 
+	d.interCKS = interCKS
+
 	// Port lookup tables.
 	portIface := make(map[int]int)
 	portRecv := make(map[int]*sim.Fifo[packet.Packet])
@@ -214,6 +234,7 @@ func NewDevice(e *sim.Engine, rank, ifaces int, routes *routing.Routes, bindings
 		}
 		// Outputs: the network port, the paired CKR, and every other CKS.
 		k := newCK(fmt.Sprintf("dev%d.cks%d", rank, q), inputs, names, 1+1+(ifaces-1), cfg.R, cfg.SkipIdle, route)
+		k.frozen = func() bool { return d.paused || d.sendPaused }
 		d.cks = append(d.cks, k)
 		e.AddKernel(k)
 	}
@@ -258,6 +279,7 @@ func NewDevice(e *sim.Engine, rank, ifaces int, routes *routing.Routes, bindings
 			}
 		}
 		k := newCK(fmt.Sprintf("dev%d.ckr%d", rank, q), inputs, names, nApps+1+(ifaces-1), cfg.R, cfg.SkipIdle, route)
+		k.frozen = func() bool { return d.paused }
 		d.ckr = append(d.ckr, k)
 		e.AddKernel(k)
 	}
@@ -267,6 +289,47 @@ func NewDevice(e *sim.Engine, rank, ifaces int, routes *routing.Routes, bindings
 // Dropped returns the number of packets discarded because they addressed
 // an unbound port or unreachable rank.
 func (d *Device) Dropped() uint64 { return d.dropped }
+
+// CountDropped adds externally discarded packets (the fault manager's
+// unroutable rescues) to the device's drop counter.
+func (d *Device) CountDropped(n uint64) { d.dropped += n }
+
+// DrainExit empties and returns, oldest first, every packet already
+// routed toward the given exit interface: the network-port FIFO, the
+// CKS held registers targeting it, and the inter-CKS crossbar columns
+// feeding it. The fault manager calls it (with the device paused) after
+// a permanent link death, so stranded traffic can be re-injected on the
+// regenerated routes in its original per-flow order.
+func (d *Device) DrainExit(exit int) []packet.Packet {
+	var out []packet.Packet
+	drainFifo := func(f *sim.Fifo[packet.Packet]) {
+		for {
+			p, ok := f.TryPop()
+			if !ok {
+				return
+			}
+			out = append(out, p)
+		}
+	}
+	drainHeld := func(k *ck, target *sim.Fifo[packet.Packet]) {
+		if k.hasHeld && k.heldOut == target {
+			out = append(out, k.held)
+			k.hasHeld = false
+		}
+	}
+	// Oldest first: the port FIFO, then the packet that failed to enter
+	// it, then each crossbar column followed by its feeder's held slot.
+	drainFifo(d.NetOut[exit])
+	drainHeld(d.cks[exit], d.NetOut[exit])
+	for a := 0; a < d.Ifaces; a++ {
+		if a == exit || d.interCKS[a][exit] == nil {
+			continue
+		}
+		drainFifo(d.interCKS[a][exit])
+		drainHeld(d.cks[a], d.interCKS[a][exit])
+	}
+	return out
+}
 
 // Forwarded returns the total packets forwarded by all CKS and CKR
 // kernels of this device.

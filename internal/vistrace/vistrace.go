@@ -19,15 +19,16 @@ import (
 	"sort"
 )
 
-// event is one Chrome trace "complete" event.
+// event is one Chrome trace "complete" or "instant" event.
 type event struct {
 	Name  string `json:"name"`
 	Cat   string `json:"cat"`
 	Phase string `json:"ph"`
 	TS    int64  `json:"ts"`
-	Dur   int64  `json:"dur"`
+	Dur   int64  `json:"dur,omitempty"`
 	PID   int    `json:"pid"`
 	TID   int    `json:"tid"`
+	Scope string `json:"s,omitempty"`
 }
 
 // Tracer collects activity intervals (implements sim.Recorder).
@@ -72,6 +73,17 @@ func (t *Tracer) KernelInterval(name string, start, end int64) {
 	t.events = append(t.events, event{
 		Name: "active", Cat: "kernel", Phase: "X",
 		TS: start, Dur: end - start, PID: 0, TID: t.lane("kernel:" + name),
+	})
+}
+
+// Instant records a point event on a named lane (Chrome trace "instant"
+// events render as markers). The fault-injection machinery uses it to
+// make drops, retransmission rounds, and failover phases visible next to
+// the kernel activity lanes.
+func (t *Tracer) Instant(lane, name string, ts int64) {
+	t.events = append(t.events, event{
+		Name: name, Cat: "fault", Phase: "i",
+		TS: ts, PID: 0, TID: t.lane(lane), Scope: "t",
 	})
 }
 
