@@ -6,12 +6,15 @@
 //	smibench -list
 //	smibench [-quick] all
 //	smibench [-quick] table3 fig9 ...
+//	smibench -ranks 8,64 -workload stencil scaling
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
+	"strings"
 	"time"
 
 	"repro/internal/bench"
@@ -20,6 +23,8 @@ import (
 func main() {
 	quick := flag.Bool("quick", false, "trim sweeps for a fast run")
 	list := flag.Bool("list", false, "list available experiments")
+	ranks := flag.String("ranks", "", "comma-separated rank counts for rank sweeps (e.g. 8,16,32,64)")
+	workload := flag.String("workload", "", "restrict multi-workload experiments to one workload (e.g. stencil, bcast)")
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: smibench [-quick] [-list] <experiment>... | all\n\nexperiments:\n")
 		for _, e := range bench.Experiments() {
@@ -54,7 +59,17 @@ func main() {
 		}
 	}
 
-	opts := bench.Options{Quick: *quick}
+	opts := bench.Options{Quick: *quick, Workload: *workload}
+	if *ranks != "" {
+		for _, part := range strings.Split(*ranks, ",") {
+			n, err := strconv.Atoi(strings.TrimSpace(part))
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "bad -ranks value %q: %v\n", part, err)
+				os.Exit(2)
+			}
+			opts.Ranks = append(opts.Ranks, n)
+		}
+	}
 	for _, e := range exps {
 		start := time.Now()
 		report, err := e.Run(opts)
@@ -64,5 +79,13 @@ func main() {
 		}
 		report.Print(os.Stdout)
 		fmt.Printf("  (%s regenerated in %.1fs wall time)\n\n", e.ID, time.Since(start).Seconds())
+		if report.JSON != nil {
+			path := "BENCH_" + e.ID + ".json"
+			if err := os.WriteFile(path, report.JSON, 0o644); err != nil {
+				fmt.Fprintf(os.Stderr, "%s: writing %s: %v\n", e.ID, path, err)
+				os.Exit(1)
+			}
+			fmt.Printf("  (machine-readable copy written to %s)\n\n", path)
+		}
 	}
 }

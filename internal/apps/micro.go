@@ -10,6 +10,7 @@ import (
 	smi "repro/internal/core"
 	"repro/internal/fault"
 	"repro/internal/routing"
+	"repro/internal/sim"
 	"repro/internal/topology"
 	"repro/internal/transport"
 )
@@ -32,6 +33,9 @@ type NetConfig struct {
 	// link layer); Reliable enables the protocol without faults.
 	Faults   *fault.Spec
 	Reliable bool
+	// Scheduler selects the simulator's scheduling mode (default
+	// sim.SchedEvent); cycle counts are identical in both modes.
+	Scheduler sim.SchedulerKind
 }
 
 // cluster translates the shared NetConfig knobs into an smi.Config with
@@ -46,6 +50,7 @@ func (cfg NetConfig) cluster(prog smi.ProgramSpec) (*smi.Cluster, error) {
 		MaxCycles:     cfg.MaxCycles,
 		Faults:        cfg.Faults,
 		Reliable:      cfg.Reliable,
+		Scheduler:     cfg.Scheduler,
 	})
 }
 

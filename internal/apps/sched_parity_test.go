@@ -1,0 +1,119 @@
+package apps
+
+import (
+	"testing"
+
+	"repro/internal/fault"
+	"repro/internal/routing"
+	"repro/internal/sim"
+	"repro/internal/topology"
+)
+
+// TestSchedulerParity is the event-scheduler acceptance gate: every
+// workload must finish at the identical cycle under the dense reference
+// scan and the activity-set scheduler, with bit-identical outputs where
+// the workload produces data. The event runs must also actually skip
+// cycles — a scheduler that degenerates to dense would pass the equality
+// checks while delivering none of the speedup.
+func TestSchedulerParity(t *testing.T) {
+	topo, err := topology.Torus2D(2, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := NetConfig{Topology: topo, RoutingPolicy: routing.UpDown}
+
+	t.Run("ping-pong", func(t *testing.T) {
+		for _, variant := range []struct {
+			name string
+			mod  func(*NetConfig)
+		}{
+			{"pristine", func(*NetConfig) {}},
+			{"reliable", func(c *NetConfig) { c.Reliable = true }},
+			{"faulty", func(c *NetConfig) {
+				c.Faults = &fault.Spec{Seed: 11, DropProb: 0.002}
+			}},
+		} {
+			cfg := base
+			variant.mod(&cfg)
+			ev, err := PingPong(cfg, 0, 1, 50)
+			if err != nil {
+				t.Fatalf("%s event: %v", variant.name, err)
+			}
+			cfg.Scheduler = sim.SchedDense
+			de, err := PingPong(cfg, 0, 1, 50)
+			if err != nil {
+				t.Fatalf("%s dense: %v", variant.name, err)
+			}
+			if ev.Cycles != de.Cycles {
+				t.Errorf("%s: event finished at cycle %d, dense at %d", variant.name, ev.Cycles, de.Cycles)
+			}
+		}
+	})
+
+	t.Run("bandwidth", func(t *testing.T) {
+		ev, err := Bandwidth(base, 0, 5, 20000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		dcfg := base
+		dcfg.Scheduler = sim.SchedDense
+		de, err := Bandwidth(dcfg, 0, 5, 20000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ev.Cycles != de.Cycles {
+			t.Errorf("event finished at cycle %d, dense at %d", ev.Cycles, de.Cycles)
+		}
+		if ev.Net.Sched.Scheduler != "event" || de.Net.Sched.Scheduler != "dense" {
+			t.Errorf("scheduler labels: event=%q dense=%q", ev.Net.Sched.Scheduler, de.Net.Sched.Scheduler)
+		}
+	})
+
+	t.Run("bcast", func(t *testing.T) {
+		ev, err := BcastTime(base, 8, 2000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		dcfg := base
+		dcfg.Scheduler = sim.SchedDense
+		de, err := BcastTime(dcfg, 8, 2000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ev.Cycles != de.Cycles {
+			t.Errorf("event finished at cycle %d, dense at %d", ev.Cycles, de.Cycles)
+		}
+		if ev.Net.Sched.CyclesSkipped == 0 {
+			t.Error("event run skipped no cycles: the activity sets never fast-forwarded")
+		}
+	})
+
+	t.Run("stencil", func(t *testing.T) {
+		cfg := StencilConfig{N: 24, Timesteps: 4, RanksX: 2, RanksY: 4, Verify: true}
+		ev, err := Stencil(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg.Scheduler = sim.SchedDense
+		de, err := Stencil(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ev.Cycles != de.Cycles {
+			t.Errorf("event finished at cycle %d, dense at %d", ev.Cycles, de.Cycles)
+		}
+		ref := StencilReference(cfg.N, cfg.Timesteps)
+		for _, run := range []struct {
+			name string
+			res  StencilResult
+		}{{"event", ev}, {"dense", de}} {
+			for i := range ref {
+				for j := range ref[i] {
+					if run.res.Grid[i][j] != ref[i][j] {
+						t.Fatalf("%s grid[%d][%d] = %v, reference %v", run.name, i, j, run.res.Grid[i][j], ref[i][j])
+					}
+				}
+			}
+		}
+	})
+}

@@ -6,6 +6,7 @@ import (
 	smi "repro/internal/core"
 	"repro/internal/fault"
 	"repro/internal/routing"
+	"repro/internal/sim"
 	"repro/internal/topology"
 )
 
@@ -40,6 +41,9 @@ type StencilConfig struct {
 	RoutingPolicy routing.Policy
 	// Faults attaches a fault-injection schedule to the links.
 	Faults *fault.Spec
+	// Scheduler selects the simulator's scheduling mode (default
+	// sim.SchedEvent); cycle counts are identical in both modes.
+	Scheduler sim.SchedulerKind
 }
 
 // StencilResult reports one stencil execution.
@@ -150,6 +154,7 @@ func Stencil(cfg StencilConfig) (StencilResult, error) {
 		MaxCycles:     cfg.MaxCycles,
 		RoutingPolicy: cfg.RoutingPolicy,
 		Faults:        cfg.Faults,
+		Scheduler:     cfg.Scheduler,
 	})
 	if err != nil {
 		return StencilResult{}, err

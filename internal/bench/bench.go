@@ -16,6 +16,12 @@ import (
 type Options struct {
 	// Quick trims sweeps for fast runs (unit tests, -short benches).
 	Quick bool
+	// Ranks restricts rank-count sweeps (the scaling experiment) to the
+	// listed sizes; empty means the experiment's default sweep.
+	Ranks []int
+	// Workload restricts multi-workload experiments (the scaling
+	// experiment) to one workload; empty means all.
+	Workload string
 }
 
 // Report is the regenerated form of one table or figure.
@@ -28,6 +34,10 @@ type Report struct {
 	// Metrics carries headline numbers for benchmark reporting
 	// (go test -bench surfaces them via b.ReportMetric).
 	Metrics map[string]float64
+	// JSON, when non-nil, is a machine-readable form of the report;
+	// smibench writes it next to the working directory as
+	// BENCH_<id>.json. Tests never write it.
+	JSON []byte
 }
 
 // metric records a headline number. Names are sanitized to be legal

@@ -39,7 +39,7 @@ func cell(t *testing.T, r *Report, row, col int) float64 {
 
 func TestRegistryComplete(t *testing.T) {
 	want := []string{"fig10", "fig11", "fig13", "fig15", "fig16", "fig9",
-		"table1", "table2", "table3", "table4"}
+		"scaling", "table1", "table2", "table3", "table4"}
 	got := Experiments()
 	var ids []string
 	for _, e := range got {
@@ -198,6 +198,24 @@ func TestFig16Shape(t *testing.T) {
 	// fixed overheads amortize.
 	if cell(t, r, last, 1) > cell(t, r, 0, 1)*1.05 {
 		t.Fatal("per-point time should amortize with grid size")
+	}
+}
+
+func TestScalingShape(t *testing.T) {
+	r := runQuick(t, "scaling") // Quick: 8 ranks only, both workloads
+	if len(r.Rows) != 2 {
+		t.Fatalf("quick scaling should have 2 rows (stencil, bcast at 8 ranks), got %d", len(r.Rows))
+	}
+	for i := range r.Rows {
+		if skipped := cell(t, r, i, 3); skipped <= 0 {
+			t.Errorf("%s run fast-forwarded no cycles", r.Rows[i][0])
+		}
+	}
+	if r.JSON == nil {
+		t.Fatal("scaling must carry its machine-readable BENCH_scaling.json payload")
+	}
+	if !strings.Contains(string(r.JSON), `"scheduler": "dense"`) {
+		t.Error("the JSON payload must record the dense baseline rows alongside the event rows")
 	}
 }
 

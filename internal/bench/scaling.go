@@ -1,0 +1,175 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"time"
+
+	"repro/internal/apps"
+	"repro/internal/routing"
+	"repro/internal/sim"
+	"repro/internal/topology"
+	"repro/internal/transport"
+)
+
+func init() {
+	register("scaling", "Simulator scaling: event scheduler vs dense scan at 8..64 ranks", scaling)
+}
+
+// scalingGrids maps a rank count to its 2D torus decomposition.
+var scalingGrids = map[int][2]int{
+	8:  {2, 4},
+	16: {4, 4},
+	32: {4, 8},
+	64: {8, 8},
+}
+
+// ScalingRow is one (workload, ranks, scheduler) measurement.
+type ScalingRow struct {
+	Workload       string  `json:"workload"`
+	Ranks          int     `json:"ranks"`
+	Scheduler      string  `json:"scheduler"`
+	Cycles         int64   `json:"cycles"`
+	CyclesExecuted int64   `json:"cycles_executed"`
+	CyclesSkipped  int64   `json:"cycles_skipped"`
+	KernelTicks    int64   `json:"kernel_ticks"`
+	WallMs         float64 `json:"wall_ms"`
+	NsPerCycle     float64 `json:"ns_per_simulated_cycle"`
+}
+
+// scalingJSON is the BENCH_scaling.json document: every row of the
+// sweep (the dense baseline rows included, so the improvement and its
+// reference live in the same file) plus the headline ratio.
+type scalingJSON struct {
+	Description string       `json:"description"`
+	Rows        []ScalingRow `json:"rows"`
+	// SpeedupAtMax is dense wall-clock / event wall-clock per workload
+	// at the largest rank count measured.
+	SpeedupAtMax map[string]float64 `json:"wall_clock_speedup_at_max_ranks"`
+	MaxRanks     int                `json:"max_ranks"`
+}
+
+// scalingRun executes one workload at one rank count under one
+// scheduler and reports the measurement.
+func scalingRun(workload string, ranks int, kind sim.SchedulerKind) (ScalingRow, error) {
+	grid := scalingGrids[ranks]
+	label := "event"
+	if kind == sim.SchedDense {
+		label = "dense"
+	}
+	row := ScalingRow{Workload: workload, Ranks: ranks, Scheduler: label}
+	start := time.Now()
+	var net = struct {
+		cycles int64
+		sched  sim.SchedStats
+	}{}
+	switch workload {
+	case "stencil":
+		res, err := apps.Stencil(apps.StencilConfig{
+			N: 8 * grid[1], Timesteps: 4, RanksX: grid[0], RanksY: grid[1],
+			Scheduler: kind,
+		})
+		if err != nil {
+			return row, err
+		}
+		net.cycles, net.sched = res.Cycles, res.Net.Sched
+	case "bcast":
+		topo, err := topology.Torus2D(grid[0], grid[1])
+		if err != nil {
+			return row, err
+		}
+		res, err := apps.BcastTime(apps.NetConfig{
+			Topology: topo, Transport: transport.DefaultConfig(),
+			RoutingPolicy: routing.UpDown, Scheduler: kind,
+		}, ranks, 4096)
+		if err != nil {
+			return row, err
+		}
+		net.cycles, net.sched = res.Cycles, res.Net.Sched
+	default:
+		return row, fmt.Errorf("scaling: unknown workload %q (have stencil, bcast)", workload)
+	}
+	wall := time.Since(start)
+	row.Cycles = net.cycles
+	row.CyclesExecuted = net.sched.CyclesExecuted
+	row.CyclesSkipped = net.sched.CyclesSkipped
+	row.KernelTicks = net.sched.KernelTicks
+	row.WallMs = float64(wall.Nanoseconds()) / 1e6
+	if net.cycles > 0 {
+		row.NsPerCycle = float64(wall.Nanoseconds()) / float64(net.cycles)
+	}
+	return row, nil
+}
+
+// scaling sweeps stencil and broadcast over growing rank counts, running
+// each point under both schedulers. The dense scan is the reference the
+// event scheduler must match cycle for cycle — the sweep fails on any
+// divergence — and the baseline its wall-clock improvement is quoted
+// against.
+func scaling(opts Options) (*Report, error) {
+	rankSet := opts.Ranks
+	if len(rankSet) == 0 {
+		rankSet = []int{8, 16, 32, 64}
+		if opts.Quick {
+			rankSet = []int{8}
+		}
+	}
+	workloads := []string{"stencil", "bcast"}
+	if opts.Workload != "" {
+		workloads = []string{opts.Workload}
+	}
+
+	r := &Report{
+		ID:     "scaling",
+		Title:  "Wall-clock per simulated cycle: event scheduler vs dense scan",
+		Header: []string{"workload", "ranks", "cycles", "skipped%", "dense ms", "event ms", "speedup", "ns/cycle"},
+		Notes: []string{
+			"both schedulers must (and do) finish every run on the identical cycle;",
+			"'skipped%' is the share of simulated cycles the event scheduler fast-forwarded",
+		},
+	}
+	doc := scalingJSON{
+		Description:  "smibench scaling: identical workloads under the dense reference scan and the event scheduler; dense rows are the baseline for the wall-clock comparison",
+		SpeedupAtMax: map[string]float64{},
+	}
+	for _, w := range workloads {
+		for _, ranks := range rankSet {
+			if _, ok := scalingGrids[ranks]; !ok {
+				return nil, fmt.Errorf("scaling: unsupported rank count %d (have 8, 16, 32, 64)", ranks)
+			}
+			dense, err := scalingRun(w, ranks, sim.SchedDense)
+			if err != nil {
+				return nil, fmt.Errorf("scaling %s/%d dense: %w", w, ranks, err)
+			}
+			event, err := scalingRun(w, ranks, sim.SchedEvent)
+			if err != nil {
+				return nil, fmt.Errorf("scaling %s/%d event: %w", w, ranks, err)
+			}
+			if dense.Cycles != event.Cycles {
+				return nil, fmt.Errorf("scaling %s/%d: dense finished at cycle %d, event at %d — scheduler parity broken",
+					w, ranks, dense.Cycles, event.Cycles)
+			}
+			doc.Rows = append(doc.Rows, dense, event)
+			speedup := 0.0
+			if event.WallMs > 0 {
+				speedup = dense.WallMs / event.WallMs
+			}
+			skipped := 100 * float64(event.CyclesSkipped) / float64(event.Cycles)
+			r.Rows = append(r.Rows, []string{
+				w, fmt.Sprintf("%d", ranks), fmt.Sprintf("%d", event.Cycles),
+				f1(skipped), f2(dense.WallMs), f2(event.WallMs), f2(speedup), f2(event.NsPerCycle),
+			})
+			if ranks == rankSet[len(rankSet)-1] {
+				doc.SpeedupAtMax[w] = speedup
+				doc.MaxRanks = ranks
+				r.metric(fmt.Sprintf("%s_%dranks_speedup", w, ranks), speedup)
+			}
+		}
+	}
+	js, err := json.MarshalIndent(&doc, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	r.JSON = append(js, '\n')
+	return r, nil
+}

@@ -62,6 +62,11 @@ type Config struct {
 	// charges between detecting a dead cable and re-enabling the
 	// transport kernels on regenerated routes (default 400 cycles).
 	RepairCycles int64
+	// Scheduler selects the simulator's scheduling mode: the default
+	// sim.SchedEvent activity-set scheduler, or sim.SchedDense, the
+	// reference dense scan. Both produce bit-identical runs; dense is
+	// kept for parity testing and as a benchmark baseline.
+	Scheduler sim.SchedulerKind
 }
 
 // Cluster is a multi-FPGA system ready to execute rank programs.
@@ -147,6 +152,7 @@ func NewCluster(cfg Config) (*Cluster, error) {
 	}
 
 	eng := sim.NewEngine()
+	eng.SetScheduler(cfg.Scheduler)
 	eng.SetMaxCycles(cfg.MaxCycles)
 	if cfg.Trace != nil {
 		eng.SetTrace(cfg.Trace)
@@ -207,7 +213,13 @@ func NewCluster(cfg Config) (*Cluster, error) {
 				supRecv := sim.NewFifo[packet.Packet](eng, name("sup.recv"), depth)
 				sup := newSupportKernel(fmt.Sprintf("r%d.p%d.%s", r, spec.Port, spec.Kind),
 					r, spec, ep.appSend, ep.appRecv, supSend, supRecv)
-				eng.AddKernel(sup)
+				supID := eng.AddKernel(sup)
+				// Commits on the inbound FIFOs and pops on the outbound
+				// ones are the only events that can unpark the kernel.
+				ep.appSend.WakesKernel(supID)
+				ep.appRecv.WakesKernel(supID)
+				supSend.WakesKernel(supID)
+				supRecv.WakesKernel(supID)
 				rs.supports = append(rs.supports, sup)
 				bindings = append(bindings, transport.PortBinding{
 					Port: spec.Port, Iface: spec.Iface, Send: supSend, Recv: supRecv,
@@ -342,6 +354,10 @@ type Stats struct {
 	// RescuedPackets counts packets the failover controller re-injected
 	// on regenerated routes.
 	RescuedPackets uint64
+	// Sched reports how the engine spent the run: which scheduler ran,
+	// how many cycles were executed versus skipped by fast-forward, and
+	// the kernel-tick / proc-step / FIFO-commit work totals.
+	Sched sim.SchedStats
 }
 
 // LinkStats describes the traffic one directed link carried during a
@@ -416,7 +432,7 @@ func (c *Cluster) Run() (Stats, error) {
 			err = fmt.Errorf("smi: writing chrome trace: %w", werr)
 		}
 	}
-	st := Stats{Cycles: c.eng.Now()}
+	st := Stats{Cycles: c.eng.Now(), Sched: c.eng.SchedStats()}
 	st.Micros = c.clock.Micros(st.Cycles)
 	for _, l := range c.links {
 		st.PacketsDelivered += l.Delivered()

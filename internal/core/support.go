@@ -180,6 +180,12 @@ func (s *supportKernel) Tick(now int64) bool {
 	return s.tickState() || s.absorbed
 }
 
+// IdleUntil parks the kernel until one of its four FIFOs changes: the
+// state machine is a pure function of their contents — it owns no timers
+// — so an inactive tick repeats forever until an endpoint push/pop or a
+// CKS/CKR transfer arrives, all of which wake it (see NewCluster).
+func (s *supportKernel) IdleUntil(now int64) int64 { return sim.Never }
+
 func (s *supportKernel) tickState() bool {
 	switch s.state {
 	case supIdle:

@@ -33,8 +33,9 @@ type Link struct {
 	q []inFlight // delay line, oldest first
 
 	// Stats.
-	delivered uint64
-	stalls    uint64 // cycles the head packet waited on a full receiver
+	delivered  uint64
+	stalls     uint64 // cycles the head packet waited on a full receiver
+	stallSince int64  // cycle the current blocked-head window opened, -1 if none
 }
 
 type inFlight struct {
@@ -48,8 +49,12 @@ func New(e *sim.Engine, name string, in, out *sim.Fifo[packet.Packet], latency i
 	if latency <= 0 {
 		latency = DefaultLatency
 	}
-	l := &Link{name: name, in: in, out: out, latency: latency}
-	e.AddKernel(l)
+	l := &Link{name: name, in: in, out: out, latency: latency, stallSince: -1}
+	id := e.AddKernel(l)
+	// Commits on the transmit FIFO and pops on the receive FIFO are the
+	// only external events that can give a parked link work.
+	in.WakesKernel(id)
+	out.WakesKernel(id)
 	return l
 }
 
@@ -69,10 +74,17 @@ func (l *Link) Tick(now int64) bool {
 	active := false
 	if len(l.q) > 0 && l.q[0].readyAt <= now {
 		if l.out.TryPush(l.q[0].p) {
+			if l.stallSince >= 0 {
+				// Close the blocked-head window: the opening cycle was
+				// counted when the window opened.
+				l.stalls += uint64(now - l.stallSince - 1)
+				l.stallSince = -1
+			}
 			l.q = l.q[1:]
 			l.delivered++
 			active = true
-		} else {
+		} else if l.stallSince < 0 {
+			l.stallSince = now
 			l.stalls++
 		}
 	}
@@ -85,19 +97,22 @@ func (l *Link) Tick(now int64) bool {
 			active = true
 		}
 	}
-	if active {
-		return true
+	// Packets still serializing arrive by the passage of time alone; that
+	// is a scheduled wake (IdleUntil), not per-cycle activity. A delay
+	// line whose every packet is ready but blocked on a full receiver
+	// depends on external progress and reports idle (so jams are
+	// diagnosable as deadlocks).
+	return active
+}
+
+// IdleUntil promises the link does nothing before its oldest in-flight
+// packet finishes serializing. Head-ready-but-blocked and empty states
+// park until a FIFO wake (transmit commit or receive pop).
+func (l *Link) IdleUntil(now int64) int64 {
+	if len(l.q) > 0 && l.q[0].readyAt > now {
+		return l.q[0].readyAt
 	}
-	// Packets still serializing will arrive by the passage of time, so
-	// the link stays active; a delay line whose every packet is already
-	// ready but blocked on a full receiver depends on external progress
-	// and reports idle (so jams are diagnosable as deadlocks).
-	for _, f := range l.q {
-		if f.readyAt > now {
-			return true
-		}
-	}
-	return false
+	return sim.Never
 }
 
 func (l *Link) String() string {

@@ -106,6 +106,8 @@ type txFrame struct {
 // the peer direction's wire.
 type ReliableLink struct {
 	name    string
+	eng     *sim.Engine
+	id      sim.KernelID
 	in      *sim.Fifo[packet.Packet] // sender-side transport FIFO
 	out     *sim.Fifo[packet.Packet] // receiver-side transport FIFO
 	latency int64
@@ -137,6 +139,7 @@ type ReliableLink struct {
 	// Stats.
 	delivered   uint64
 	stalls      uint64
+	stallSince  int64 // cycle the current held-frame window opened, -1 if none
 	retransmits uint64
 	crcErrors   uint64
 	acksSent    uint64
@@ -155,11 +158,18 @@ func NewReliablePair(e *sim.Engine, nameAB, nameBA string,
 		latency = DefaultLatency
 	}
 	par.fill(latency)
-	ab := &ReliableLink{name: nameAB, in: inAB, out: outAB, latency: latency, par: par, inj: injAB}
-	ba := &ReliableLink{name: nameBA, in: inBA, out: outBA, latency: latency, par: par, inj: injBA}
+	ab := &ReliableLink{name: nameAB, eng: e, in: inAB, out: outAB, latency: latency, par: par, inj: injAB, stallSince: -1}
+	ba := &ReliableLink{name: nameBA, eng: e, in: inBA, out: outBA, latency: latency, par: par, inj: injBA, stallSince: -1}
 	ab.peer, ba.peer = ba, ab
-	e.AddKernel(ab)
-	e.AddKernel(ba)
+	ab.id = e.AddKernel(ab)
+	ba.id = e.AddKernel(ba)
+	// A parked direction resumes on new transmit data (in commit) or on
+	// freed receiver space (out pop); acknowledgement-driven transmit
+	// state changes arrive via explicit WakeKernel calls from the peer.
+	inAB.WakesKernel(ab.id)
+	outAB.WakesKernel(ab.id)
+	inBA.WakesKernel(ba.id)
+	outBA.WakesKernel(ba.id)
 	return ab, ba
 }
 
@@ -235,6 +245,9 @@ func (l *ReliableLink) ForgiveTimeouts(now int64) {
 	} else {
 		l.timerArmed = false
 	}
+	// The timer was rebased; if this direction is parked on the old
+	// deadline, have it tick once and re-park on the new one.
+	l.eng.WakeKernel(l.id)
 }
 
 // Tick advances one cycle: deliver at most one frame (receive side),
@@ -249,21 +262,31 @@ func (l *ReliableLink) Tick(now int64) bool {
 	if l.tickTransmit(now) {
 		active = true
 	}
-	if active {
-		return true
+	// Frames still serializing and a pending retransmit timeout are
+	// future events, reported to the engine as a scheduled wake via
+	// IdleUntil rather than as per-cycle activity.
+	return active
+}
+
+// IdleUntil promises the link does nothing before its next scheduled
+// event: the oldest in-flight frame finishing serialization, or the
+// retransmit timeout firing. Everything else that can give a parked
+// direction work arrives as a wake — transmit-FIFO commits, receive-FIFO
+// pops, and ack/nack state changes applied by the peer direction.
+func (l *ReliableLink) IdleUntil(now int64) int64 {
+	if l.parked {
+		return sim.Never
 	}
-	// Frames still serializing arrive by the passage of time; a pending
-	// retransmit timeout is likewise a future event the engine cannot
-	// otherwise see.
-	for _, w := range l.wire {
-		if w.readyAt > now {
-			return true
+	next := sim.Never
+	if len(l.wire) > 0 && l.wire[0].readyAt > now {
+		next = l.wire[0].readyAt
+	}
+	if !l.dead && l.timerArmed {
+		if d := l.timerBase + l.par.RTO; d < next {
+			next = d
 		}
 	}
-	if l.timerArmed && len(l.wire) < int(l.latency) {
-		return true
-	}
-	return false
+	return next
 }
 
 // tickReceive delivers the head-of-wire frame if its flight time has
@@ -274,12 +297,17 @@ func (l *ReliableLink) tickReceive(now int64) bool {
 	if l.held != nil {
 		if l.out.TryPush(packet.Decode(l.held.word)) {
 			l.rxExpected = l.held.seq + 1
-			l.ackOwed = true
+			l.oweAck()
 			l.delivered++
 			l.held = nil
+			if l.stallSince >= 0 {
+				// Close the held-frame window; its opening cycle was
+				// counted when the frame was first held.
+				l.stalls += uint64(now - l.stallSince - 1)
+				l.stallSince = -1
+			}
 			return true
 		}
-		l.stalls++
 		return false
 	}
 	if len(l.wire) == 0 || l.wire[0].readyAt > now {
@@ -294,7 +322,7 @@ func (l *ReliableLink) tickReceive(now int64) bool {
 	}
 	if !f.intact() {
 		l.crcErrors++
-		l.nackOwed = true
+		l.oweNack()
 		return true
 	}
 	// The sideband acknowledges the opposite direction's data.
@@ -306,26 +334,43 @@ func (l *ReliableLink) tickReceive(now int64) bool {
 	case f.seq == l.rxExpected:
 		if l.out.TryPush(packet.Decode(f.word)) {
 			l.rxExpected = f.seq + 1
-			l.ackOwed = true
+			l.oweAck()
 			l.delivered++
 		} else {
 			// Receiver FIFO full: hold the frame (hardware stall), do
 			// not nack — backpressure is not loss.
 			held := f
 			l.held = &held
-			l.stalls++
+			if l.stallSince < 0 {
+				l.stallSince = now
+				l.stalls++
+			}
 		}
 	case f.seq < l.rxExpected:
 		// Duplicate of a delivered frame (retransmission raced the
 		// ack): discard and re-advertise the cumulative ack.
 		l.duplicates++
-		l.ackOwed = true
+		l.oweAck()
 	default:
 		// Gap: an earlier frame was lost. Go-back-N discards
 		// out-of-order frames and asks for a rewind.
-		l.nackOwed = true
+		l.oweNack()
 	}
 	return true
+}
+
+// oweAck flags acknowledgement state for this receiver and wakes the
+// opposite direction, which transmits the ack on its wire. The wake is
+// timed by the engine so the peer observes the flag exactly when the
+// dense scan would (same cycle if it ticks later, next cycle otherwise).
+func (l *ReliableLink) oweAck() {
+	l.ackOwed = true
+	l.eng.WakeKernel(l.peer.id)
+}
+
+func (l *ReliableLink) oweNack() {
+	l.nackOwed = true
+	l.eng.WakeKernel(l.peer.id)
 }
 
 // tickTransmit handles the retransmit timeout and places at most one
@@ -426,6 +471,10 @@ func (l *ReliableLink) putOnWire(now int64, f frame) {
 // received on the opposite direction's wire to this direction's
 // transmit state.
 func (l *ReliableLink) processAck(ack uint64, nack bool, now int64) {
+	// This runs inside the peer direction's Tick but mutates this
+	// direction's transmit state; if this direction is parked, the freed
+	// window (or a rewind) is work it must wake for.
+	defer l.eng.WakeKernel(l.id)
 	if ack > l.ackedSeq {
 		drop := int(ack - l.ackedSeq)
 		if drop > len(l.buf) {

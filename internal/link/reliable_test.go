@@ -113,6 +113,62 @@ func TestReliableScriptedDrop(t *testing.T) {
 	}
 }
 
+// TestReliableDropDuringIdleSpan pins the event scheduler's treatment
+// of retransmission timers: a frame dropped at the start of a long
+// quiescent stretch (every process asleep, nothing on any wire) must be
+// retransmitted when the RTO expires, at exactly the cycle the dense
+// reference scan produces — not when the fast-forward would otherwise
+// next wake the simulation.
+func TestReliableDropDuringIdleSpan(t *testing.T) {
+	const latency = 110
+	const idle = 200_000
+	spec := &fault.Spec{Events: []fault.Event{
+		{Link: "a->b", Kind: fault.Drop, At: 0},
+	}}
+	run := func(kind sim.SchedulerKind) (done int64, retx uint64, end int64) {
+		eng := sim.NewEngine()
+		eng.SetScheduler(kind)
+		eng.SetMaxCycles(500_000)
+		inAB := sim.NewFifo[packet.Packet](eng, "inAB", 8)
+		outAB := sim.NewFifo[packet.Packet](eng, "outAB", 8)
+		inBA := sim.NewFifo[packet.Packet](eng, "inBA", 8)
+		outBA := sim.NewFifo[packet.Packet](eng, "outBA", 8)
+		inj := fault.NewInjector(spec)
+		ab, _ := NewReliablePair(eng, "a->b", "b->a",
+			inAB, outAB, inBA, outBA, latency, ReliableParams{},
+			inj.ForLink("a->b"), inj.ForLink("b->a"))
+		sim.NewProc(eng, "tx", func(p *sim.Proc) {
+			inAB.PushProc(p, pkt(0))
+			p.Sleep(idle) // the cluster has nothing else to do meanwhile
+		})
+		sim.NewProc(eng, "rx", func(p *sim.Proc) {
+			outAB.PopProc(p)
+			done = p.Now()
+		})
+		if err := eng.Run(); err != nil {
+			t.Fatal(err)
+		}
+		return done, ab.Retransmits(), eng.Now()
+	}
+	evDone, evRetx, evEnd := run(sim.SchedEvent)
+	deDone, deRetx, deEnd := run(sim.SchedDense)
+	if evRetx == 0 {
+		t.Fatal("the dropped frame was never retransmitted")
+	}
+	if evDone != deDone || evRetx != deRetx || evEnd != deEnd {
+		t.Fatalf("event (done=%d retx=%d end=%d) diverges from dense (done=%d retx=%d end=%d)",
+			evDone, evRetx, evEnd, deDone, deRetx, deEnd)
+	}
+	// The RTO fires one timeout past the original send; delivery must
+	// land within a few timeouts, far inside the idle span.
+	if evDone >= idle {
+		t.Fatalf("retransmit delivered at cycle %d, after the idle span: the timer was jumped over", evDone)
+	}
+	if evEnd < idle {
+		t.Fatalf("run ended at cycle %d: the scheduler never fast-forwarded the idle span", evEnd)
+	}
+}
+
 func TestReliableScriptedCorrupt(t *testing.T) {
 	const n = 1000
 	spec := &fault.Spec{Events: []fault.Event{

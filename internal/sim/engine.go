@@ -69,6 +69,28 @@ type Engine struct {
 
 	started  bool
 	finished int // number of finished procs
+
+	// Event-driven scheduler state (see sched.go).
+	sched      SchedulerKind
+	phase      enginePhase
+	curKernel  int32         // kernel index being ticked in phaseKernels
+	pq         schedHeap     // proc wake heap: (wakeAt, proc index)
+	kq         schedHeap     // kernel deadline heap: (wakeAt, kernel index)
+	dueK       intHeap       // kernels due this cycle (index order)
+	hotK       []int32       // sorted snapshot of every-cycle kernels
+	isHot      []bool        // per-kernel hot membership
+	hotDirty   bool          // hotK needs rebuilding from isHot
+	kernParked []bool        // per-kernel parked flag
+	kernWhen   []int64       // per-kernel live scheduled wake (or kernUnscheduled)
+	kernIdle   []IdleUntiler // cached IdleUntiler, nil if not implemented
+	dirtyFifos []int32       // FIFOs touched this cycle, by registration index
+
+	// effort counters (see SchedStats)
+	executed    int64
+	skipped     int64
+	procSteps   int64
+	kernelTicks int64
+	fifoCommits int64
 }
 
 // Recorder receives activity intervals for offline visualization (see
@@ -93,7 +115,7 @@ type fifoRef struct {
 // NewEngine returns an engine with a default cycle limit of one billion
 // cycles (several seconds of simulated time at typical FPGA clocks).
 func NewEngine() *Engine {
-	return &Engine{maxCycles: 1_000_000_000}
+	return &Engine{maxCycles: 1_000_000_000, sched: SchedEvent}
 }
 
 // SetMaxCycles bounds the simulation; Run returns ErrMaxCycles beyond it.
@@ -172,13 +194,22 @@ func (e *Engine) finishRecording() {
 // Now returns the current cycle number.
 func (e *Engine) Now() int64 { return e.now }
 
-// AddKernel registers a state-machine kernel. Kernels tick in
-// registration order, after procs run and before FIFO writes commit.
-func (e *Engine) AddKernel(k Kernel) {
+// AddKernel registers a state-machine kernel and returns its ID. Kernels
+// tick in registration order, after procs run and before FIFO writes
+// commit. The ID is used to attach wake sources (Fifo.WakesKernel) and
+// for explicit wakes (Engine.WakeKernel).
+func (e *Engine) AddKernel(k Kernel) KernelID {
 	if e.started {
 		panic("sim: AddKernel after Run")
 	}
+	id := KernelID(len(e.kernels))
 	e.kernels = append(e.kernels, k)
+	iu, _ := k.(IdleUntiler)
+	e.kernIdle = append(e.kernIdle, iu)
+	e.isHot = append(e.isHot, false)
+	e.kernParked = append(e.kernParked, false)
+	e.kernWhen = append(e.kernWhen, kernUnscheduled)
+	return id
 }
 
 // Tracef writes a trace line if tracing is enabled.
@@ -190,27 +221,45 @@ func (e *Engine) Tracef(format string, args ...any) {
 	}
 }
 
-// Run executes the simulation until every proc has finished, a deadlock
-// is detected, a proc fails, or the cycle limit is reached. It returns
-// the first error encountered, or nil on clean completion.
+// maxCyclesErr wraps ErrMaxCycles with the configured limit.
+func maxCyclesErr(limit int64) error {
+	return fmt.Errorf("%w (limit %d)", ErrMaxCycles, limit)
+}
+
+// Run executes the simulation until every proc has finished, the engine
+// quiesces with nothing scheduled, a deadlock is detected, a proc fails,
+// or the cycle limit is reached. It returns the first error encountered,
+// or nil on clean completion. The scheduling mode (SetScheduler) changes
+// only wall-clock cost, never simulated behavior.
 func (e *Engine) Run() error {
 	e.started = true
 	for _, p := range e.procs {
 		p.start()
 	}
 	defer e.finishRecording()
+	if e.sched == SchedEvent {
+		return e.runEvent()
+	}
+	return e.runDense()
+}
+
+// runDense is the reference scheduler: every proc, kernel, and FIFO is
+// visited on every executed cycle. It is kept as the baseline that the
+// event scheduler must match cycle for cycle.
+func (e *Engine) runDense() error {
 	for {
 		if e.finished == len(e.procs) && len(e.procs) > 0 {
 			return e.drain()
 		}
 		if e.now >= e.maxCycles {
 			e.stopProcs()
-			return fmt.Errorf("%w (limit %d)", ErrMaxCycles, e.maxCycles)
+			return maxCyclesErr(e.maxCycles)
 		}
-
+		e.executed++
 		active := false
 
 		// Phase 1: run every runnable proc once.
+		e.phase = phaseProcs
 		for _, p := range e.procs {
 			switch p.status {
 			case procSleeping:
@@ -233,6 +282,7 @@ func (e *Engine) Run() error {
 		}
 
 		// Phase 2: tick hardware kernels.
+		e.phase = phaseKernels
 		var kernelWas []bool
 		if e.recorder != nil {
 			if cap(e.kernWasBuf) < len(e.kernels) {
@@ -241,7 +291,9 @@ func (e *Engine) Run() error {
 			kernelWas = e.kernWasBuf[:len(e.kernels)]
 		}
 		for i, k := range e.kernels {
+			e.curKernel = int32(i)
 			did := k.Tick(e.now)
+			e.kernelTicks++
 			if did {
 				active = true
 			}
@@ -249,11 +301,14 @@ func (e *Engine) Run() error {
 				kernelWas[i] = did
 			}
 		}
+		e.curKernel = int32(len(e.kernels))
 
 		// Phase 3: commit registered FIFO writes, then wake waiters.
+		e.phase = phaseCommit
 		for _, f := range e.fifos {
 			if f.commit() {
 				active = true
+				e.fifoCommits++
 			}
 		}
 		for _, f := range e.fifos {
@@ -264,12 +319,17 @@ func (e *Engine) Run() error {
 		}
 
 		// Phase 4: termination and fast-forward.
+		e.phase = phaseIdle
 		if !active {
 			next, sleeping := e.nextWake()
+			if kd, ok := e.denseKernelDeadline(); ok && (!sleeping || kd < next) {
+				next, sleeping = kd, true
+			}
 			switch {
 			case sleeping:
 				// Idle span: jump straight to the next scheduled wake-up.
 				if next > e.now+1 {
+					e.skipped += next - e.now - 1
 					e.now = next
 					continue
 				}
@@ -277,14 +337,41 @@ func (e *Engine) Run() error {
 				err := e.deadlock()
 				e.stopProcs()
 				return err
+			default:
+				// Kernel-only (or empty) quiescence: nothing scheduled,
+				// no proc waiting — a clean end.
+				return e.drain()
 			}
 		}
 		e.now++
 	}
 }
 
+// denseKernelDeadline returns the earliest scheduled wake among idle
+// kernels that declare one. Called only on globally inactive cycles, so
+// every kernel's Tick returned false this cycle and IdleUntil is valid
+// to query.
+func (e *Engine) denseKernelDeadline() (int64, bool) {
+	at, ok := Never, false
+	for _, iu := range e.kernIdle {
+		if iu == nil {
+			continue
+		}
+		w := iu.IdleUntil(e.now)
+		if w <= e.now || w >= Never {
+			continue
+		}
+		if w < at {
+			at = w
+		}
+		ok = true
+	}
+	return at, ok
+}
+
 // step resumes proc p and waits for it to yield.
 func (e *Engine) step(p *Proc) error {
+	e.procSteps++
 	p.resume <- struct{}{}
 	<-p.yielded
 	if p.status == procFinished {

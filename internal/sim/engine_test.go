@@ -8,13 +8,37 @@ import (
 )
 
 func TestEmptyEngineRunsNoProcs(t *testing.T) {
-	e := NewEngine()
-	e.SetMaxCycles(10)
-	err := e.Run()
-	if !errors.Is(err, ErrMaxCycles) {
-		// An engine with no procs has no termination condition other
-		// than the cycle limit.
-		t.Fatalf("expected ErrMaxCycles, got %v", err)
+	// An engine with no procs quiesces cleanly once nothing is
+	// scheduled, instead of spinning to the cycle limit.
+	for _, sched := range []SchedulerKind{SchedEvent, SchedDense} {
+		e := NewEngine()
+		e.SetScheduler(sched)
+		e.SetMaxCycles(10)
+		if err := e.Run(); err != nil {
+			t.Fatalf("%v: expected clean quiescence, got %v", sched, err)
+		}
+	}
+}
+
+func TestKernelOnlyQuiescence(t *testing.T) {
+	// A kernel-only engine (zero procs) terminates once its kernels go
+	// idle with no scheduled wake, in both scheduling modes.
+	for _, sched := range []SchedulerKind{SchedEvent, SchedDense} {
+		e := NewEngine()
+		e.SetScheduler(sched)
+		e.SetMaxCycles(1_000_000)
+		f := NewFifo[int](e, "sink", 32)
+		k := &countingKernel{budget: 25, f: f}
+		e.AddKernel(k)
+		if err := e.Run(); err != nil {
+			t.Fatalf("%v: expected clean quiescence, got %v", sched, err)
+		}
+		if k.ticks < 25 {
+			t.Fatalf("%v: kernel should tick through its budget, got %d", sched, k.ticks)
+		}
+		if got := e.Now(); got > 30 {
+			t.Fatalf("%v: run should end shortly after the kernel quiesces, ended at %d", sched, got)
+		}
 	}
 }
 

@@ -1,20 +1,26 @@
 package sim
 
 // fifoCore holds the type-independent bookkeeping of a FIFO: occupancy,
-// capacity, and the procs blocked on it.
+// capacity, and the procs and kernels blocked on it.
 type fifoCore struct {
 	name      string
+	eng       *Engine
+	index     int32 // registration index in the engine's FIFO list
 	capacity  int
 	size      int // committed (reader-visible) occupancy
 	pendingIn int // writes performed this cycle, not yet visible
 
 	spaceWaiters []*Proc
 	dataWaiters  []*Proc
+	kernWaiters  []KernelID // parked kernels to wake on pops and commits
+
+	dirty   bool // on the engine's dirty list this cycle
+	stalled bool // inside a blocked-push window (stall accounting)
 
 	// statistics
 	pushes    uint64
 	maxSize   int
-	stallHint uint64 // failed TryPush attempts (approximate backpressure)
+	stallHint uint64 // blocked-push windows (backpressure events)
 }
 
 // wake transitions procs blocked on this FIFO back to runnable once the
@@ -25,6 +31,7 @@ func (c *fifoCore) wake(e *Engine) {
 		for _, p := range c.dataWaiters {
 			p.status = procRunnable
 			p.runAt = e.now + 1
+			e.scheduleProc(p, p.runAt)
 		}
 		c.dataWaiters = c.dataWaiters[:0]
 	}
@@ -32,6 +39,7 @@ func (c *fifoCore) wake(e *Engine) {
 		for _, p := range c.spaceWaiters {
 			p.status = procRunnable
 			p.runAt = e.now + 1
+			e.scheduleProc(p, p.runAt)
 		}
 		c.spaceWaiters = c.spaceWaiters[:0]
 	}
@@ -62,12 +70,25 @@ func NewFifo[T any](e *Engine, name string, capacity int) *Fifo[T] {
 		capacity = 1
 	}
 	f := &Fifo[T]{
-		fifoCore: fifoCore{name: name, capacity: capacity},
+		fifoCore: fifoCore{name: name, eng: e, index: int32(len(e.fifos)), capacity: capacity},
 		buf:      make([]T, capacity),
 	}
 	e.fifos = append(e.fifos, fifoRef{commit: f.commit, core: &f.fifoCore})
 	return f
 }
+
+// WakesKernel attaches a kernel as a wake target of this FIFO: commits
+// and pops on the FIFO wake the kernel if it is parked (see IdleUntiler).
+// Attach every kernel that reads from or writes to the FIFO and may park
+// while waiting for its state to change.
+func (f *Fifo[T]) WakesKernel(id KernelID) {
+	f.kernWaiters = append(f.kernWaiters, id)
+}
+
+// Stalls returns the number of blocked-push windows observed: a window
+// opens on the first failed push attempt and closes on the next success,
+// so a producer retrying for many cycles counts once.
+func (f *Fifo[T]) Stalls() uint64 { return f.stallHint }
 
 // Name returns the FIFO's registered name.
 func (f *Fifo[T]) Name() string { return f.fifoCore.name }
@@ -94,12 +115,17 @@ func (f *Fifo[T]) CanPop() bool { return f.size > 0 }
 // element becomes visible to readers next cycle.
 func (f *Fifo[T]) TryPush(v T) bool {
 	if !f.CanPush() {
-		f.stallHint++
+		if !f.stalled {
+			f.stalled = true
+			f.stallHint++
+		}
 		return false
 	}
+	f.stalled = false
 	f.pending = append(f.pending, v)
 	f.pendingIn++
 	f.pushes++
+	f.markDirty()
 	return true
 }
 
@@ -113,6 +139,12 @@ func (f *Fifo[T]) TryPop() (T, bool) {
 	f.buf[f.head] = zero
 	f.head = (f.head + 1) % f.capacity
 	f.size--
+	// A pop frees space immediately, so the end-of-cycle wake pass must
+	// visit this FIFO, and parked producer kernels may resume.
+	f.markDirty()
+	if len(f.kernWaiters) > 0 {
+		f.wakeKernels()
+	}
 	return v, true
 }
 

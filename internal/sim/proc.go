@@ -29,6 +29,7 @@ var errKilled = errors.New("sim: proc killed")
 type Proc struct {
 	name string
 	eng  *Engine
+	idx  int32 // registration index; ties in the wake heap break on it
 	body func(*Proc)
 
 	resume  chan struct{}
@@ -51,6 +52,7 @@ func NewProc(e *Engine, name string, body func(*Proc)) *Proc {
 	p := &Proc{
 		name:    name,
 		eng:     e,
+		idx:     int32(len(e.procs)),
 		body:    body,
 		resume:  make(chan struct{}),
 		yielded: make(chan struct{}),
@@ -109,6 +111,7 @@ func (p *Proc) pause() {
 func (p *Proc) Tick() {
 	p.status = procSleeping
 	p.wakeAt = p.eng.now + 1
+	p.eng.scheduleProc(p, p.wakeAt)
 	p.pause()
 }
 
@@ -121,6 +124,7 @@ func (p *Proc) Sleep(n int64) {
 	}
 	p.status = procSleeping
 	p.wakeAt = p.eng.now + n
+	p.eng.scheduleProc(p, p.wakeAt)
 	p.pause()
 }
 

@@ -1,0 +1,504 @@
+package sim
+
+// Event-driven scheduler. The engine supports two scheduling modes that
+// are required to be cycle-for-cycle equivalent:
+//
+//   - SchedDense is the reference implementation: every proc, kernel,
+//     and FIFO is visited on every executed cycle.
+//   - SchedEvent visits only components with work: procs live in a
+//     min-heap keyed by wake cycle, kernels that declare an idle horizon
+//     (IdleUntil) are parked until a scheduled deadline or an explicit
+//     wake, and FIFO commits are driven by a dirty list.
+//
+// Determinism contract (see DESIGN.md): whenever several components are
+// due on the same cycle, they are drained in registration-index order,
+// which is exactly the order the dense scan visits them. Parked kernels
+// promise via IdleUntil that ticking them before their horizon would
+// observe no state change and perform none, so skipping those ticks is
+// unobservable.
+
+// SchedulerKind selects the engine's scheduling mode.
+type SchedulerKind uint8
+
+const (
+	// SchedEvent is the activity-set scheduler (the default).
+	SchedEvent SchedulerKind = iota
+	// SchedDense is the reference dense-scan scheduler.
+	SchedDense
+)
+
+func (k SchedulerKind) String() string {
+	if k == SchedDense {
+		return "dense"
+	}
+	return "event"
+}
+
+// Never is the IdleUntil sentinel meaning "idle until an external wake":
+// the kernel is parked with no scheduled deadline and resumes only when
+// an attached FIFO or an explicit WakeKernel call wakes it.
+const Never = int64(1<<63 - 1)
+
+// kernUnscheduled marks a parked kernel with no live heap entry.
+const kernUnscheduled = int64(-1)
+
+// KernelID identifies a registered kernel; AddKernel returns it and
+// WakeKernel / Fifo.WakesKernel accept it.
+type KernelID int32
+
+// IdleUntiler is optionally implemented by kernels. After Tick returns
+// false, the engine may call IdleUntil(now); the returned cycle w is a
+// promise that every Tick in (now, w) would return false without
+// changing any observable state, so the engine may skip those ticks.
+// Returning now+1 (or smaller) keeps the kernel in the every-cycle tick
+// set; returning Never parks it until an external wake. A parked kernel
+// is woken early by commits and pops on FIFOs attached via WakesKernel,
+// and by WakeKernel; early or duplicate ticks must be harmless.
+type IdleUntiler interface {
+	IdleUntil(now int64) int64
+}
+
+// SchedStats summarizes scheduler effort for benchmarking.
+type SchedStats struct {
+	Scheduler      string // "dense" or "event"
+	Cycles         int64  // final simulated cycle count
+	CyclesExecuted int64  // cycles the engine actually iterated
+	CyclesSkipped  int64  // cycles fast-forwarded over
+	ProcSteps      int64  // proc resumptions
+	KernelTicks    int64  // Kernel.Tick invocations
+	FifoCommits    int64  // commit calls that published writes
+}
+
+// engine phases, used to time same-cycle kernel wakes the way the dense
+// scan would observe them.
+type enginePhase uint8
+
+const (
+	phaseIdle enginePhase = iota
+	phaseProcs
+	phaseKernels
+	phaseCommit
+)
+
+// schedEntry is a heap element: a component index due at cycle `at`.
+// Entries with equal `at` order by index, which makes same-cycle heap
+// drains match registration order.
+type schedEntry struct {
+	at  int64
+	idx int32
+}
+
+type schedHeap struct {
+	h []schedEntry
+}
+
+func (q *schedHeap) len() int        { return len(q.h) }
+func (q *schedHeap) top() schedEntry { return q.h[0] }
+func (q *schedHeap) less(a, b int) bool {
+	if q.h[a].at != q.h[b].at {
+		return q.h[a].at < q.h[b].at
+	}
+	return q.h[a].idx < q.h[b].idx
+}
+
+func (q *schedHeap) push(at int64, idx int32) {
+	q.h = append(q.h, schedEntry{at, idx})
+	i := len(q.h) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !q.less(i, parent) {
+			break
+		}
+		q.h[i], q.h[parent] = q.h[parent], q.h[i]
+		i = parent
+	}
+}
+
+func (q *schedHeap) pop() schedEntry {
+	top := q.h[0]
+	last := len(q.h) - 1
+	q.h[0] = q.h[last]
+	q.h = q.h[:last]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		smallest := i
+		if l < len(q.h) && q.less(l, smallest) {
+			smallest = l
+		}
+		if r < len(q.h) && q.less(r, smallest) {
+			smallest = r
+		}
+		if smallest == i {
+			return top
+		}
+		q.h[i], q.h[smallest] = q.h[smallest], q.h[i]
+		i = smallest
+	}
+}
+
+// intHeap is a min-heap of kernel indices used for same-cycle due sets.
+type intHeap []int32
+
+func (q *intHeap) push(v int32) {
+	*q = append(*q, v)
+	h := *q
+	i := len(h) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if h[i] >= h[parent] {
+			break
+		}
+		h[i], h[parent] = h[parent], h[i]
+		i = parent
+	}
+}
+
+func (q *intHeap) pop() int32 {
+	h := *q
+	top := h[0]
+	last := len(h) - 1
+	h[0] = h[last]
+	h = h[:last]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		smallest := i
+		if l < len(h) && h[l] < h[smallest] {
+			smallest = l
+		}
+		if r < len(h) && h[r] < h[smallest] {
+			smallest = r
+		}
+		if smallest == i {
+			break
+		}
+		h[i], h[smallest] = h[smallest], h[i]
+		i = smallest
+	}
+	*q = h
+	return top
+}
+
+// SetScheduler selects the scheduling mode. Must be called before Run.
+func (e *Engine) SetScheduler(k SchedulerKind) {
+	if e.started {
+		panic("sim: SetScheduler after Run")
+	}
+	e.sched = k
+}
+
+// Scheduler returns the selected scheduling mode.
+func (e *Engine) Scheduler() SchedulerKind { return e.sched }
+
+// ExecutedCycles returns the number of cycles the engine has iterated
+// (excluding fast-forwarded spans). Kernels that mirror per-cycle side
+// effects of the dense scan (e.g. round-robin poll pointers) use this to
+// catch up after being parked.
+func (e *Engine) ExecutedCycles() int64 { return e.executed }
+
+// SchedStats returns scheduler effort counters for the run so far.
+func (e *Engine) SchedStats() SchedStats {
+	return SchedStats{
+		Scheduler:      e.sched.String(),
+		Cycles:         e.now,
+		CyclesExecuted: e.executed,
+		CyclesSkipped:  e.skipped,
+		ProcSteps:      e.procSteps,
+		KernelTicks:    e.kernelTicks,
+		FifoCommits:    e.fifoCommits,
+	}
+}
+
+// WakeKernel asks the engine to tick kernel id at the earliest cycle the
+// dense scan would have it observe the caller's effect: during the proc
+// phase, the same cycle; during the kernel phase, the same cycle if id
+// ticks after the currently ticking kernel, else the next cycle; during
+// commits (and outside Run), the next cycle. Waking a kernel that is not
+// parked is a no-op, so callers need not track parking state.
+func (e *Engine) WakeKernel(id KernelID) {
+	at := e.now + 1
+	switch e.phase {
+	case phaseProcs:
+		at = e.now
+	case phaseKernels:
+		if int32(id) > e.curKernel {
+			at = e.now
+		}
+	}
+	e.wakeKernelAt(id, at)
+}
+
+// wakeKernelAt schedules a tick for a parked kernel at cycle `at` unless
+// an earlier or equal tick is already scheduled.
+func (e *Engine) wakeKernelAt(id KernelID, at int64) {
+	j := int32(id)
+	if !e.kernParked[j] {
+		return
+	}
+	if w := e.kernWhen[j]; w != kernUnscheduled && w <= at {
+		return
+	}
+	e.kernWhen[j] = at
+	e.kq.push(at, j)
+}
+
+// scheduleProc records a proc wake for the event scheduler. Each proc
+// has at most one live heap entry: procs enter the heap when they sleep
+// or are woken from a FIFO wait, and leave it when stepped.
+func (e *Engine) scheduleProc(p *Proc, at int64) {
+	if e.sched == SchedEvent {
+		e.pq.push(at, p.idx)
+	}
+}
+
+// setHot moves kernel j into the every-cycle tick set.
+func (e *Engine) setHot(j int32) {
+	e.kernParked[j] = false
+	e.kernWhen[j] = kernUnscheduled
+	if !e.isHot[j] {
+		e.isHot[j] = true
+		e.hotDirty = true
+	}
+}
+
+// parkKernel removes kernel j from the tick set until cycle w (or an
+// external wake if w is Never).
+func (e *Engine) parkKernel(j int32, w int64) {
+	e.kernParked[j] = true
+	if e.isHot[j] {
+		e.isHot[j] = false
+		e.hotDirty = true
+	}
+	if w < Never {
+		e.kernWhen[j] = w
+		e.kq.push(w, j)
+	} else {
+		e.kernWhen[j] = kernUnscheduled
+	}
+}
+
+// rebuildHot regenerates the sorted hot-kernel snapshot from isHot.
+func (e *Engine) rebuildHot() {
+	e.hotK = e.hotK[:0]
+	for j := range e.isHot {
+		if e.isHot[j] {
+			e.hotK = append(e.hotK, int32(j))
+		}
+	}
+	e.hotDirty = false
+}
+
+// kernNextDeadline returns the earliest live scheduled kernel wake,
+// discarding stale heap entries.
+func (e *Engine) kernNextDeadline() (int64, bool) {
+	for e.kq.len() > 0 {
+		top := e.kq.top()
+		if e.kernWhen[top.idx] != top.at {
+			e.kq.pop() // stale: the kernel was rescheduled or woken
+			continue
+		}
+		return top.at, true
+	}
+	return 0, false
+}
+
+// markDirty registers FIFO c for end-of-cycle processing on its first
+// push or pop of the cycle. Pops matter too: they free space, and the
+// wake pass must observe that.
+func (c *fifoCore) markDirty() {
+	if c.dirty || c.eng == nil || c.eng.sched != SchedEvent {
+		return
+	}
+	c.dirty = true
+	c.eng.dirtyFifos = append(c.eng.dirtyFifos, c.index)
+}
+
+// wakeKernels wakes the kernels attached to this FIFO. Attached kernels
+// are consumers or producers parked while the FIFO had no data (or no
+// space) for them; a pop or commit may flip that condition.
+func (c *fifoCore) wakeKernels() {
+	for _, id := range c.kernWaiters {
+		c.eng.WakeKernel(id)
+	}
+}
+
+// runEvent is the activity-set scheduler loop. It must produce exactly
+// the cycle-by-cycle behavior of runDense.
+func (e *Engine) runEvent() error {
+	// All procs start runnable at cycle 0, in registration order.
+	for _, p := range e.procs {
+		e.pq.push(0, p.idx)
+	}
+	for j := range e.kernels {
+		e.isHot[j] = true
+		e.hotK = append(e.hotK, int32(j))
+	}
+	for {
+		if e.finished == len(e.procs) && len(e.procs) > 0 {
+			return e.drain()
+		}
+		if e.now >= e.maxCycles {
+			e.stopProcs()
+			return maxCyclesErr(e.maxCycles)
+		}
+		e.executed++
+		active := false
+
+		// Phase 1: run procs due this cycle, in registration order
+		// (equal-cycle heap entries pop in index order).
+		e.phase = phaseProcs
+		for e.pq.len() > 0 && e.pq.top().at <= e.now {
+			ent := e.pq.pop()
+			p := e.procs[ent.idx]
+			p.status = procRunnable
+			active = true
+			if err := e.step(p); err != nil {
+				e.stopProcs()
+				return err
+			}
+		}
+
+		// Phase 2: tick hot kernels and due parked kernels, merged in
+		// index order. Same-cycle wakes land in dueK mid-pass.
+		e.phase = phaseKernels
+		if e.hotDirty {
+			e.rebuildHot()
+		}
+		if e.recorder != nil {
+			if cap(e.kernWasBuf) < len(e.kernels) {
+				e.kernWasBuf = make([]bool, len(e.kernels))
+			}
+			e.kernWasBuf = e.kernWasBuf[:len(e.kernels)]
+			for i := range e.kernWasBuf {
+				e.kernWasBuf[i] = false
+			}
+		}
+		e.dueK = e.dueK[:0]
+		drainDue := func() {
+			for e.kq.len() > 0 {
+				top := e.kq.top()
+				if top.at > e.now {
+					if e.kernWhen[top.idx] != top.at {
+						e.kq.pop() // stale
+						continue
+					}
+					break
+				}
+				e.kq.pop()
+				if e.kernWhen[top.idx] != top.at {
+					continue // stale
+				}
+				e.kernWhen[top.idx] = kernUnscheduled
+				e.kernParked[top.idx] = false
+				e.dueK.push(top.idx)
+			}
+		}
+		drainDue()
+		hi := 0
+		for {
+			var j int32 = -1
+			if hi < len(e.hotK) {
+				j = e.hotK[hi]
+			}
+			if len(e.dueK) > 0 && (j < 0 || e.dueK[0] < j) {
+				j = e.dueK.pop()
+			} else if j >= 0 {
+				hi++
+			} else {
+				break
+			}
+			e.curKernel = j
+			did := e.kernels[j].Tick(e.now)
+			e.kernelTicks++
+			if e.recorder != nil {
+				e.kernWasBuf[j] = did
+			}
+			if did {
+				active = true
+				e.setHot(j)
+			} else if iu := e.kernIdle[j]; iu != nil {
+				// Any future horizon becomes a scheduled park — even
+				// now+1 — so phase 4 sees every pending wake in the
+				// heap and never mistakes a waiting kernel for
+				// quiescence.
+				if w := iu.IdleUntil(e.now); w > e.now {
+					e.parkKernel(j, w)
+				} else {
+					e.setHot(j)
+				}
+			} else {
+				e.setHot(j)
+			}
+			drainDue() // pick up same-cycle wakes issued by this tick
+		}
+		e.curKernel = int32(len(e.kernels))
+
+		// Phase 3: commit dirty FIFOs in registration order, wake their
+		// attached kernels, then wake blocked procs.
+		e.phase = phaseCommit
+		if len(e.dirtyFifos) > 1 {
+			sortInt32(e.dirtyFifos)
+		}
+		for _, fi := range e.dirtyFifos {
+			f := e.fifos[fi]
+			if f.commit() {
+				active = true
+				e.fifoCommits++
+				f.core.wakeKernels()
+			}
+		}
+		for _, fi := range e.dirtyFifos {
+			e.fifos[fi].core.wake(e)
+		}
+		for _, fi := range e.dirtyFifos {
+			e.fifos[fi].core.dirty = false
+		}
+		e.dirtyFifos = e.dirtyFifos[:0]
+		if e.recorder != nil {
+			e.record(e.kernWasBuf)
+		}
+
+		// Phase 4: termination and fast-forward.
+		e.phase = phaseIdle
+		if !active {
+			next := Never
+			if e.pq.len() > 0 {
+				next = e.pq.top().at
+			}
+			if kd, ok := e.kernNextDeadline(); ok && kd < next {
+				next = kd
+			}
+			if next == Never {
+				if e.finished == len(e.procs) {
+					// Kernel-only (or empty) quiescence: nothing is
+					// scheduled and no proc is waiting — a clean end.
+					return e.drain()
+				}
+				err := e.deadlock()
+				e.stopProcs()
+				return err
+			}
+			if next > e.now+1 {
+				e.skipped += next - e.now - 1
+				e.now = next
+				continue
+			}
+		}
+		e.now++
+	}
+}
+
+// sortInt32 is an insertion sort: dirty lists are short and nearly
+// sorted (components touch FIFOs roughly in registration order).
+func sortInt32(a []int32) {
+	for i := 1; i < len(a); i++ {
+		v := a[i]
+		j := i - 1
+		for j >= 0 && a[j] > v {
+			a[j+1] = a[j]
+			j--
+		}
+		a[j+1] = v
+	}
+}

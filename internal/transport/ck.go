@@ -23,12 +23,15 @@ type ck struct {
 
 	nOut int // output FIFO count (structural metadata for resources)
 
-	cur   int // input currently polled
-	reads int // consecutive reads from cur
+	cur     int   // input currently polled
+	reads   int   // consecutive reads from cur
+	lastNow int64 // cycle of the previous Tick (-1 before the first)
+	pinned  bool  // last Tick ended held/circuit/frozen: pointer does not free-run
 
-	held    packet.Packet
-	heldOut *sim.Fifo[packet.Packet]
-	hasHeld bool
+	held      packet.Packet
+	heldOut   *sim.Fifo[packet.Packet]
+	hasHeld   bool
+	heldSince int64 // cycle the held register was loaded
 
 	// Circuit switching state (§4.2, the multiplexing-free alternative):
 	// after forwarding an OpOpen the kernel locks onto its input and
@@ -42,7 +45,7 @@ type ck struct {
 }
 
 func newCK(name string, inputs []*sim.Fifo[packet.Packet], inNames []string, nOut, r int, skipIdle bool, route func(packet.Packet) *sim.Fifo[packet.Packet]) *ck {
-	return &ck{name: name, inputs: inputs, inName: inNames, nOut: nOut, r: r, skipIdle: skipIdle, route: route}
+	return &ck{name: name, inputs: inputs, inName: inNames, nOut: nOut, r: r, skipIdle: skipIdle, route: route, lastNow: -1}
 }
 
 func (c *ck) Name() string { return c.name }
@@ -56,9 +59,29 @@ func (c *ck) Name() string { return c.name }
 //     with R=1 and one active input among k, a packet is injected every
 //     k cycles — the behaviour Table 4 measures.
 func (c *ck) Tick(now int64) bool {
+	active := c.tick(now)
+	c.pinned = c.hasHeld || c.circuitLeft > 0 || (c.frozen != nil && c.frozen())
+	return active
+}
+
+func (c *ck) tick(now int64) bool {
 	if len(c.inputs) == 0 {
 		return false
 	}
+	// The polling multiplexer is free-running hardware: it advances every
+	// clock cycle whether or not the simulator executed the cycle, except
+	// in the states that pin it (held packet, open circuit, host reset).
+	// Cycles this kernel did not tick (parked, or skipped by a
+	// fast-forward) from an unpinned state were by construction empty
+	// polls, so catch up with one modular jump. This makes the polling
+	// schedule a function of simulated time alone, identical under the
+	// dense and event schedulers.
+	if c.lastNow >= 0 && now > c.lastNow+1 && !c.pinned {
+		gap := int((now - c.lastNow - 1) % int64(len(c.inputs)))
+		c.cur = (c.cur + gap) % len(c.inputs)
+		c.reads = 0
+	}
+	c.lastNow = now
 	if c.frozen != nil && c.frozen() {
 		// Held in reset during a failover repair: no packet moves, and
 		// the stall is externally resolved (the fault manager reports
@@ -66,8 +89,10 @@ func (c *ck) Tick(now int64) bool {
 		return false
 	}
 	if c.hasHeld {
-		c.stalls++
 		if c.heldOut.TryPush(c.held) {
+			// Close the stall window: the opening cycle was counted when
+			// the register was loaded.
+			c.stalls += uint64(now - c.heldSince - 1)
 			c.hasHeld = false
 			c.forwarded++
 			return true
@@ -80,7 +105,7 @@ func (c *ck) Tick(now int64) bool {
 		return false
 	}
 	if c.circuitLeft > 0 {
-		return c.tickCircuit()
+		return c.tickCircuit(now)
 	}
 	in := c.inputs[c.cur]
 	if c.skipIdle && !in.CanPop() {
@@ -116,7 +141,7 @@ func (c *ck) Tick(now int64) bool {
 			c.cur, c.reads = indexOf(c.inputs, in), 0
 		}
 		if !out.TryPush(p) {
-			c.held, c.heldOut, c.hasHeld = p, out, true
+			c.hold(p, out, now)
 		} else {
 			c.forwarded++
 		}
@@ -135,15 +160,51 @@ func (c *ck) Tick(now int64) bool {
 	return false
 }
 
+// IdleUntil parks the kernel whenever its next action depends on an
+// external event rather than time: a held packet waits for a pop on its
+// jammed output, an idle circuit waits for a commit on its locked input,
+// and the plain polling state with every input empty waits for any input
+// commit (the free-running pointer is reconstructed on wake from the
+// elapsed time). Parking instead of polling is what lets the engine
+// diagnose a jammed transport as a deadlock. A host reset is the one
+// state held hot: the fault manager that resolves it runs every cycle
+// anyway, and the pinned pointer must observe the span tick by tick.
+func (c *ck) IdleUntil(now int64) int64 {
+	if len(c.inputs) == 0 {
+		return sim.Never
+	}
+	if c.frozen != nil && c.frozen() {
+		return now + 1
+	}
+	if c.hasHeld || c.circuitLeft > 0 {
+		return sim.Never
+	}
+	for _, f := range c.inputs {
+		if f.CanPop() {
+			return now
+		}
+	}
+	return sim.Never
+}
+
 func (c *ck) advance() {
 	c.cur = (c.cur + 1) % len(c.inputs)
 	c.reads = 0
 }
 
+// hold loads the stall register with a packet whose output was full and
+// opens its stall window: one stall is credited up front so an open
+// window is visible in the stats, the remainder when the retry succeeds.
+func (c *ck) hold(p packet.Packet, out *sim.Fifo[packet.Packet], now int64) {
+	c.held, c.heldOut, c.hasHeld = p, out, true
+	c.heldSince = now
+	c.stalls++
+}
+
 // tickCircuit services an established circuit: one raw packet per cycle
 // from the locked input to the locked output, blind to every other
 // input — the multiplexing cost of circuit switching.
-func (c *ck) tickCircuit() bool {
+func (c *ck) tickCircuit(now int64) bool {
 	in := c.inputs[c.cur]
 	p, ok := in.TryPop()
 	if !ok {
@@ -160,14 +221,14 @@ func (c *ck) tickCircuit() bool {
 			return true
 		}
 		if !out.TryPush(p) {
-			c.held, c.heldOut, c.hasHeld = p, out, true
+			c.hold(p, out, now)
 		} else {
 			c.forwarded++
 		}
 		return true
 	}
 	if !c.circuitOut.TryPush(p) {
-		c.held, c.heldOut, c.hasHeld = p, c.circuitOut, true
+		c.hold(p, c.circuitOut, now)
 		c.circuitLeft--
 		return true
 	}

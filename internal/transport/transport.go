@@ -90,6 +90,10 @@ type Device struct {
 	cks []*ck
 	ckr []*ck
 
+	eng    *sim.Engine
+	cksIDs []sim.KernelID
+	ckrIDs []sim.KernelID
+
 	// interCKS[a][b] carries packets CKS_a -> CKS_b (nil on the
 	// diagonal); retained for the failover drain.
 	interCKS [][]*sim.Fifo[packet.Packet]
@@ -108,10 +112,25 @@ type Device struct {
 }
 
 // SetPaused freezes (or thaws) every communication kernel of the device.
-func (d *Device) SetPaused(v bool) { d.paused = v }
+// Freezing wakes parked kernels so they observe the reset cycle by cycle
+// — a frozen span must not be mistaken for idle polling time.
+func (d *Device) SetPaused(v bool) {
+	d.paused = v
+	d.wakeAll(d.cksIDs)
+	d.wakeAll(d.ckrIDs)
+}
 
 // SetSendPaused freezes (or thaws) only the CKS kernels.
-func (d *Device) SetSendPaused(v bool) { d.sendPaused = v }
+func (d *Device) SetSendPaused(v bool) {
+	d.sendPaused = v
+	d.wakeAll(d.cksIDs)
+}
+
+func (d *Device) wakeAll(ids []sim.KernelID) {
+	for _, id := range ids {
+		d.eng.WakeKernel(id)
+	}
+}
 
 // Shape describes the structural footprint of a device's transport
 // layer, the input to the resource model (internal/resources).
@@ -144,7 +163,7 @@ func NewDevice(e *sim.Engine, rank, ifaces int, routes *routing.Routes, bindings
 	if ifaces <= 0 {
 		return nil, fmt.Errorf("transport: device %d needs at least one interface", rank)
 	}
-	d := &Device{Rank: rank, Ifaces: ifaces}
+	d := &Device{Rank: rank, Ifaces: ifaces, eng: e}
 
 	nf := func(kind string, q int) *sim.Fifo[packet.Packet] {
 		d.numFifos++
@@ -236,7 +255,19 @@ func NewDevice(e *sim.Engine, rank, ifaces int, routes *routing.Routes, bindings
 		k := newCK(fmt.Sprintf("dev%d.cks%d", rank, q), inputs, names, 1+1+(ifaces-1), cfg.R, cfg.SkipIdle, route)
 		k.frozen = func() bool { return d.paused || d.sendPaused }
 		d.cks = append(d.cks, k)
-		e.AddKernel(k)
+		id := e.AddKernel(k)
+		d.cksIDs = append(d.cksIDs, id)
+		for _, in := range inputs {
+			in.WakesKernel(id)
+		}
+		// Pops on the output FIFOs resume a parked held-packet retry.
+		d.NetOut[q].WakesKernel(id)
+		cksToCkr[q].WakesKernel(id)
+		for j := 0; j < ifaces; j++ {
+			if j != q {
+				interCKS[q][j].WakesKernel(id)
+			}
+		}
 	}
 
 	// Build the CKR kernels.
@@ -281,7 +312,23 @@ func NewDevice(e *sim.Engine, rank, ifaces int, routes *routing.Routes, bindings
 		k := newCK(fmt.Sprintf("dev%d.ckr%d", rank, q), inputs, names, nApps+1+(ifaces-1), cfg.R, cfg.SkipIdle, route)
 		k.frozen = func() bool { return d.paused }
 		d.ckr = append(d.ckr, k)
-		e.AddKernel(k)
+		id := e.AddKernel(k)
+		d.ckrIDs = append(d.ckrIDs, id)
+		for _, in := range inputs {
+			in.WakesKernel(id)
+		}
+		// Pops on the output FIFOs resume a parked held-packet retry.
+		ckrToCks[q].WakesKernel(id)
+		for _, b := range bindings {
+			if b.Iface == q && b.Recv != nil {
+				b.Recv.WakesKernel(id)
+			}
+		}
+		for j := 0; j < ifaces; j++ {
+			if j != q {
+				interCKR[q][j].WakesKernel(id)
+			}
+		}
 	}
 	return d, nil
 }
