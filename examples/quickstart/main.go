@@ -40,26 +40,35 @@ func main() {
 	// loop iteration — the channel integrates into the pipeline like any
 	// intra-FPGA stream.
 	cluster.OnRank(0, "rank0", func(x *smi.Ctx) {
-		ch, err := x.OpenSendChannel(n, smi.Int, 1, 0, x.CommWorld())
+		ch, err := x.OpenSend(smi.ChannelOpts{Count: n, Type: smi.Int, Dst: 1, Port: 0})
 		if err != nil {
 			log.Fatal(err)
 		}
 		for i := 0; i < n; i++ {
 			data := int32(i * i) // create or load interesting data
-			ch.PushInt(data)
+			smi.Push(ch, data)
 		}
 	})
 
 	// Rank 1: open a receive channel from rank 0 and consume elements as
-	// they stream in.
+	// they stream in. The deadline bounds each pop: if the network cannot
+	// deliver within 100k cycles, PopE returns a ChannelError instead of
+	// the run tripping deadlock detection.
 	var sum int64
 	cluster.OnRank(1, "rank1", func(x *smi.Ctx) {
-		ch, err := x.OpenRecvChannel(n, smi.Int, 0, 0, x.CommWorld())
+		ch, err := x.OpenRecv(smi.ChannelOpts{
+			Count: n, Type: smi.Int, Src: 0, Port: 0,
+			Opts: []smi.ChannelOption{smi.WithDeadline(100_000)},
+		})
 		if err != nil {
 			log.Fatal(err)
 		}
 		for i := 0; i < n; i++ {
-			sum += int64(ch.PopInt()) // ...do something useful with data...
+			v, err := smi.PopE[int32](ch)
+			if err != nil {
+				log.Fatalf("rank 1 pop %d: %v", i, err)
+			}
+			sum += int64(v) // ...do something useful with data...
 		}
 	})
 

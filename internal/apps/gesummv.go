@@ -154,12 +154,12 @@ func GesummvDistributed(cfg GesummvConfig) (GesummvResult, error) {
 	// Rank 0: GEMV over A; the only code change from the single-chip
 	// version is pushing into an SMI channel instead of a local stream.
 	c.OnRank(0, "gemvA", func(x *smi.Ctx) {
-		ch, err := x.OpenSendChannel(cfg.Rows, smi.Float, 1, 0, x.CommWorld())
+		ch, err := x.OpenSend(smi.ChannelOpts{Count: cfg.Rows, Type: smi.Float, Dst: 1, Port: 0})
 		if err != nil {
 			panic(err)
 		}
 		gemv(x, cfg, banks, gesummvA, func(i int, v float32) {
-			ch.PushFloat(v)
+			smi.Push(ch, v)
 		})
 	})
 	c.OnRank(1, "gemvB", func(x *smi.Ctx) {
@@ -170,12 +170,12 @@ func GesummvDistributed(cfg GesummvConfig) (GesummvResult, error) {
 	// Rank 1: AXPY reads one input from the network, one from the local
 	// GEMV.
 	c.OnRank(1, "axpy", func(x *smi.Ctx) {
-		ch, err := x.OpenRecvChannel(cfg.Rows, smi.Float, 0, 0, x.CommWorld())
+		ch, err := x.OpenRecv(smi.ChannelOpts{Count: cfg.Rows, Type: smi.Float, Src: 0, Port: 0})
 		if err != nil {
 			panic(err)
 		}
 		for i := 0; i < cfg.Rows; i++ {
-			a := ch.PopFloat()
+			a := smi.Pop[float32](ch)
 			b := bitsFloat(uint32(x.PopStream(yb)))
 			if cfg.Verify {
 				res.Y[i] = cfg.Alpha*a + cfg.Beta*b

@@ -82,21 +82,21 @@ func Bandwidth(cfg NetConfig, src, dst, elems int) (BandwidthResult, error) {
 		return BandwidthResult{}, err
 	}
 	c.OnRank(src, "source", func(x *smi.Ctx) {
-		ch, err := x.OpenSendChannel(elems, smi.Int, dst, 0, x.CommWorld())
+		ch, err := x.OpenSend(smi.ChannelOpts{Count: elems, Type: smi.Int, Dst: dst, Port: 0})
 		if err != nil {
 			panic(err)
 		}
 		for i := 0; i < elems; i++ {
-			ch.PushInt(int32(i))
+			smi.Push(ch, int32(i))
 		}
 	})
 	c.OnRank(dst, "sink", func(x *smi.Ctx) {
-		ch, err := x.OpenRecvChannel(elems, smi.Int, src, 0, x.CommWorld())
+		ch, err := x.OpenRecv(smi.ChannelOpts{Count: elems, Type: smi.Int, Src: src, Port: 0})
 		if err != nil {
 			panic(err)
 		}
 		for i := 0; i < elems; i++ {
-			if got := ch.PopInt(); got != int32(i) {
+			if got := smi.Pop[int32](ch); got != int32(i) {
 				panic(fmt.Sprintf("bandwidth: element %d corrupted: %d", i, got))
 			}
 		}
@@ -137,20 +137,20 @@ func PingPong(cfg NetConfig, a, b, rounds int) (PingPongResult, error) {
 	}
 	c.OnRank(a, "ping", func(x *smi.Ctx) {
 		for r := 0; r < rounds; r++ {
-			s, _ := x.OpenSendChannel(1, smi.Int, b, 0, x.CommWorld())
-			s.PushInt(int32(r))
-			v, _ := x.OpenRecvChannel(1, smi.Int, b, 1, x.CommWorld())
-			if got := v.PopInt(); got != int32(r) {
+			s, _ := x.OpenSend(smi.ChannelOpts{Count: 1, Type: smi.Int, Dst: b, Port: 0})
+			smi.Push(s, int32(r))
+			v, _ := x.OpenRecv(smi.ChannelOpts{Count: 1, Type: smi.Int, Src: b, Port: 1})
+			if got := smi.Pop[int32](v); got != int32(r) {
 				panic(fmt.Sprintf("pingpong: round %d echoed %d", r, got))
 			}
 		}
 	})
 	c.OnRank(b, "pong", func(x *smi.Ctx) {
 		for r := 0; r < rounds; r++ {
-			v, _ := x.OpenRecvChannel(1, smi.Int, a, 0, x.CommWorld())
-			got := v.PopInt()
-			s, _ := x.OpenSendChannel(1, smi.Int, a, 1, x.CommWorld())
-			s.PushInt(got)
+			v, _ := x.OpenRecv(smi.ChannelOpts{Count: 1, Type: smi.Int, Src: a, Port: 0})
+			got := smi.Pop[int32](v)
+			s, _ := x.OpenSend(smi.ChannelOpts{Count: 1, Type: smi.Int, Dst: a, Port: 1})
+			smi.Push(s, got)
 		}
 	})
 	st, err := c.Run()
@@ -189,21 +189,21 @@ func Injection(cfg NetConfig, messages int) (InjectionResult, error) {
 	c.OnRank(0, "injector", func(x *smi.Ctx) {
 		start = x.Now()
 		for i := 0; i < messages; i++ {
-			ch, err := x.OpenSendChannel(1, smi.Int, 1, 0, x.CommWorld())
+			ch, err := x.OpenSend(smi.ChannelOpts{Count: 1, Type: smi.Int, Dst: 1, Port: 0})
 			if err != nil {
 				panic(err)
 			}
-			ch.PushInt(int32(i))
+			smi.Push(ch, int32(i))
 		}
 		end = x.Now()
 	})
 	c.OnRank(1, "sink", func(x *smi.Ctx) {
 		for i := 0; i < messages; i++ {
-			ch, err := x.OpenRecvChannel(1, smi.Int, 0, 0, x.CommWorld())
+			ch, err := x.OpenRecv(smi.ChannelOpts{Count: 1, Type: smi.Int, Src: 0, Port: 0})
 			if err != nil {
 				panic(err)
 			}
-			ch.PopInt()
+			smi.Pop[int32](ch)
 		}
 	})
 	if _, err := c.Run(); err != nil {

@@ -250,12 +250,12 @@ func Stencil(cfg StencilConfig) (StencilResult, error) {
 			c.OnRank(r, "send-"+sd.name, func(x *smi.Ctx) {
 				for t := 0; t < cfg.Timesteps; t++ {
 					x.PopStream(goStreams[si])
-					ch, err := x.OpenSendChannel(sd.count, smi.Float, sd.neighbor, sd.port, x.CommWorld())
+					ch, err := x.OpenSend(smi.ChannelOpts{Count: sd.count, Type: smi.Float, Dst: sd.neighbor, Port: sd.port})
 					if err != nil {
 						panic(err)
 					}
 					for k := 0; k < sd.count; k++ {
-						ch.PushFloat(sd.elem(st, k))
+						smi.Push(ch, sd.elem(st, k))
 					}
 					x.PushStream(doneStreams[si], 1)
 				}
@@ -273,22 +273,22 @@ func Stencil(cfg StencilConfig) (StencilResult, error) {
 				var chN, chS, chW, chE *smi.RecvChannel
 				var err error
 				if hasN {
-					if chN, err = x.OpenRecvChannel(W, smi.Float, r-cfg.RanksY, portFromNorth, x.CommWorld()); err != nil {
+					if chN, err = x.OpenRecv(smi.ChannelOpts{Count: W, Type: smi.Float, Src: r - cfg.RanksY, Port: portFromNorth}); err != nil {
 						panic(err)
 					}
 				}
 				if hasS {
-					if chS, err = x.OpenRecvChannel(W, smi.Float, r+cfg.RanksY, portFromSouth, x.CommWorld()); err != nil {
+					if chS, err = x.OpenRecv(smi.ChannelOpts{Count: W, Type: smi.Float, Src: r + cfg.RanksY, Port: portFromSouth}); err != nil {
 						panic(err)
 					}
 				}
 				if hasW {
-					if chW, err = x.OpenRecvChannel(H, smi.Float, r-1, portFromWest, x.CommWorld()); err != nil {
+					if chW, err = x.OpenRecv(smi.ChannelOpts{Count: H, Type: smi.Float, Src: r - 1, Port: portFromWest}); err != nil {
 						panic(err)
 					}
 				}
 				if hasE {
-					if chE, err = x.OpenRecvChannel(H, smi.Float, r+1, portFromEast, x.CommWorld()); err != nil {
+					if chE, err = x.OpenRecv(smi.ChannelOpts{Count: H, Type: smi.Float, Src: r + 1, Port: portFromEast}); err != nil {
 						panic(err)
 					}
 				}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/packet"
+	"repro/internal/sim"
 )
 
 // SendChannel is a transient point-to-point send channel
@@ -22,6 +23,10 @@ type SendChannel struct {
 	dst   int // global destination rank
 	port  int
 
+	// patience is the per-operation deadline in cycles (0 = none): each
+	// PushE call must complete within patience cycles of starting.
+	patience int64
+
 	cur packet.Packet
 	n   int // elements in cur
 
@@ -39,8 +44,9 @@ type SendChannel struct {
 // OpenSendChannel opens a transient channel to stream count elements of
 // type dt to rank destination (relative to comm) on the given port.
 // Opening is a zero-overhead operation: it only records where data
-// should be sent (§3.3).
-func (x *Ctx) OpenSendChannel(count int, dt Datatype, destination, port int, comm Comm) (*SendChannel, error) {
+// should be sent (§3.3). Options (e.g. WithDeadline) bound the blocking
+// behavior of subsequent operations.
+func (x *Ctx) OpenSendChannel(count int, dt Datatype, destination, port int, comm Comm, opts ...ChannelOption) (*SendChannel, error) {
 	ep, err := x.endpointFor(port, P2P, dt, count, comm)
 	if err != nil {
 		return nil, err
@@ -67,32 +73,62 @@ func (x *Ctx) OpenSendChannel(count int, dt Datatype, destination, port int, com
 	if ep.spec.Circuit {
 		epp = packet.RawElemsPerPacket(dt)
 	}
+	o := x.resolveOpts(opts)
 	return &SendChannel{
 		x: x, ep: ep, dt: dt, epp: epp, vec: ep.spec.VecWidth,
-		count: count, dst: dstGlobal, port: port,
+		count: count, dst: dstGlobal, port: port, patience: o.patience,
 		credited: ep.spec.Credited, credits: ep.spec.BufferElems,
 		circuit: ep.spec.Circuit,
 	}, nil
 }
 
+// opDeadline converts the channel's patience into an absolute deadline
+// for one operation starting now.
+func (ch *SendChannel) opDeadline() int64 {
+	if ch.patience <= 0 {
+		return sim.Never
+	}
+	return ch.x.Now() + ch.patience
+}
+
 // Push streams one element (as raw bits) into the channel. It blocks —
 // consuming simulated cycles — while the endpoint buffer is full, so a
 // push "does not return before the data element has been safely sent to
-// the network" (§3.1.1). Pushing more than count elements panics.
+// the network" (§3.1.1). Pushing more than count elements panics (a
+// programming error); a runtime failure (deadline expiry, unreachable
+// peer, failed cluster) panics with the ChannelError that PushE would
+// return.
 func (ch *SendChannel) Push(bits uint64) {
+	if err := ch.PushE(bits); err != nil {
+		panic(err)
+	}
+}
+
+// PushE is Push with a recoverable error surface: runtime failures are
+// returned as a *ChannelError (Timeout, PeerUnreachable, ClusterFailed)
+// instead of panicking. A failed push consumes no element: the channel
+// state is unchanged and the same element may be retried. Pushing more
+// than count elements still panics — that is a programming error.
+func (ch *SendChannel) PushE(bits uint64) error {
 	if ch.sent >= ch.count {
 		panic(fmt.Sprintf("smi: push beyond message size %d on port %d", ch.count, ch.port))
 	}
-	if ch.circuit {
-		if !ch.opened {
-			// Establish the circuit: one packet carries all the message
-			// meta-information; the payload that follows is headerless.
-			rawPkts := (ch.count + ch.epp - 1) / ch.epp
-			open := packet.EncodeOpen(uint8(ch.x.rank), uint8(ch.dst), uint8(ch.port),
-				packet.OpenInfo{RawPackets: uint32(rawPkts), Elems: uint32(ch.count)})
-			ch.ep.appSend.PushProc(ch.x.proc, open)
-			ch.opened = true
+	if err := ch.x.runtimeErr("push", ch.port, ch.dst); err != nil {
+		return err
+	}
+	deadline := ch.opDeadline()
+	if ch.circuit && !ch.opened {
+		// Establish the circuit: one packet carries all the message
+		// meta-information; the payload that follows is headerless.
+		rawPkts := (ch.count + ch.epp - 1) / ch.epp
+		open := packet.EncodeOpen(uint8(ch.x.rank), uint8(ch.dst), uint8(ch.port),
+			packet.OpenInfo{RawPackets: uint32(rawPkts), Elems: uint32(ch.count)})
+		if res := ch.ep.appSend.PushProcE(ch.x.proc, open, deadline); res != sim.WaitOK {
+			return ch.x.waitErr(res, "push", ch.port, ch.dst)
 		}
+		ch.opened = true
+	}
+	if ch.circuit {
 		ch.cur.PutRawElem(ch.n, ch.dt, bits)
 	} else {
 		ch.cur.PutElem(ch.n, ch.dt, bits)
@@ -100,7 +136,12 @@ func (ch *SendChannel) Push(bits uint64) {
 	ch.n++
 	ch.sent++
 	if ch.n == ch.epp || ch.sent == ch.count {
-		ch.flush()
+		if err := ch.flushE(deadline); err != nil {
+			// Roll back the staged element; a retry re-stages it.
+			ch.n--
+			ch.sent--
+			return err
+		}
 	}
 	if ch.sent == ch.count {
 		ch.ep.inUseSend = false // channel implicitly closed
@@ -109,43 +150,32 @@ func (ch *SendChannel) Push(bits uint64) {
 			ch.ep.inUseRecv = false
 		}
 	}
+	return nil
 }
-
-// PushInt pushes an int32 element.
-func (ch *SendChannel) PushInt(v int32) { ch.Push(packet.IntBits(v)) }
-
-// PushFloat pushes a float32 element.
-func (ch *SendChannel) PushFloat(v float32) { ch.Push(packet.FloatBits(v)) }
-
-// PushDouble pushes a float64 element.
-func (ch *SendChannel) PushDouble(v float64) { ch.Push(packet.DoubleBits(v)) }
-
-// PushShort pushes an int16 element.
-func (ch *SendChannel) PushShort(v int16) { ch.Push(packet.ShortBits(v)) }
-
-// PushChar pushes a byte element.
-func (ch *SendChannel) PushChar(v byte) { ch.Push(uint64(v)) }
 
 // Remaining returns how many elements may still be pushed.
 func (ch *SendChannel) Remaining() int { return ch.count - ch.sent }
 
-// flush emits the current packet, charging the cycles the application
+// flushE emits the current packet, charging the cycles the application
 // pipeline spent producing its elements: a kernel pushing one element
 // per cycle (VecWidth 1) pays one cycle per element; a vectorized kernel
-// pays proportionally less.
-func (ch *SendChannel) flush() {
+// pays proportionally less. On failure the staged packet is preserved so
+// the caller can roll back and retry.
+func (ch *SendChannel) flushE(deadline int64) error {
 	if ch.credited {
 		// Block until the receiver has granted room for this packet, so
 		// the data never queues in the shared transport.
 		for ch.credits < ch.n {
-			grant := ch.ep.appRecv.PopProc(ch.x.proc)
+			grant, res := ch.ep.appRecv.PopProcE(ch.x.proc, deadline)
+			if res != sim.WaitOK {
+				return ch.x.waitErr(res, "push", ch.port, ch.dst)
+			}
 			if grant.Op != packet.OpCredit || int(grant.Src) != ch.dst {
 				panic(fmt.Sprintf("smi: rank %d port %d: expected credit from %d, got %v",
 					ch.x.rank, ch.port, ch.dst, grant))
 			}
-			ch.credits += int(decodeCreditElems(grant))
+			ch.credits += int(packet.DecodeCreditElems(grant))
 		}
-		ch.credits -= ch.n
 	}
 	ch.cur.Src = uint8(ch.x.rank)
 	ch.cur.Dst = uint8(ch.dst)
@@ -160,9 +190,15 @@ func (ch *SendChannel) flush() {
 	if cycles > 1 {
 		ch.x.proc.Sleep(cycles - 1)
 	}
-	ch.ep.appSend.PushProc(ch.x.proc, ch.cur)
+	if res := ch.ep.appSend.PushProcE(ch.x.proc, ch.cur, deadline); res != sim.WaitOK {
+		return ch.x.waitErr(res, "push", ch.port, ch.dst)
+	}
+	if ch.credited {
+		ch.credits -= ch.n
+	}
 	ch.cur = packet.Packet{}
 	ch.n = 0
+	return nil
 }
 
 // RecvChannel is a transient point-to-point receive channel
@@ -178,6 +214,9 @@ type RecvChannel struct {
 	received int
 	src      int // expected global source rank
 	port     int
+
+	// patience is the per-operation deadline in cycles (0 = none).
+	patience int64
 
 	cur  packet.Packet
 	have int // unread elements in cur
@@ -199,8 +238,10 @@ type RecvChannel struct {
 }
 
 // OpenRecvChannel opens a transient channel to receive count elements of
-// type dt from rank source (relative to comm) on the given port.
-func (x *Ctx) OpenRecvChannel(count int, dt Datatype, source, port int, comm Comm) (*RecvChannel, error) {
+// type dt from rank source (relative to comm) on the given port. Options
+// (e.g. WithDeadline) bound the blocking behavior of subsequent
+// operations.
+func (x *Ctx) OpenRecvChannel(count int, dt Datatype, source, port int, comm Comm, opts ...ChannelOption) (*RecvChannel, error) {
 	ep, err := x.endpointFor(port, P2P, dt, count, comm)
 	if err != nil {
 		return nil, err
@@ -212,9 +253,10 @@ func (x *Ctx) OpenRecvChannel(count int, dt Datatype, source, port int, comm Com
 		return nil, fmt.Errorf("smi: rank %d port %d already has an open recv channel", x.rank, port)
 	}
 	srcGlobal := comm.Global(source)
+	o := x.resolveOpts(opts)
 	ch := &RecvChannel{
 		x: x, ep: ep, dt: dt, vec: ep.spec.VecWidth,
-		count: count, src: srcGlobal, port: port,
+		count: count, src: srcGlobal, port: port, patience: o.patience,
 	}
 	if ep.spec.Credited {
 		if ep.inUseSend {
@@ -236,15 +278,44 @@ func (x *Ctx) OpenRecvChannel(count int, dt Datatype, source, port int, comm Com
 	return ch, nil
 }
 
+// opDeadline converts the channel's patience into an absolute deadline
+// for one operation starting now.
+func (ch *RecvChannel) opDeadline() int64 {
+	if ch.patience <= 0 {
+		return sim.Never
+	}
+	return ch.x.Now() + ch.patience
+}
+
 // Pop blocks until the next element arrives and returns its raw bits.
 // Popping past count elements panics, as does receiving a packet from an
-// unexpected source (a mismatched program).
+// unexpected source (a mismatched program). A runtime failure panics
+// with the ChannelError that PopE would return.
 func (ch *RecvChannel) Pop() uint64 {
+	bits, err := ch.PopE()
+	if err != nil {
+		panic(err)
+	}
+	return bits
+}
+
+// PopE is Pop with a recoverable error surface: runtime failures are
+// returned as a *ChannelError instead of panicking. A failed pop
+// consumes no element — the same element is delivered by a successful
+// retry. Popping past count elements and protocol violations (wrong
+// source, wrong op) still panic: those are programming errors.
+func (ch *RecvChannel) PopE() (uint64, error) {
 	if ch.received >= ch.count {
 		panic(fmt.Sprintf("smi: pop beyond message size %d on port %d", ch.count, ch.port))
 	}
+	if err := ch.x.runtimeErr("pop", ch.port, ch.src); err != nil {
+		return 0, err
+	}
+	deadline := ch.opDeadline()
 	if ch.have == 0 {
-		ch.fetch()
+		if err := ch.fetchE(deadline); err != nil {
+			return 0, err
+		}
 	}
 	var bits uint64
 	if ch.circuit {
@@ -255,66 +326,67 @@ func (ch *RecvChannel) Pop() uint64 {
 	ch.pos++
 	ch.have--
 	ch.received++
-	if ch.received == ch.count {
-		ch.opened = false
-	}
 	if ch.credited {
 		ch.freed++
 		if ch.freed >= ch.grantBatch {
-			ch.sendCredit()
+			if err := ch.sendCreditE(deadline); err != nil {
+				// Roll back the consumed element; cur still holds it, so
+				// a retry re-delivers it and re-attempts the grant.
+				ch.freed--
+				ch.received--
+				ch.have++
+				ch.pos--
+				return 0, err
+			}
 		}
 	}
 	if ch.received == ch.count {
+		ch.opened = false
 		if ch.credited {
 			ch.ep.inUseSend = false
 		}
 		ch.ep.inUseRecv = false // channel implicitly closed
 	}
-	return bits
+	return bits, nil
 }
 
-// sendCredit returns drained buffer space to the sender, never granting
-// more than the sender can still use.
-func (ch *RecvChannel) sendCredit() {
+// sendCreditE returns drained buffer space to the sender, never granting
+// more than the sender can still use. Channel state is only updated
+// after the grant packet is accepted, so a failed grant can be retried.
+func (ch *RecvChannel) sendCreditE(deadline int64) error {
 	avail := ch.count - ch.ep.spec.BufferElems - ch.granted
 	if avail <= 0 {
 		ch.freed = 0 // the sender's budget already covers the message
-		return
+		return nil
 	}
 	n := ch.freed
 	if n > avail {
 		n = avail
 	}
-	ch.granted += n
-	ch.freed = 0
 	grant := packet.Packet{
 		Src: uint8(ch.x.rank), Dst: uint8(ch.src), Port: uint8(ch.port),
 		Op: packet.OpCredit,
 	}
-	encodeCreditElems(&grant, uint32(n))
-	ch.ep.appSend.PushProc(ch.x.proc, grant)
+	packet.EncodeCreditElems(&grant, uint32(n))
+	if res := ch.ep.appSend.PushProcE(ch.x.proc, grant, deadline); res != sim.WaitOK {
+		return ch.x.waitErr(res, "pop", ch.port, ch.src)
+	}
+	ch.granted += n
+	ch.freed = 0
+	return nil
 }
-
-// PopInt pops an int32 element.
-func (ch *RecvChannel) PopInt() int32 { return packet.BitsInt(ch.Pop()) }
-
-// PopFloat pops a float32 element.
-func (ch *RecvChannel) PopFloat() float32 { return packet.BitsFloat(ch.Pop()) }
-
-// PopDouble pops a float64 element.
-func (ch *RecvChannel) PopDouble() float64 { return packet.BitsDouble(ch.Pop()) }
-
-// PopShort pops an int16 element.
-func (ch *RecvChannel) PopShort() int16 { return packet.BitsShort(ch.Pop()) }
-
-// PopChar pops a byte element.
-func (ch *RecvChannel) PopChar() byte { return byte(ch.Pop()) }
 
 // Remaining returns how many elements are still to be popped.
 func (ch *RecvChannel) Remaining() int { return ch.count - ch.received }
 
-func (ch *RecvChannel) fetch() {
-	pkt := ch.ep.appRecv.PopProc(ch.x.proc)
+// fetchE pops the next data packet from the endpoint. Malformed traffic
+// (wrong op, wrong source, empty packets) panics — a mismatched program
+// is a bug, not a runtime condition.
+func (ch *RecvChannel) fetchE(deadline int64) error {
+	pkt, res := ch.ep.appRecv.PopProcE(ch.x.proc, deadline)
+	if res != sim.WaitOK {
+		return ch.x.waitErr(res, "pop", ch.port, ch.src)
+	}
 	if ch.circuit && !ch.opened {
 		// The circuit's establishment packet arrives first.
 		if pkt.Op != packet.OpOpen {
@@ -327,7 +399,10 @@ func (ch *RecvChannel) fetch() {
 			panic(fmt.Sprintf("smi: rank %d port %d: circuit announces %d elements, channel expects %d", ch.x.rank, ch.port, got, ch.count))
 		}
 		ch.opened = true
-		pkt = ch.ep.appRecv.PopProc(ch.x.proc)
+		pkt, res = ch.ep.appRecv.PopProcE(ch.x.proc, deadline)
+		if res != sim.WaitOK {
+			return ch.x.waitErr(res, "pop", ch.port, ch.src)
+		}
 	}
 	wantOp := packet.OpData
 	if ch.circuit {
@@ -350,18 +425,5 @@ func (ch *RecvChannel) fetch() {
 	ch.cur = pkt
 	ch.have = int(pkt.Count)
 	ch.pos = 0
-}
-
-// encodeCreditElems stores the granted element count in a credit packet.
-func encodeCreditElems(p *packet.Packet, elems uint32) {
-	p.Payload[0] = byte(elems)
-	p.Payload[1] = byte(elems >> 8)
-	p.Payload[2] = byte(elems >> 16)
-	p.Payload[3] = byte(elems >> 24)
-}
-
-// decodeCreditElems reads the granted element count from a credit packet.
-func decodeCreditElems(p packet.Packet) uint32 {
-	return uint32(p.Payload[0]) | uint32(p.Payload[1])<<8 |
-		uint32(p.Payload[2])<<16 | uint32(p.Payload[3])<<24
+	return nil
 }

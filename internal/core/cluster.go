@@ -296,6 +296,21 @@ func (c *Cluster) Board() fpga.Board { return c.board }
 // Routes exposes the routing tables (useful for inspecting hop counts).
 func (c *Cluster) Routes() *routing.Routes { return c.routes }
 
+// Failed reports whether the fault manager has declared the cluster
+// failed (a permanent link death whose repair was impossible). Once
+// failed, every channel operation returns ClusterFailed.
+func (c *Cluster) Failed() bool {
+	return c.manager != nil && c.manager.state == fmFailed
+}
+
+// FailureCause returns the error that failed the cluster, or nil.
+func (c *Cluster) FailureCause() error {
+	if c.manager == nil {
+		return nil
+	}
+	return c.manager.err
+}
+
 // OnRank registers a rank program: an application kernel running on the
 // given rank. Several kernels may run on one rank (MPMD); each gets its
 // own Ctx. Kernels start at cycle 0 when Run is called.
@@ -354,6 +369,11 @@ type Stats struct {
 	// RescuedPackets counts packets the failover controller re-injected
 	// on regenerated routes.
 	RescuedPackets uint64
+	// ClusterFailed reports that the fault manager declared the cluster
+	// unrepairable. A run can still complete cleanly in this state if
+	// every rank program recovers from the ClusterFailed channel errors
+	// and returns.
+	ClusterFailed bool
 	// Sched reports how the engine spent the run: which scheduler ran,
 	// how many cycles were executed versus skipped by fast-forward, and
 	// the kernel-tick / proc-step / FIFO-commit work totals.
@@ -412,9 +432,12 @@ func (c *Cluster) Run() (Stats, error) {
 	}
 	c.ran = true
 	err := c.eng.Run()
-	if c.manager != nil && c.manager.err != nil {
-		// A failed repair quiesces the cluster; the resulting deadlock is
-		// a symptom, the repair error is the cause.
+	if err != nil && c.manager != nil && c.manager.err != nil {
+		// A failed repair quiesces whatever the abort wake-up could not
+		// reach; a resulting deadlock or panic is a symptom, the repair
+		// error is the cause. A clean engine finish is NOT overridden:
+		// rank programs that recover from ClusterFailed channel errors
+		// complete the run, with the failure recorded in Stats.
 		err = c.manager.err
 	}
 	if c.tracer != nil {
@@ -451,6 +474,7 @@ func (c *Cluster) Run() (Stats, error) {
 		st.Failovers = c.manager.failovers
 		st.FailoverCycles = c.manager.failoverCycles
 		st.RescuedPackets = c.manager.rescued
+		st.ClusterFailed = c.manager.state == fmFailed
 	}
 	for _, rs := range c.ranks {
 		st.PacketsDropped += rs.dev.Dropped()

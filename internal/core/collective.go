@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/packet"
+	"repro/internal/sim"
 )
 
 // collectiveBase holds the state shared by all collective channel types:
@@ -21,6 +22,9 @@ type collectiveBase struct {
 	root   int // global root rank
 	isRoot bool
 
+	// patience is the per-operation deadline in cycles (0 = none).
+	patience int64
+
 	// Packing state (toward support kernel).
 	cur packet.Packet
 	n   int
@@ -31,7 +35,7 @@ type collectiveBase struct {
 	pos  int
 }
 
-func (x *Ctx) openCollective(kind PortKind, count int, dt Datatype, port, root int, comm Comm) (*collectiveBase, error) {
+func (x *Ctx) openCollective(kind PortKind, count int, dt Datatype, port, root int, comm Comm, opts []ChannelOption) (*collectiveBase, error) {
 	ep, err := x.endpointFor(port, kind, dt, count, comm)
 	if err != nil {
 		return nil, err
@@ -45,19 +49,29 @@ func (x *Ctx) openCollective(kind PortKind, count int, dt Datatype, port, root i
 	if ep.inUseSend || ep.inUseRecv {
 		return nil, fmt.Errorf("smi: rank %d port %d already has an open channel", x.rank, port)
 	}
-	ep.inUseSend, ep.inUseRecv = true, true
+	if err := x.runtimeErr("open", port, -1); err != nil {
+		return nil, err
+	}
+	o := x.resolveOpts(opts)
 	b := &collectiveBase{
 		x: x, ep: ep, dt: dt, epp: dt.ElemsPerPacket(), vec: ep.spec.VecWidth,
 		port: port, comm: comm, root: comm.Global(root), isRoot: comm.Global(root) == x.rank,
+		patience: o.patience,
 	}
 	// Deliver the dynamic channel configuration to the support kernel.
+	// This is the one collective open step that blocks, so it honors the
+	// channel deadline; a failed open leaves the port reusable.
 	cfg := packet.EncodeConfig(uint8(x.rank), uint8(port), packet.Config{
 		Root:  uint8(b.root),
 		Count: uint32(count),
 		Base:  uint8(comm.base),
 		Size:  uint8(comm.size),
 	})
-	ep.appSend.PushProc(x.proc, cfg)
+	ep.inUseSend, ep.inUseRecv = true, true
+	if res := ep.appSend.PushProcE(x.proc, cfg, b.opDeadline()); res != sim.WaitOK {
+		ep.inUseSend, ep.inUseRecv = false, false
+		return nil, x.waitErr(res, "open", port, -1)
+	}
 	return b, nil
 }
 
@@ -65,20 +79,34 @@ func (b *collectiveBase) close() {
 	b.ep.inUseSend, b.ep.inUseRecv = false, false
 }
 
-// pushElem packs one element toward the support kernel, flushing on
+// opDeadline converts the channel's patience into an absolute deadline
+// for one operation starting now.
+func (b *collectiveBase) opDeadline() int64 {
+	if b.patience <= 0 {
+		return sim.Never
+	}
+	return b.x.Now() + b.patience
+}
+
+// pushElemE packs one element toward the support kernel, flushing on
 // packet boundaries and at flushAfter (total elements after which the
 // current packet must flush even if partial, e.g. a scatter chunk end).
-func (b *collectiveBase) pushElem(bits uint64, flushAfter bool) {
+// A failed flush un-stages the element so the caller can retry.
+func (b *collectiveBase) pushElemE(bits uint64, flushAfter bool, deadline int64, op string) error {
 	b.cur.PutElem(b.n, b.dt, bits)
 	b.n++
 	if b.n == b.epp || flushAfter {
-		b.flush()
+		if err := b.flushE(deadline, op); err != nil {
+			b.n--
+			return err
+		}
 	}
+	return nil
 }
 
-func (b *collectiveBase) flush() {
+func (b *collectiveBase) flushE(deadline int64, op string) error {
 	if b.n == 0 {
-		return
+		return nil
 	}
 	b.cur.Src = uint8(b.x.rank)
 	b.cur.Dst = uint8(b.x.rank) // the support kernel retargets
@@ -89,20 +117,37 @@ func (b *collectiveBase) flush() {
 	if cycles > 1 {
 		b.x.proc.Sleep(cycles - 1)
 	}
-	b.ep.appSend.PushProc(b.x.proc, b.cur)
+	if res := b.ep.appSend.PushProcE(b.x.proc, b.cur, deadline); res != sim.WaitOK {
+		return b.x.waitErr(res, op, b.port, -1)
+	}
 	b.cur = packet.Packet{}
 	b.n = 0
+	return nil
 }
 
-// popElemPaired unpacks one element delivered by the support kernel
-// without consuming a cycle: the caller's matching push already paid for
-// the loop iteration (the SMI_Reduce root path, where contribution and
-// result move through independent ports in one pipelined iteration).
-func (b *collectiveBase) popElemPaired() uint64 {
+// popElemE unpacks one element delivered by the support kernel. paired
+// pops consume no cycle of their own (the caller's matching push already
+// paid for the loop iteration — the SMI_Reduce root path).
+func (b *collectiveBase) popElemE(deadline int64, op string, paired bool) (uint64, error) {
 	if b.have == 0 {
-		pkt := b.ep.appRecv.PopProcPaired(b.x.proc)
+		var pkt packet.Packet
+		var res sim.WaitResult
+		if paired {
+			pkt, res = b.ep.appRecv.PopProcPairedE(b.x.proc, deadline)
+		} else {
+			pkt, res = b.ep.appRecv.PopProcE(b.x.proc, deadline)
+		}
+		if res != sim.WaitOK {
+			return 0, b.x.waitErr(res, op, b.port, -1)
+		}
 		if pkt.Op != packet.OpData || pkt.Count == 0 {
 			panic(fmt.Sprintf("smi: rank %d port %d: unexpected %v packet from support kernel", b.x.rank, b.port, pkt.Op))
+		}
+		if !paired {
+			cycles := int64((int(pkt.Count) + b.vec - 1) / b.vec)
+			if cycles > 1 {
+				b.x.proc.Sleep(cycles - 1)
+			}
 		}
 		b.rcv = pkt
 		b.have = int(pkt.Count)
@@ -111,28 +156,7 @@ func (b *collectiveBase) popElemPaired() uint64 {
 	bits := b.rcv.Elem(b.pos, b.dt)
 	b.pos++
 	b.have--
-	return bits
-}
-
-// popElem unpacks one element delivered by the support kernel.
-func (b *collectiveBase) popElem() uint64 {
-	if b.have == 0 {
-		pkt := b.ep.appRecv.PopProc(b.x.proc)
-		if pkt.Op != packet.OpData || pkt.Count == 0 {
-			panic(fmt.Sprintf("smi: rank %d port %d: unexpected %v packet from support kernel", b.x.rank, b.port, pkt.Op))
-		}
-		cycles := int64((int(pkt.Count) + b.vec - 1) / b.vec)
-		if cycles > 1 {
-			b.x.proc.Sleep(cycles - 1)
-		}
-		b.rcv = pkt
-		b.have = int(pkt.Count)
-		b.pos = 0
-	}
-	bits := b.rcv.Elem(b.pos, b.dt)
-	b.pos++
-	b.have--
-	return bits
+	return bits, nil
 }
 
 // BcastChannel is a broadcast channel (SMI_Open_bcast_channel /
@@ -147,8 +171,8 @@ type BcastChannel struct {
 // OpenBcastChannel opens a broadcast channel for count elements of type
 // dt on the given port. root is relative to comm and may be chosen at
 // run time: both root and non-root hardware exist at every rank.
-func (x *Ctx) OpenBcastChannel(count int, dt Datatype, port, root int, comm Comm) (*BcastChannel, error) {
-	b, err := x.openCollective(Bcast, count, dt, port, root, comm)
+func (x *Ctx) OpenBcastChannel(count int, dt Datatype, port, root int, comm Comm, opts ...ChannelOption) (*BcastChannel, error) {
+	b, err := x.openCollective(Bcast, count, dt, port, root, comm, opts)
 	if err != nil {
 		return nil, err
 	}
@@ -160,23 +184,47 @@ func (ch *BcastChannel) Root() bool { return ch.b.isRoot }
 
 // Bcast participates in the broadcast for one element: the root pushes
 // bits toward the other ranks (and gets them back unchanged); non-root
-// ranks ignore bits and return the received element.
+// ranks ignore bits and return the received element. A runtime failure
+// panics with the ChannelError that BcastE would return.
 func (ch *BcastChannel) Bcast(bits uint64) uint64 {
+	out, err := ch.BcastE(bits)
+	if err != nil {
+		panic(err)
+	}
+	return out
+}
+
+// BcastE is Bcast with a recoverable error surface: each member returns
+// the first runtime error its own operation sequence observes. A failed
+// call consumes nothing and may be retried.
+func (ch *BcastChannel) BcastE(bits uint64) (uint64, error) {
 	if ch.used >= ch.count {
 		panic(fmt.Sprintf("smi: Bcast beyond message size %d on port %d", ch.count, ch.b.port))
 	}
+	if err := ch.b.x.runtimeErr("bcast", ch.b.port, -1); err != nil {
+		return 0, err
+	}
+	deadline := ch.b.opDeadline()
 	ch.used++
 	var out uint64
 	if ch.b.isRoot {
-		ch.b.pushElem(bits, ch.used == ch.count)
+		if err := ch.b.pushElemE(bits, ch.used == ch.count, deadline, "bcast"); err != nil {
+			ch.used--
+			return 0, err
+		}
 		out = bits
 	} else {
-		out = ch.b.popElem()
+		v, err := ch.b.popElemE(deadline, "bcast", false)
+		if err != nil {
+			ch.used--
+			return 0, err
+		}
+		out = v
 	}
 	if ch.used == ch.count {
 		ch.b.close()
 	}
-	return out
+	return out, nil
 }
 
 // BcastFloat broadcasts one float32 element.
@@ -196,17 +244,21 @@ type ReduceChannel struct {
 	b     *collectiveBase
 	count int
 	sent  int
+	// pendingPop is set at the root when a contribution was flushed but
+	// the matching result pop failed: a ReduceE retry must not push the
+	// contribution again.
+	pendingPop bool
 }
 
 // OpenReduceChannel opens a reduce channel for count elements of type dt
 // with the declared reduction operation of the port. op must match the
 // port's declared operation (the combinational logic is fixed hardware).
-func (x *Ctx) OpenReduceChannel(count int, dt Datatype, op Op, port, root int, comm Comm) (*ReduceChannel, error) {
+func (x *Ctx) OpenReduceChannel(count int, dt Datatype, op Op, port, root int, comm Comm, opts ...ChannelOption) (*ReduceChannel, error) {
 	ep, ok := x.c.ranks[x.rank].eps[port]
 	if ok && ep.spec.Kind == Reduce && ep.spec.ReduceOp != op {
 		return nil, fmt.Errorf("smi: port %d implements %v, not %v", port, ep.spec.ReduceOp, op)
 	}
-	b, err := x.openCollective(Reduce, count, dt, port, root, comm)
+	b, err := x.openCollective(Reduce, count, dt, port, root, comm, opts)
 	if err != nil {
 		return nil, err
 	}
@@ -219,23 +271,55 @@ func (ch *ReduceChannel) Root() bool { return ch.b.isRoot }
 // Reduce contributes one element; at the root it returns the fully
 // reduced element (ok=true), elsewhere ok=false. Elements are reduced in
 // order: the i-th result combines the i-th contribution of every rank.
+// A runtime failure panics with the ChannelError that ReduceE would
+// return.
 func (ch *ReduceChannel) Reduce(bits uint64) (result uint64, ok bool) {
-	if ch.sent >= ch.count {
+	result, ok, err := ch.ReduceE(bits)
+	if err != nil {
+		panic(err)
+	}
+	return result, ok
+}
+
+// ReduceE is Reduce with a recoverable error surface. A failed call may
+// be retried with the same element: if the root's contribution was
+// already flushed when the result pop failed, the retry skips the push
+// and only re-attempts the pop.
+func (ch *ReduceChannel) ReduceE(bits uint64) (result uint64, ok bool, err error) {
+	if ch.sent >= ch.count && !ch.pendingPop {
 		panic(fmt.Sprintf("smi: Reduce beyond message size %d on port %d", ch.count, ch.b.port))
 	}
-	ch.sent++
-	// At the root every element flushes immediately: SMI_Reduce pushes a
-	// contribution and pops the result of the same element in one call,
-	// so the contribution must reach the support kernel (a local-only
-	// hop) before the pop. Non-root contributions pack normally.
-	ch.b.pushElem(bits, ch.b.isRoot || ch.sent == ch.count)
+	if err := ch.b.x.runtimeErr("reduce", ch.b.port, -1); err != nil {
+		return 0, false, err
+	}
+	deadline := ch.b.opDeadline()
+	if !ch.pendingPop {
+		ch.sent++
+		// At the root every element flushes immediately: SMI_Reduce pushes
+		// a contribution and pops the result of the same element in one
+		// call, so the contribution must reach the support kernel (a
+		// local-only hop) before the pop. Non-root contributions pack
+		// normally.
+		if err := ch.b.pushElemE(bits, ch.b.isRoot || ch.sent == ch.count, deadline, "reduce"); err != nil {
+			ch.sent--
+			return 0, false, err
+		}
+		if ch.b.isRoot {
+			ch.pendingPop = true
+		}
+	}
 	if ch.b.isRoot {
-		result, ok = ch.b.popElemPaired(), true
+		v, perr := ch.b.popElemE(deadline, "reduce", true)
+		if perr != nil {
+			return 0, false, perr
+		}
+		ch.pendingPop = false
+		result, ok = v, true
 	}
 	if ch.sent == ch.count {
 		ch.b.close()
 	}
-	return result, ok
+	return result, ok, nil
 }
 
 // ReduceFloat contributes one float32 element.
@@ -265,8 +349,8 @@ type ScatterChannel struct {
 
 // OpenScatterChannel opens a scatter channel with a per-member chunk of
 // count elements of type dt.
-func (x *Ctx) OpenScatterChannel(count int, dt Datatype, port, root int, comm Comm) (*ScatterChannel, error) {
-	b, err := x.openCollective(Scatter, count, dt, port, root, comm)
+func (x *Ctx) OpenScatterChannel(count int, dt Datatype, port, root int, comm Comm, opts ...ChannelOption) (*ScatterChannel, error) {
+	b, err := x.openCollective(Scatter, count, dt, port, root, comm, opts)
 	if err != nil {
 		return nil, err
 	}
@@ -277,14 +361,26 @@ func (x *Ctx) OpenScatterChannel(count int, dt Datatype, port, root int, comm Co
 func (ch *ScatterChannel) Root() bool { return ch.b.isRoot }
 
 // Push streams the next element of the root's send buffer (member-rank
-// order, comm.Size()*count elements total). Only the root may push.
+// order, comm.Size()*count elements total). Only the root may push. A
+// runtime failure panics with the ChannelError that PushE would return.
 func (ch *ScatterChannel) Push(bits uint64) {
+	if err := ch.PushE(bits); err != nil {
+		panic(err)
+	}
+}
+
+// PushE is Push with a recoverable error surface; a failed call consumes
+// nothing and may be retried.
+func (ch *ScatterChannel) PushE(bits uint64) error {
 	if !ch.b.isRoot {
 		panic(fmt.Sprintf("smi: Scatter push on non-root rank %d", ch.b.x.rank))
 	}
 	total := ch.count * ch.b.comm.size
 	if ch.sent >= total {
 		panic(fmt.Sprintf("smi: Scatter push beyond %d elements on port %d", total, ch.b.port))
+	}
+	if err := ch.b.x.runtimeErr("scatter", ch.b.port, -1); err != nil {
+		return err
 	}
 	member := ch.sent / ch.count
 	if ch.b.comm.Global(member) == ch.b.x.rank {
@@ -294,18 +390,34 @@ func (ch *ScatterChannel) Push(bits uint64) {
 		ch.b.x.proc.Tick()
 	} else {
 		chunkEnd := (ch.sent+1)%ch.count == 0
-		ch.b.pushElem(bits, chunkEnd)
+		if err := ch.b.pushElemE(bits, chunkEnd, ch.b.opDeadline(), "scatter"); err != nil {
+			return err
+		}
 	}
 	ch.sent++
 	ch.maybeClose()
+	return nil
 }
 
-// Pop returns the next element of this rank's chunk.
+// Pop returns the next element of this rank's chunk. A runtime failure
+// panics with the ChannelError that PopE would return.
 func (ch *ScatterChannel) Pop() uint64 {
+	bits, err := ch.PopE()
+	if err != nil {
+		panic(err)
+	}
+	return bits
+}
+
+// PopE is Pop with a recoverable error surface; a failed call consumes
+// nothing and may be retried.
+func (ch *ScatterChannel) PopE() (uint64, error) {
 	if ch.rcvd >= ch.count {
 		panic(fmt.Sprintf("smi: Scatter pop beyond chunk size %d on port %d", ch.count, ch.b.port))
 	}
-	ch.rcvd++
+	if err := ch.b.x.runtimeErr("scatter", ch.b.port, -1); err != nil {
+		return 0, err
+	}
 	var bits uint64
 	if ch.b.isRoot {
 		if ch.lpos >= len(ch.local) {
@@ -315,10 +427,15 @@ func (ch *ScatterChannel) Pop() uint64 {
 		ch.lpos++
 		ch.b.x.proc.Tick()
 	} else {
-		bits = ch.b.popElem()
+		v, err := ch.b.popElemE(ch.b.opDeadline(), "scatter", false)
+		if err != nil {
+			return 0, err
+		}
+		bits = v
 	}
+	ch.rcvd++
 	ch.maybeClose()
-	return bits
+	return bits, nil
 }
 
 func (ch *ScatterChannel) maybeClose() {
@@ -345,8 +462,8 @@ type GatherChannel struct {
 
 // OpenGatherChannel opens a gather channel with a per-member
 // contribution of count elements of type dt.
-func (x *Ctx) OpenGatherChannel(count int, dt Datatype, port, root int, comm Comm) (*GatherChannel, error) {
-	b, err := x.openCollective(Gather, count, dt, port, root, comm)
+func (x *Ctx) OpenGatherChannel(count int, dt Datatype, port, root int, comm Comm, opts ...ChannelOption) (*GatherChannel, error) {
+	b, err := x.openCollective(Gather, count, dt, port, root, comm, opts)
 	if err != nil {
 		return nil, err
 	}
@@ -356,23 +473,49 @@ func (x *Ctx) OpenGatherChannel(count int, dt Datatype, port, root int, comm Com
 // Root reports whether this rank is the gather root.
 func (ch *GatherChannel) Root() bool { return ch.b.isRoot }
 
-// Push streams the next element of this rank's contribution.
+// Push streams the next element of this rank's contribution. A runtime
+// failure panics with the ChannelError that PushE would return.
 func (ch *GatherChannel) Push(bits uint64) {
+	if err := ch.PushE(bits); err != nil {
+		panic(err)
+	}
+}
+
+// PushE is Push with a recoverable error surface; a failed call consumes
+// nothing and may be retried.
+func (ch *GatherChannel) PushE(bits uint64) error {
 	if ch.sent >= ch.count {
 		panic(fmt.Sprintf("smi: Gather push beyond contribution size %d on port %d", ch.count, ch.b.port))
 	}
-	ch.sent++
+	if err := ch.b.x.runtimeErr("gather", ch.b.port, -1); err != nil {
+		return err
+	}
 	if ch.b.isRoot {
 		ch.local = append(ch.local, bits)
 		ch.b.x.proc.Tick()
 	} else {
-		ch.b.pushElem(bits, ch.sent == ch.count)
+		if err := ch.b.pushElemE(bits, ch.sent+1 == ch.count, ch.b.opDeadline(), "gather"); err != nil {
+			return err
+		}
 	}
+	ch.sent++
 	ch.maybeClose()
+	return nil
 }
 
 // Pop returns the next gathered element at the root (member-rank order).
+// A runtime failure panics with the ChannelError that PopE would return.
 func (ch *GatherChannel) Pop() uint64 {
+	bits, err := ch.PopE()
+	if err != nil {
+		panic(err)
+	}
+	return bits
+}
+
+// PopE is Pop with a recoverable error surface; a failed call consumes
+// nothing and may be retried.
+func (ch *GatherChannel) PopE() (uint64, error) {
 	if !ch.b.isRoot {
 		panic(fmt.Sprintf("smi: Gather pop on non-root rank %d", ch.b.x.rank))
 	}
@@ -380,8 +523,10 @@ func (ch *GatherChannel) Pop() uint64 {
 	if ch.rcvd >= total {
 		panic(fmt.Sprintf("smi: Gather pop beyond %d elements on port %d", total, ch.b.port))
 	}
+	if err := ch.b.x.runtimeErr("gather", ch.b.port, -1); err != nil {
+		return 0, err
+	}
 	member := ch.rcvd / ch.count
-	ch.rcvd++
 	var bits uint64
 	if ch.b.comm.Global(member) == ch.b.x.rank {
 		if ch.lpos >= len(ch.local) {
@@ -391,10 +536,15 @@ func (ch *GatherChannel) Pop() uint64 {
 		ch.lpos++
 		ch.b.x.proc.Tick()
 	} else {
-		bits = ch.b.popElem()
+		v, err := ch.b.popElemE(ch.b.opDeadline(), "gather", false)
+		if err != nil {
+			return 0, err
+		}
+		bits = v
 	}
+	ch.rcvd++
 	ch.maybeClose()
-	return bits
+	return bits, nil
 }
 
 func (ch *GatherChannel) maybeClose() {

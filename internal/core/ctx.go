@@ -15,6 +15,10 @@ type Ctx struct {
 	c    *Cluster
 	rank int
 	proc *sim.Proc
+
+	// defPatience is the Ctx-level default per-operation deadline in
+	// cycles (SetDefaultDeadline); 0 means operations block forever.
+	defPatience int64
 }
 
 // Rank returns this kernel's global rank (one rank per FPGA, §2.2).

@@ -98,7 +98,7 @@ func (m *faultManager) Tick(now int64) bool {
 			m.finish(now)
 		}
 		return true
-	default: // fmFailed: leave the cluster quiesced; Run surfaces m.err.
+	default: // fmFailed: the cluster stays quiesced; see fail().
 		return false
 	}
 }
@@ -117,19 +117,34 @@ func (m *faultManager) begin(now int64, cb *cable) {
 	for _, rs := range m.c.ranks {
 		rs.dev.SetPaused(true)
 	}
+	if !m.surviving.Connected() {
+		m.declareFailed(now, fmt.Errorf("smi: failover after %s died: surviving topology is disconnected", cb.ab.Name()))
+		return
+	}
 	nr, err := routing.Compute(m.surviving, routing.UpDown)
 	if err == nil {
 		err = routing.VerifyDeadlockFree(nr)
 	}
 	if err != nil {
-		m.err = fmt.Errorf("smi: failover after %s died: %w", cb.ab.Name(), err)
-		m.state = fmFailed
+		m.declareFailed(now, fmt.Errorf("smi: failover after %s died: %w", cb.ab.Name(), err))
 		return
 	}
 	m.newRoutes = nr
 	m.repairEnd = now + m.repairCycles
 	m.state = fmRepair
 	m.logEvent(now, "repair-start")
+}
+
+// declareFailed marks the cluster unrepairable (fmFailed). The transport
+// stays quiesced, but every rank program blocked in a channel operation
+// is woken with WaitAborted so its PushE/PopE returns ClusterFailed, and
+// operations started afterwards fail at entry (Ctx.runtimeErr) — the
+// application observes a typed error instead of a deadlock report.
+func (m *faultManager) declareFailed(now int64, err error) {
+	m.err = err
+	m.state = fmFailed
+	m.logEvent(now, "failed")
+	m.c.eng.CancelWaits()
 }
 
 // swapAndRescue uploads the regenerated tables through the shared Routes

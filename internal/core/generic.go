@@ -1,0 +1,95 @@
+package smi
+
+import "repro/internal/packet"
+
+// Element constrains the Go types that map onto SMI datatypes: byte
+// (Char), int16 (Short), int32 (Int), float32 (Float), float64
+// (Double).
+type Element interface {
+	byte | int16 | int32 | float32 | float64
+}
+
+// elemBits converts a typed element to its raw wire bits.
+func elemBits[T Element](v T) uint64 {
+	switch x := any(v).(type) {
+	case byte:
+		return uint64(x)
+	case int16:
+		return packet.ShortBits(x)
+	case int32:
+		return packet.IntBits(x)
+	case float32:
+		return packet.FloatBits(x)
+	default:
+		return packet.DoubleBits(any(v).(float64))
+	}
+}
+
+// bitsElem converts raw wire bits back to a typed element.
+func bitsElem[T Element](bits uint64) T {
+	var v T
+	switch p := any(&v).(type) {
+	case *byte:
+		*p = byte(bits)
+	case *int16:
+		*p = packet.BitsShort(bits)
+	case *int32:
+		*p = packet.BitsInt(bits)
+	case *float32:
+		*p = packet.BitsFloat(bits)
+	case *float64:
+		*p = packet.BitsDouble(bits)
+	}
+	return v
+}
+
+// Push streams one typed element into a send channel. Go methods cannot
+// be generic, so the typed push is a package-level helper; the legacy
+// PushInt/PushFloat/... methods are aliases of it.
+func Push[T Element](ch *SendChannel, v T) { ch.Push(elemBits(v)) }
+
+// PushE is Push with the recoverable error surface of SendChannel.PushE.
+func PushE[T Element](ch *SendChannel, v T) error { return ch.PushE(elemBits(v)) }
+
+// Pop blocks until the next element arrives and returns it typed.
+func Pop[T Element](ch *RecvChannel) T { return bitsElem[T](ch.Pop()) }
+
+// PopE is Pop with the recoverable error surface of RecvChannel.PopE.
+func PopE[T Element](ch *RecvChannel) (T, error) {
+	bits, err := ch.PopE()
+	if err != nil {
+		var zero T
+		return zero, err
+	}
+	return bitsElem[T](bits), nil
+}
+
+// PushInt pushes an int32 element.
+func (ch *SendChannel) PushInt(v int32) { Push(ch, v) }
+
+// PushFloat pushes a float32 element.
+func (ch *SendChannel) PushFloat(v float32) { Push(ch, v) }
+
+// PushDouble pushes a float64 element.
+func (ch *SendChannel) PushDouble(v float64) { Push(ch, v) }
+
+// PushShort pushes an int16 element.
+func (ch *SendChannel) PushShort(v int16) { Push(ch, v) }
+
+// PushChar pushes a byte element.
+func (ch *SendChannel) PushChar(v byte) { Push(ch, v) }
+
+// PopInt pops an int32 element.
+func (ch *RecvChannel) PopInt() int32 { return Pop[int32](ch) }
+
+// PopFloat pops a float32 element.
+func (ch *RecvChannel) PopFloat() float32 { return Pop[float32](ch) }
+
+// PopDouble pops a float64 element.
+func (ch *RecvChannel) PopDouble() float64 { return Pop[float64](ch) }
+
+// PopShort pops an int16 element.
+func (ch *RecvChannel) PopShort() int16 { return Pop[int16](ch) }
+
+// PopChar pops a byte element.
+func (ch *RecvChannel) PopChar() byte { return Pop[byte](ch) }

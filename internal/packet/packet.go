@@ -210,6 +210,18 @@ func DecodeConfig(p Packet) Config {
 	}
 }
 
+// EncodeCreditElems stores a granted element count in an OpCredit
+// packet's payload (credit-based flow control, paper §4.1).
+func EncodeCreditElems(p *Packet, elems uint32) {
+	binary.LittleEndian.PutUint32(p.Payload[0:], elems)
+}
+
+// DecodeCreditElems reads the granted element count from an OpCredit
+// packet.
+func DecodeCreditElems(p Packet) uint32 {
+	return binary.LittleEndian.Uint32(p.Payload[0:])
+}
+
 // RawElemsPerPacket returns how many elements of the datatype fit in a
 // headerless circuit payload packet (32 bytes, capped at 31 by the
 // 5-bit count field): 31 chars, 16 shorts, 8 ints/floats, 4 doubles.

@@ -150,6 +150,19 @@ func TestConfigRoundtrip(t *testing.T) {
 	}
 }
 
+func TestCreditElemsRoundtrip(t *testing.T) {
+	for _, elems := range []uint32{0, 1, 128, 1 << 20, 0xFFFFFFFF} {
+		p := Packet{Src: 1, Dst: 2, Port: 3, Op: OpCredit}
+		EncodeCreditElems(&p, elems)
+		if got := DecodeCreditElems(p); got != elems {
+			t.Fatalf("credit roundtrip: got %d, want %d", got, elems)
+		}
+		if p.Op != OpCredit || p.Src != 1 || p.Dst != 2 || p.Port != 3 {
+			t.Fatalf("encoding credits clobbered the header: %v", p)
+		}
+	}
+}
+
 func TestOpStrings(t *testing.T) {
 	for op, want := range map[Op]string{
 		OpData: "DATA", OpSyncReady: "SYNC", OpCredit: "CREDIT", OpConfig: "CONFIG",

@@ -258,7 +258,9 @@ func (e *Engine) runDense() error {
 		e.executed++
 		active := false
 
-		// Phase 1: run every runnable proc once.
+		// Phase 1: run every runnable proc once. A blocked proc whose
+		// wait deadline has arrived is woken with WaitTimeout — the
+		// dense mirror of the event scheduler's deadline heap entry.
 		e.phase = phaseProcs
 		for _, p := range e.procs {
 			switch p.status {
@@ -271,6 +273,12 @@ func (e *Engine) runDense() error {
 				if p.runAt > e.now {
 					continue
 				}
+			case procBlocked:
+				if p.deadline > e.now {
+					continue
+				}
+				p.cancelWait(WaitTimeout)
+				p.status = procRunnable
 			default:
 				continue
 			}
@@ -383,9 +391,12 @@ func (e *Engine) step(p *Proc) error {
 	return nil
 }
 
-// nextWake returns the earliest future wake-up among sleeping procs.
+// nextWake returns the earliest future wake-up among sleeping and
+// runnable procs, and the armed wait deadlines of blocked procs: a
+// blocked proc with a deadline is not deadlocked — its timeout is a
+// scheduled wake the fast-forward must not skip.
 func (e *Engine) nextWake() (at int64, ok bool) {
-	at = int64(1<<63 - 1)
+	at = Never
 	for _, p := range e.procs {
 		switch p.status {
 		case procSleeping:
@@ -398,9 +409,36 @@ func (e *Engine) nextWake() (at int64, ok bool) {
 				at = p.runAt
 			}
 			ok = true
+		case procBlocked:
+			if p.deadline < Never {
+				if p.deadline < at {
+					at = p.deadline
+				}
+				ok = true
+			}
 		}
 	}
 	return at, ok
+}
+
+// CancelWaits aborts every proc currently blocked in a cancellable FIFO
+// wait: each such wait returns WaitAborted on the next cycle, and the
+// proc is removed from its FIFO's waiter list. Procs blocked in plain
+// (non-cancellable) waits are untouched. Returns the number of waits
+// cancelled. Safe to call from Kernel.Tick; the cancellation takes
+// effect with the same timing under both schedulers.
+func (e *Engine) CancelWaits() int {
+	n := 0
+	for _, p := range e.procs {
+		if p.status == procBlocked && p.cancellable {
+			p.cancelWait(WaitAborted)
+			p.status = procRunnable
+			p.runAt = e.now + 1
+			e.scheduleProc(p, p.runAt)
+			n++
+		}
+	}
+	return n
 }
 
 func (e *Engine) deadlock() error {

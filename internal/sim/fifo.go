@@ -193,6 +193,50 @@ func (f *Fifo[T]) PopProcPaired(p *Proc) T {
 	return v
 }
 
+// PushProcE is PushProc with a cancellable wait: it blocks at most until
+// the absolute deadline cycle (Never for no deadline) and unblocks early
+// if the engine cancels waits (Engine.CancelWaits). On WaitOK the
+// element was pushed and one cycle consumed; on WaitTimeout/WaitAborted
+// nothing was pushed and no cycle was consumed by the failed attempt.
+func (f *Fifo[T]) PushProcE(p *Proc, v T, deadline int64) WaitResult {
+	for !f.CanPush() {
+		if r := p.waitCondCancel(&f.fifoCore, true, deadline); r != WaitOK {
+			return r
+		}
+	}
+	f.TryPush(v)
+	p.Tick()
+	return WaitOK
+}
+
+// PopProcE is PopProc with a cancellable wait (see PushProcE). On WaitOK
+// the element is returned and one cycle consumed; otherwise the zero
+// value is returned and the FIFO is untouched.
+func (f *Fifo[T]) PopProcE(p *Proc, deadline int64) (T, WaitResult) {
+	for !f.CanPop() {
+		if r := p.waitCondCancel(&f.fifoCore, false, deadline); r != WaitOK {
+			var zero T
+			return zero, r
+		}
+	}
+	v, _ := f.TryPop()
+	p.Tick()
+	return v, WaitOK
+}
+
+// PopProcPairedE is PopProcPaired with a cancellable wait (see
+// PushProcE): a successful pop consumes no cycle of its own.
+func (f *Fifo[T]) PopProcPairedE(p *Proc, deadline int64) (T, WaitResult) {
+	for !f.CanPop() {
+		if r := p.waitCondCancel(&f.fifoCore, false, deadline); r != WaitOK {
+			var zero T
+			return zero, r
+		}
+	}
+	v, _ := f.TryPop()
+	return v, WaitOK
+}
+
 // commit publishes this cycle's writes to readers.
 func (f *Fifo[T]) commit() bool {
 	if f.pendingIn == 0 {

@@ -19,6 +19,32 @@ const (
 // aborts; it unwinds the proc body and is swallowed by the runner.
 var errKilled = errors.New("sim: proc killed")
 
+// WaitResult reports how a cancellable FIFO wait ended.
+type WaitResult uint8
+
+const (
+	// WaitOK: the awaited FIFO condition holds; the operation proceeded.
+	WaitOK WaitResult = iota
+	// WaitTimeout: the wait's deadline cycle arrived first.
+	WaitTimeout
+	// WaitAborted: the engine cancelled the wait (Engine.CancelWaits).
+	WaitAborted
+)
+
+func (r WaitResult) String() string {
+	switch r {
+	case WaitOK:
+		return "ok"
+	case WaitTimeout:
+		return "timeout"
+	default:
+		return "aborted"
+	}
+}
+
+// schedNone marks a proc with no live wake-heap entry (event scheduler).
+const schedNone = int64(-1)
+
 // Proc is a cooperative process driven by the engine. A proc models a
 // pipelined hardware kernel written as ordinary sequential Go code; every
 // cycle-consuming operation (Tick, Sleep, blocking FIFO access) yields
@@ -41,6 +67,16 @@ type Proc struct {
 	wakeAt    int64  // wake cycle while sleeping
 	blockedOn string // description of the blocking condition
 	err       error
+
+	// Cancellable-wait state. A blocked proc whose wait was armed with a
+	// deadline owns exactly one live wake-heap entry at that cycle; the
+	// entry fires the timeout if the FIFO wake has not already won.
+	schedAt     int64      // cycle of the live wake-heap entry (schedNone if none)
+	deadline    int64      // absolute timeout cycle while blocked (Never if none)
+	cancellable bool       // current wait may be cancelled (timeout/abort)
+	waitFifo    *fifoCore  // FIFO the proc is blocked on, for waiter removal
+	waitSpace   bool       // blocked on space (true) or data (false)
+	waitRes     WaitResult // outcome of the last cancellable wait
 }
 
 // NewProc registers a process with the engine. The body runs when the
@@ -50,13 +86,15 @@ func NewProc(e *Engine, name string, body func(*Proc)) *Proc {
 		panic("sim: NewProc after Run")
 	}
 	p := &Proc{
-		name:    name,
-		eng:     e,
-		idx:     int32(len(e.procs)),
-		body:    body,
-		resume:  make(chan struct{}),
-		yielded: make(chan struct{}),
-		quit:    make(chan struct{}),
+		name:     name,
+		eng:      e,
+		idx:      int32(len(e.procs)),
+		body:     body,
+		resume:   make(chan struct{}),
+		yielded:  make(chan struct{}),
+		quit:     make(chan struct{}),
+		schedAt:  schedNone,
+		deadline: Never,
 	}
 	e.procs = append(e.procs, p)
 	return p
@@ -140,4 +178,65 @@ func (p *Proc) waitCond(c *fifoCore, space bool) {
 		c.dataWaiters = append(c.dataWaiters, p)
 	}
 	p.pause()
+}
+
+// waitCondCancel blocks the proc on a FIFO condition like waitCond, but
+// the wait can end three ways: the FIFO wake (WaitOK), the absolute
+// deadline cycle arriving first (WaitTimeout), or an engine-wide cancel
+// (WaitAborted). Pass Never for no deadline; the wait then stays
+// cancellable by Engine.CancelWaits only.
+//
+// A deadline is a scheduled wake, not a per-cycle poll: in the event
+// scheduler it is one wake-heap entry at the deadline cycle, which the
+// FIFO wake turns stale by re-scheduling the proc. An armed deadline
+// that never fires is therefore invisible to the cycle count.
+func (p *Proc) waitCondCancel(c *fifoCore, space bool, deadline int64) WaitResult {
+	if deadline <= p.eng.now {
+		return WaitTimeout
+	}
+	p.status = procBlocked
+	p.cancellable = true
+	p.deadline = deadline
+	p.waitFifo = c
+	p.waitSpace = space
+	p.waitRes = WaitOK
+	if space {
+		p.blockedOn = fmt.Sprintf("space in fifo %s", c.name)
+		c.spaceWaiters = append(c.spaceWaiters, p)
+	} else {
+		p.blockedOn = fmt.Sprintf("data in fifo %s", c.name)
+		c.dataWaiters = append(c.dataWaiters, p)
+	}
+	if deadline < Never {
+		p.eng.scheduleProc(p, deadline)
+	}
+	p.pause()
+	res := p.waitRes
+	p.cancellable = false
+	p.deadline = Never
+	p.waitFifo = nil
+	return res
+}
+
+// cancelWait removes a blocked proc from its FIFO waiter list and stamps
+// the wait outcome. The caller transitions the proc back to runnable.
+func (p *Proc) cancelWait(res WaitResult) {
+	if c := p.waitFifo; c != nil {
+		if p.waitSpace {
+			c.spaceWaiters = removeProc(c.spaceWaiters, p)
+		} else {
+			c.dataWaiters = removeProc(c.dataWaiters, p)
+		}
+	}
+	p.waitRes = res
+}
+
+// removeProc deletes p from a waiter list, preserving order.
+func removeProc(list []*Proc, p *Proc) []*Proc {
+	for i, q := range list {
+		if q == p {
+			return append(list[:i], list[i+1:]...)
+		}
+	}
+	return list
 }

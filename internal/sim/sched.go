@@ -244,10 +244,14 @@ func (e *Engine) wakeKernelAt(id KernelID, at int64) {
 }
 
 // scheduleProc records a proc wake for the event scheduler. Each proc
-// has at most one live heap entry: procs enter the heap when they sleep
-// or are woken from a FIFO wait, and leave it when stepped.
+// has at most one live heap entry — the one matching p.schedAt: procs
+// enter the heap when they sleep, arm a wait deadline, or are woken from
+// a FIFO wait, and leave it when stepped. Re-scheduling (e.g. a FIFO
+// wake beating an armed deadline) strands the older entry, which the pop
+// and fast-forward paths recognize as stale and discard.
 func (e *Engine) scheduleProc(p *Proc, at int64) {
 	if e.sched == SchedEvent {
+		p.schedAt = at
 		e.pq.push(at, p.idx)
 	}
 }
@@ -328,6 +332,7 @@ func (c *fifoCore) wakeKernels() {
 func (e *Engine) runEvent() error {
 	// All procs start runnable at cycle 0, in registration order.
 	for _, p := range e.procs {
+		p.schedAt = 0
 		e.pq.push(0, p.idx)
 	}
 	for j := range e.kernels {
@@ -346,11 +351,22 @@ func (e *Engine) runEvent() error {
 		active := false
 
 		// Phase 1: run procs due this cycle, in registration order
-		// (equal-cycle heap entries pop in index order).
+		// (equal-cycle heap entries pop in index order). Entries whose
+		// cycle no longer matches the proc's live schedule are stale —
+		// a FIFO wake or cancel superseded them — and are discarded.
+		// A live entry for a still-blocked proc is an armed deadline
+		// firing: the wait is cancelled with WaitTimeout.
 		e.phase = phaseProcs
 		for e.pq.len() > 0 && e.pq.top().at <= e.now {
 			ent := e.pq.pop()
 			p := e.procs[ent.idx]
+			if p.status == procFinished || p.schedAt != ent.at {
+				continue // stale entry
+			}
+			p.schedAt = schedNone
+			if p.status == procBlocked {
+				p.cancelWait(WaitTimeout)
+			}
 			p.status = procRunnable
 			active = true
 			if err := e.step(p); err != nil {
@@ -463,8 +479,15 @@ func (e *Engine) runEvent() error {
 		e.phase = phaseIdle
 		if !active {
 			next := Never
-			if e.pq.len() > 0 {
-				next = e.pq.top().at
+			for e.pq.len() > 0 {
+				top := e.pq.top()
+				p := e.procs[top.idx]
+				if p.status == procFinished || p.schedAt != top.at {
+					e.pq.pop() // stale: superseded by a later (re)schedule
+					continue
+				}
+				next = top.at
+				break
 			}
 			if kd, ok := e.kernNextDeadline(); ok && kd < next {
 				next = kd
