@@ -10,6 +10,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -23,6 +24,7 @@ import (
 func main() {
 	quick := flag.Bool("quick", false, "trim sweeps for a fast run")
 	list := flag.Bool("list", false, "list available experiments")
+	jsonOut := flag.Bool("json", false, "write machine-readable JSON to stdout instead of tables (the stats schema matches what smid serves)")
 	ranks := flag.String("ranks", "", "comma-separated rank counts for rank sweeps (e.g. 8,16,32,64)")
 	workload := flag.String("workload", "", "restrict multi-workload experiments to one workload (e.g. stencil, bcast)")
 	flag.Usage = func() {
@@ -70,12 +72,34 @@ func main() {
 			opts.Ranks = append(opts.Ranks, n)
 		}
 	}
+	// jsonReport is one element of the -json stdout document.
+	type jsonReport struct {
+		ID      string             `json:"id"`
+		Title   string             `json:"title"`
+		WallSec float64            `json:"wall_sec"`
+		Metrics map[string]float64 `json:"metrics,omitempty"`
+		// Data is the experiment's machine-readable document — for
+		// workload-level experiments, the same Result/Stats schema the
+		// smid service serves per job.
+		Data json.RawMessage `json:"data,omitempty"`
+	}
+	var jsonDoc []jsonReport
+
 	for _, e := range exps {
 		start := time.Now()
 		report, err := e.Run(opts)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "%s: %v\n", e.ID, err)
 			os.Exit(1)
+		}
+		if *jsonOut {
+			jsonDoc = append(jsonDoc, jsonReport{
+				ID: e.ID, Title: report.Title,
+				WallSec: time.Since(start).Seconds(),
+				Metrics: report.Metrics,
+				Data:    json.RawMessage(report.JSON),
+			})
+			continue
 		}
 		report.Print(os.Stdout)
 		fmt.Printf("  (%s regenerated in %.1fs wall time)\n\n", e.ID, time.Since(start).Seconds())
@@ -86,6 +110,14 @@ func main() {
 				os.Exit(1)
 			}
 			fmt.Printf("  (machine-readable copy written to %s)\n\n", path)
+		}
+	}
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(jsonDoc); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
 		}
 	}
 }

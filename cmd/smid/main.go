@@ -1,0 +1,77 @@
+// Command smid runs the SMI simulation service: a long-running HTTP
+// server that packs simulation jobs onto a bounded worker pool, keeps
+// routing tables warm across identical-topology jobs, streams per-job
+// progress, and deterministically replays any completed job.
+//
+// Quick start:
+//
+//	smid -addr :8080 &
+//	curl -s -X POST localhost:8080/v1/jobs \
+//	  -d '{"workload":"stencil","ranks":16,"verify":true}'
+//	curl -s localhost:8080/v1/jobs/j0001
+//	curl -s -X POST localhost:8080/v1/jobs/j0001/replay
+//	curl -sN localhost:8080/v1/jobs/j0002/events
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/service"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	workers := flag.Int("workers", 0, "simulation workers (0 = GOMAXPROCS, max 8)")
+	queue := flag.Int("queue", 0, "admission queue depth (0 = default 64)")
+	cache := flag.Int("cache", 0, "routing-table cache capacity (0 = default 32)")
+	progress := flag.Int64("progress-every", 0, "cycles between progress events (0 = default 250000, negative disables)")
+	drain := flag.Duration("drain", 30*time.Second, "max time to drain running jobs on shutdown")
+	flag.Parse()
+
+	svc := service.New(service.Config{
+		Workers:       *workers,
+		QueueDepth:    *queue,
+		CacheCapacity: *cache,
+		ProgressEvery: *progress,
+	})
+	srv := &http.Server{Addr: *addr, Handler: svc.Handler()}
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+
+	errCh := make(chan error, 1)
+	go func() {
+		log.Printf("smid: listening on %s", *addr)
+		errCh <- srv.ListenAndServe()
+	}()
+
+	select {
+	case <-ctx.Done():
+		log.Printf("smid: shutting down; draining for up to %v", *drain)
+	case err := <-errCh:
+		fmt.Fprintf(os.Stderr, "smid: serve: %v\n", err)
+		os.Exit(1)
+	}
+
+	drainCtx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	// Stop accepting connections first, then drain the job pool so
+	// in-flight simulations finish and queued ones are canceled cleanly.
+	if err := srv.Shutdown(drainCtx); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		log.Printf("smid: http shutdown: %v", err)
+	}
+	if err := svc.Shutdown(drainCtx); err != nil {
+		log.Printf("smid: %v", err)
+		os.Exit(1)
+	}
+	log.Printf("smid: drained cleanly")
+}

@@ -77,9 +77,42 @@ func TestSmibenchList(t *testing.T) {
 	out := runTool(t, "", "./cmd/smibench", "-list")
 	for _, id := range []string{"table1", "table2", "table3", "table4",
 		"fig9", "fig10", "fig11", "fig13", "fig15", "fig16",
-		"ablate-r", "ablate-credit", "ablate-routing", "ablate-buffer"} {
+		"ablate-r", "ablate-credit", "ablate-routing", "ablate-buffer",
+		"scaling", "service", "workloads"} {
 		if !strings.Contains(out, id) {
 			t.Fatalf("experiment %s missing from list:\n%s", id, out)
+		}
+	}
+}
+
+// TestSmibenchJSON checks that -json emits the machine-readable form on
+// stdout, carrying the same per-workload Result schema smid serves.
+func TestSmibenchJSON(t *testing.T) {
+	if testing.Short() {
+		t.Skip("subprocess test")
+	}
+	out := runTool(t, "", "./cmd/smibench", "-json", "-quick", "workloads")
+	var doc []struct {
+		ID   string `json:"id"`
+		Data []struct {
+			Workload     string         `json:"workload"`
+			Cycles       int64          `json:"cycles"`
+			OutputDigest string         `json:"output_digest"`
+			Stats        map[string]any `json:"stats"`
+		} `json:"data"`
+	}
+	if err := json.Unmarshal([]byte(out), &doc); err != nil {
+		t.Fatalf("-json output not valid JSON: %v\n%s", err, out)
+	}
+	if len(doc) != 1 || doc[0].ID != "workloads" || len(doc[0].Data) == 0 {
+		t.Fatalf("-json document unexpected:\n%s", out)
+	}
+	for _, res := range doc[0].Data {
+		if res.Cycles <= 0 || res.OutputDigest == "" {
+			t.Fatalf("result %q incomplete: %+v", res.Workload, res)
+		}
+		if _, ok := res.Stats["packets_delivered"]; res.Workload == "bandwidth" && !ok {
+			t.Fatalf("bandwidth result missing cluster stats:\n%s", out)
 		}
 	}
 }

@@ -36,6 +36,12 @@ type NetConfig struct {
 	// Scheduler selects the simulator's scheduling mode (default
 	// sim.SchedEvent); cycle counts are identical in both modes.
 	Scheduler sim.SchedulerKind
+	// Routes supplies precomputed routing tables (see smi.Config.Routes).
+	Routes *routing.Routes
+	// Progress/ProgressEvery install a cycle-progress observer (see
+	// smi.Config.Progress).
+	Progress      func(cycle int64)
+	ProgressEvery int64
 }
 
 // cluster translates the shared NetConfig knobs into an smi.Config with
@@ -46,12 +52,47 @@ func (cfg NetConfig) cluster(prog smi.ProgramSpec) (*smi.Cluster, error) {
 		Program:       prog,
 		Transport:     cfg.Transport,
 		RoutingPolicy: cfg.RoutingPolicy,
+		Routes:        cfg.Routes,
 		LinkLatency:   cfg.LinkLatency,
 		MaxCycles:     cfg.MaxCycles,
 		Faults:        cfg.Faults,
 		Reliable:      cfg.Reliable,
 		Scheduler:     cfg.Scheduler,
+		Progress:      cfg.Progress,
+		ProgressEvery: cfg.ProgressEvery,
 	})
+}
+
+// checkRanks validates that every named rank exists in the topology and
+// that the ranks are pairwise distinct, so a malformed request fails
+// with an error instead of deadlocking a run on a never-registered rank
+// program.
+func (cfg NetConfig) checkRanks(ranks ...int) error {
+	if cfg.Topology == nil {
+		return fmt.Errorf("apps: config needs a topology")
+	}
+	for i, r := range ranks {
+		if r < 0 || r >= cfg.Topology.Devices {
+			return fmt.Errorf("apps: rank %d out of range [0,%d)", r, cfg.Topology.Devices)
+		}
+		for _, s := range ranks[:i] {
+			if s == r {
+				return fmt.Errorf("apps: rank %d named twice", r)
+			}
+		}
+	}
+	return nil
+}
+
+// checkGroup validates a collective over ranks [0, ranks).
+func (cfg NetConfig) checkGroup(ranks int) error {
+	if cfg.Topology == nil {
+		return fmt.Errorf("apps: config needs a topology")
+	}
+	if ranks < 2 || ranks > cfg.Topology.Devices {
+		return fmt.Errorf("apps: collective over %d ranks outside [2,%d]", ranks, cfg.Topology.Devices)
+	}
+	return nil
 }
 
 // BandwidthResult reports one bandwidth measurement.
@@ -76,6 +117,9 @@ func Bandwidth(cfg NetConfig, src, dst, elems int) (BandwidthResult, error) {
 	buf := cfg.BufferElems
 	if buf <= 0 {
 		buf = 4096
+	}
+	if err := cfg.checkRanks(src, dst); err != nil {
+		return BandwidthResult{}, err
 	}
 	c, err := cfg.cluster(smi.ProgramSpec{Ports: []smi.PortSpec{{Port: 0, Type: smi.Int, VecWidth: vec, BufferElems: buf}}})
 	if err != nil {
@@ -128,6 +172,9 @@ type PingPongResult struct {
 // PingPong bounces a single-element message between two ranks and
 // reports the one-way latency — the §5.3.2 microbenchmark and Table 3.
 func PingPong(cfg NetConfig, a, b, rounds int) (PingPongResult, error) {
+	if err := cfg.checkRanks(a, b); err != nil {
+		return PingPongResult{}, err
+	}
 	c, err := cfg.cluster(smi.ProgramSpec{Ports: []smi.PortSpec{
 		{Port: 0, Type: smi.Int}, // a -> b
 		{Port: 1, Type: smi.Int}, // b -> a
@@ -181,6 +228,9 @@ type InjectionResult struct {
 // per message (channel creation is zero-overhead), so every message is
 // one network packet.
 func Injection(cfg NetConfig, messages int) (InjectionResult, error) {
+	if err := cfg.checkRanks(0, 1); err != nil {
+		return InjectionResult{}, err
+	}
 	c, err := cfg.cluster(smi.ProgramSpec{Ports: []smi.PortSpec{{Port: 0, Type: smi.Int, BufferElems: 64}}})
 	if err != nil {
 		return InjectionResult{}, err
@@ -237,6 +287,9 @@ func BcastTime(cfg NetConfig, ranks, elems int) (CollectiveResult, error) {
 	if buf <= 0 {
 		buf = 512
 	}
+	if err := cfg.checkGroup(ranks); err != nil {
+		return CollectiveResult{}, err
+	}
 	c, err := cfg.cluster(smi.ProgramSpec{Ports: []smi.PortSpec{{Port: 0, Kind: smi.Bcast, Type: smi.Float, BufferElems: buf}}})
 	if err != nil {
 		return CollectiveResult{}, err
@@ -278,6 +331,9 @@ func ReduceTime(cfg NetConfig, ranks, elems, creditElems int) (CollectiveResult,
 	buf := cfg.BufferElems
 	if buf <= 0 {
 		buf = 512
+	}
+	if err := cfg.checkGroup(ranks); err != nil {
+		return CollectiveResult{}, err
 	}
 	c, err := cfg.cluster(smi.ProgramSpec{Ports: []smi.PortSpec{{
 		Port: 0, Kind: smi.Reduce, Type: smi.Float, ReduceOp: smi.Add,
@@ -331,6 +387,9 @@ func oneToAllTime(cfg NetConfig, ranks, elems int, kind smi.PortKind) (Collectiv
 	buf := cfg.BufferElems
 	if buf <= 0 {
 		buf = 512
+	}
+	if err := cfg.checkGroup(ranks); err != nil {
+		return CollectiveResult{}, err
 	}
 	c, err := cfg.cluster(smi.ProgramSpec{Ports: []smi.PortSpec{{Port: 0, Kind: kind, Type: smi.Float, BufferElems: buf}}})
 	if err != nil {

@@ -44,6 +44,12 @@ type StencilConfig struct {
 	// Scheduler selects the simulator's scheduling mode (default
 	// sim.SchedEvent); cycle counts are identical in both modes.
 	Scheduler sim.SchedulerKind
+	// Routes supplies precomputed routing tables (see smi.Config.Routes).
+	Routes *routing.Routes
+	// Progress/ProgressEvery install a cycle-progress observer (see
+	// smi.Config.Progress).
+	Progress      func(cycle int64)
+	ProgressEvery int64
 }
 
 // StencilResult reports one stencil execution.
@@ -153,8 +159,11 @@ func Stencil(cfg StencilConfig) (StencilResult, error) {
 		}},
 		MaxCycles:     cfg.MaxCycles,
 		RoutingPolicy: cfg.RoutingPolicy,
+		Routes:        cfg.Routes,
 		Faults:        cfg.Faults,
 		Scheduler:     cfg.Scheduler,
+		Progress:      cfg.Progress,
+		ProgressEvery: cfg.ProgressEvery,
 	})
 	if err != nil {
 		return StencilResult{}, err

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	smi "repro/internal/core"
+	"repro/internal/sim"
 	"repro/internal/topology"
 )
 
@@ -26,6 +27,11 @@ type SummaConfig struct {
 	Verify bool
 	// Topology overrides the interconnect (defaults to a bus).
 	Topology *topology.Topology
+	// MaxCycles optionally bounds the simulation.
+	MaxCycles int64
+	// Scheduler selects the simulator's scheduling mode (default
+	// sim.SchedEvent); cycle counts are identical in both modes.
+	Scheduler sim.SchedulerKind
 }
 
 // SummaResult reports one distributed matrix multiply.
@@ -80,6 +86,8 @@ func Summa(cfg SummaConfig) (SummaResult, error) {
 		Program: smi.ProgramSpec{Ports: []smi.PortSpec{
 			{Port: 0, Kind: smi.Bcast, Type: smi.Float, Tree: cfg.Tree, BufferElems: 1024},
 		}},
+		MaxCycles: cfg.MaxCycles,
+		Scheduler: cfg.Scheduler,
 	})
 	if err != nil {
 		return SummaResult{}, err

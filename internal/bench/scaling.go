@@ -5,24 +5,18 @@ import (
 	"fmt"
 	"time"
 
-	"repro/internal/apps"
 	"repro/internal/routing"
 	"repro/internal/sim"
-	"repro/internal/topology"
-	"repro/internal/transport"
+	"repro/internal/workload"
 )
 
 func init() {
 	register("scaling", "Simulator scaling: event scheduler vs dense scan at 8..64 ranks", scaling)
 }
 
-// scalingGrids maps a rank count to its 2D torus decomposition.
-var scalingGrids = map[int][2]int{
-	8:  {2, 4},
-	16: {4, 4},
-	32: {4, 8},
-	64: {8, 8},
-}
+// scalingRanks are the supported sweep points; workload.Grid decomposes
+// each into the same 2D torus the sweep has always used.
+var scalingRanks = map[int]bool{8: true, 16: true, 32: true, 64: true}
 
 // ScalingRow is one (workload, ranks, scheduler) measurement.
 type ScalingRow struct {
@@ -50,53 +44,32 @@ type scalingJSON struct {
 }
 
 // scalingRun executes one workload at one rank count under one
-// scheduler and reports the measurement.
-func scalingRun(workload string, ranks int, kind sim.SchedulerKind) (ScalingRow, error) {
-	grid := scalingGrids[ranks]
+// scheduler and reports the measurement. Dispatch goes through the
+// workload registry — the same resolution path smid uses — with the
+// registry defaults reproducing the sweep's historical problem sizes.
+func scalingRun(name string, ranks int, kind sim.SchedulerKind) (ScalingRow, error) {
 	label := "event"
 	if kind == sim.SchedDense {
 		label = "dense"
 	}
-	row := ScalingRow{Workload: workload, Ranks: ranks, Scheduler: label}
+	row := ScalingRow{Workload: name, Ranks: ranks, Scheduler: label}
+	params := workload.Params{Ranks: ranks, Scheduler: kind}
+	if name == "bcast" {
+		params.RoutingPolicy = routing.UpDown
+	}
 	start := time.Now()
-	var net = struct {
-		cycles int64
-		sched  sim.SchedStats
-	}{}
-	switch workload {
-	case "stencil":
-		res, err := apps.Stencil(apps.StencilConfig{
-			N: 8 * grid[1], Timesteps: 4, RanksX: grid[0], RanksY: grid[1],
-			Scheduler: kind,
-		})
-		if err != nil {
-			return row, err
-		}
-		net.cycles, net.sched = res.Cycles, res.Net.Sched
-	case "bcast":
-		topo, err := topology.Torus2D(grid[0], grid[1])
-		if err != nil {
-			return row, err
-		}
-		res, err := apps.BcastTime(apps.NetConfig{
-			Topology: topo, Transport: transport.DefaultConfig(),
-			RoutingPolicy: routing.UpDown, Scheduler: kind,
-		}, ranks, 4096)
-		if err != nil {
-			return row, err
-		}
-		net.cycles, net.sched = res.Cycles, res.Net.Sched
-	default:
-		return row, fmt.Errorf("scaling: unknown workload %q (have stencil, bcast)", workload)
+	res, err := workload.Run(name, params)
+	if err != nil {
+		return row, err
 	}
 	wall := time.Since(start)
-	row.Cycles = net.cycles
-	row.CyclesExecuted = net.sched.CyclesExecuted
-	row.CyclesSkipped = net.sched.CyclesSkipped
-	row.KernelTicks = net.sched.KernelTicks
+	row.Cycles = res.Cycles
+	row.CyclesExecuted = res.Stats.Sched.CyclesExecuted
+	row.CyclesSkipped = res.Stats.Sched.CyclesSkipped
+	row.KernelTicks = res.Stats.Sched.KernelTicks
 	row.WallMs = float64(wall.Nanoseconds()) / 1e6
-	if net.cycles > 0 {
-		row.NsPerCycle = float64(wall.Nanoseconds()) / float64(net.cycles)
+	if res.Cycles > 0 {
+		row.NsPerCycle = float64(wall.Nanoseconds()) / float64(res.Cycles)
 	}
 	return row, nil
 }
@@ -134,7 +107,7 @@ func scaling(opts Options) (*Report, error) {
 	}
 	for _, w := range workloads {
 		for _, ranks := range rankSet {
-			if _, ok := scalingGrids[ranks]; !ok {
+			if !scalingRanks[ranks] {
 				return nil, fmt.Errorf("scaling: unsupported rank count %d (have 8, 16, 32, 64)", ranks)
 			}
 			dense, err := scalingRun(w, ranks, sim.SchedDense)

@@ -1,0 +1,148 @@
+package bench
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"time"
+
+	"repro/internal/service"
+)
+
+func init() {
+	register("service", "smid throughput: concurrent identical-topology jobs through the worker pool and route cache", serviceBench)
+}
+
+// waitDone blocks until the job completes (an error state fails the
+// batch).
+func waitDone(job *service.Job, timeout time.Duration) error {
+	deadline := time.Now().Add(timeout)
+	for {
+		_, changed, terminal := job.EventsSince(0)
+		if terminal {
+			st := job.Status()
+			if st.State != service.StateDone {
+				return fmt.Errorf("job %s ended %s: %s", st.ID, st.State, st.Error)
+			}
+			return nil
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("job %s stuck in state %s", job.ID(), job.State())
+		}
+		select {
+		case <-changed:
+		case <-time.After(time.Second):
+		}
+	}
+}
+
+// serviceRow is one (workers, jobs) measurement of the in-process smid
+// service.
+type serviceRow struct {
+	Workers      int     `json:"workers"`
+	Jobs         int     `json:"jobs"`
+	WallMs       float64 `json:"wall_ms"`
+	JobsPerSec   float64 `json:"jobs_per_sec"`
+	CacheHits    uint64  `json:"route_cache_hits"`
+	CacheMisses  uint64  `json:"route_cache_misses"`
+	CacheHitRate float64 `json:"route_cache_hit_rate"`
+}
+
+type serviceJSON struct {
+	Description string       `json:"description"`
+	Workload    string       `json:"workload"`
+	Ranks       int          `json:"ranks"`
+	Rows        []serviceRow `json:"rows"`
+}
+
+// serviceBench drives batches of identical-topology stencil jobs through
+// an in-process smid service at growing worker counts. Every job after
+// the first reuses the cached routing tables, so the hit rate must be
+// (jobs-1)/jobs; throughput quantifies what the worker pool adds over
+// serial execution.
+func serviceBench(opts Options) (*Report, error) {
+	ranks := 16
+	jobs := 16
+	size, steps := 64, 8 // heavy enough that the pool, not setup, dominates
+	workerSet := []int{1, 2, 4}
+	if opts.Quick {
+		jobs = 6
+		size, steps = 0, 0 // workload defaults
+		workerSet = []int{1, 2}
+	}
+
+	r := &Report{
+		ID:     "service",
+		Title:  "smid service throughput: identical-topology jobs sharing one cached routing table",
+		Header: []string{"workers", "jobs", "wall ms", "jobs/s", "cache hits", "hit rate"},
+		Notes: []string{
+			"every batch submits identical stencil jobs; the first computes the routing tables,",
+			"every later job must be a route-cache hit (the batch fails otherwise)",
+		},
+	}
+	doc := serviceJSON{
+		Description: "smibench service: batches of identical stencil jobs through an in-process smid service; route tables are computed once per batch and shared",
+		Workload:    "stencil",
+		Ranks:       ranks,
+	}
+
+	spec := service.JobSpec{Workload: "stencil", Ranks: ranks, Size: size, Steps: steps}
+	for _, workers := range workerSet {
+		svc := service.New(service.Config{
+			Workers: workers, QueueDepth: jobs, ProgressEvery: -1,
+		})
+		start := time.Now()
+		submitted := make([]*service.Job, 0, jobs)
+		for i := 0; i < jobs; i++ {
+			job, err := svc.Submit(spec)
+			if err != nil {
+				return nil, fmt.Errorf("service bench: submit %d: %w", i, err)
+			}
+			submitted = append(submitted, job)
+		}
+		for _, job := range submitted {
+			if err := waitDone(job, 5*time.Minute); err != nil {
+				return nil, fmt.Errorf("service bench: %w", err)
+			}
+		}
+		wall := time.Since(start)
+		ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+		err := svc.Shutdown(ctx)
+		cancel()
+		if err != nil {
+			return nil, fmt.Errorf("service bench: %w", err)
+		}
+		cs := svc.Stats().RouteCache
+		if want := uint64(jobs - 1); cs.Hits != want {
+			return nil, fmt.Errorf("service bench: %d workers: want %d route-cache hits for %d identical jobs, got %d (misses %d)",
+				workers, want, jobs, cs.Hits, cs.Misses)
+		}
+		row := serviceRow{
+			Workers: workers, Jobs: jobs,
+			WallMs:      float64(wall.Nanoseconds()) / 1e6,
+			JobsPerSec:  float64(jobs) / wall.Seconds(),
+			CacheHits:   cs.Hits,
+			CacheMisses: cs.Misses,
+		}
+		row.CacheHitRate = float64(cs.Hits) / float64(cs.Hits+cs.Misses)
+		doc.Rows = append(doc.Rows, row)
+		r.Rows = append(r.Rows, []string{
+			fmt.Sprintf("%d", workers), fmt.Sprintf("%d", jobs),
+			f2(row.WallMs), f2(row.JobsPerSec),
+			fmt.Sprintf("%d", cs.Hits), f2(row.CacheHitRate),
+		})
+		r.metric(fmt.Sprintf("jobs_per_sec_%dw", workers), row.JobsPerSec)
+	}
+	if len(doc.Rows) >= 2 {
+		first, last := doc.Rows[0], doc.Rows[len(doc.Rows)-1]
+		if first.JobsPerSec > 0 {
+			r.metric("pool_speedup", last.JobsPerSec/first.JobsPerSec)
+		}
+	}
+	js, err := json.MarshalIndent(&doc, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	r.JSON = append(js, '\n')
+	return r, nil
+}

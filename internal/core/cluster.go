@@ -25,6 +25,13 @@ type Config struct {
 	// RoutingPolicy selects the route generator algorithm (default
 	// ShortestPath; use routing.UpDown for provable deadlock freedom).
 	RoutingPolicy routing.Policy
+	// Routes, if non-nil, supplies precomputed routing tables instead of
+	// running the route generator — the warm-cache hook the smid service
+	// uses to reuse one verified table across identical-topology jobs.
+	// The tables must match the topology's device and interface counts
+	// and the configured RoutingPolicy; the cluster clones them, so the
+	// caller's copy is never mutated by failover re-routing.
+	Routes *routing.Routes
 	// Transport tunes the CKS/CKR kernels (polling factor R, FIFO depth).
 	Transport transport.Config
 	// LinkLatency is the one-way serial link latency in cycles
@@ -67,6 +74,12 @@ type Config struct {
 	// reference dense scan. Both produce bit-identical runs; dense is
 	// kept for parity testing and as a benchmark baseline.
 	Scheduler sim.SchedulerKind
+	// Progress, if non-nil, is called between cycles whenever the clock
+	// crosses a multiple of ProgressEvery cycles (default 1_000_000 when
+	// a callback is set). Purely observational: it never changes cycle
+	// counts, so instrumented and bare runs stay bit-identical.
+	Progress      func(cycle int64)
+	ProgressEvery int64
 }
 
 // Cluster is a multi-FPGA system ready to execute rank programs.
@@ -142,13 +155,32 @@ func NewCluster(cfg Config) (*Cluster, error) {
 			return nil, err
 		}
 	}
+	if cfg.LinkLatency < 0 {
+		return nil, fmt.Errorf("smi: negative link latency %d", cfg.LinkLatency)
+	}
 	if cfg.RepairCycles <= 0 {
 		cfg.RepairCycles = 400
 	}
 
-	routes, err := routing.Compute(cfg.Topology, cfg.RoutingPolicy)
-	if err != nil {
-		return nil, err
+	var routes *routing.Routes
+	if cfg.Routes != nil {
+		if cfg.Routes.Devices != cfg.Topology.Devices || cfg.Routes.Ifaces != cfg.Topology.Ifaces {
+			return nil, fmt.Errorf("smi: precomputed routes are for %d devices/%d ifaces, topology has %d/%d",
+				cfg.Routes.Devices, cfg.Routes.Ifaces, cfg.Topology.Devices, cfg.Topology.Ifaces)
+		}
+		if cfg.Routes.Policy != cfg.RoutingPolicy {
+			return nil, fmt.Errorf("smi: precomputed routes use policy %v, config asks for %v",
+				cfg.Routes.Policy, cfg.RoutingPolicy)
+		}
+		// Failover overwrites the tables in place; never mutate the
+		// caller's (possibly cached and shared) copy.
+		routes = cfg.Routes.Clone()
+	} else {
+		var err error
+		routes, err = routing.Compute(cfg.Topology, cfg.RoutingPolicy)
+		if err != nil {
+			return nil, err
+		}
 	}
 
 	eng := sim.NewEngine()
@@ -156,6 +188,13 @@ func NewCluster(cfg Config) (*Cluster, error) {
 	eng.SetMaxCycles(cfg.MaxCycles)
 	if cfg.Trace != nil {
 		eng.SetTrace(cfg.Trace)
+	}
+	if cfg.Progress != nil {
+		every := cfg.ProgressEvery
+		if every <= 0 {
+			every = 1_000_000
+		}
+		eng.SetProgress(every, cfg.Progress)
 	}
 	var tracer *vistrace.Tracer
 	if cfg.ChromeTrace != nil {
@@ -340,44 +379,46 @@ func (c *Cluster) SPMD(name string, body func(*Ctx)) error {
 	return nil
 }
 
-// Stats summarizes one cluster execution.
+// Stats summarizes one cluster execution. The JSON form is the stats
+// schema shared by the smid service (job results) and smibench -json
+// (bench results), so the two are directly diffable.
 type Stats struct {
 	// Cycles is the completion cycle of the slowest rank program.
-	Cycles int64
+	Cycles int64 `json:"cycles"`
 	// Micros is Cycles converted to simulated microseconds.
-	Micros float64
+	Micros float64 `json:"micros"`
 	// PacketsDelivered is the total count of packets moved across all
 	// inter-FPGA links.
-	PacketsDelivered uint64
+	PacketsDelivered uint64 `json:"packets_delivered"`
 	// PacketsDropped counts undeliverable packets (normally 0).
-	PacketsDropped uint64
+	PacketsDropped uint64 `json:"packets_dropped"`
 	// LinkStalls counts cycles link heads spent blocked on full receiver
 	// FIFOs (backpressure).
-	LinkStalls uint64
+	LinkStalls uint64 `json:"link_stalls"`
 	// Retransmits counts data frames the reliable link layer sent more
 	// than once (always 0 in fault-free runs).
-	Retransmits uint64
+	Retransmits uint64 `json:"retransmits"`
 	// CrcErrors counts frames receivers discarded as corrupt.
-	CrcErrors uint64
+	CrcErrors uint64 `json:"crc_errors"`
 	// FaultsInjected aggregates what the fault injector actually did.
-	FaultsInjected fault.Counters
+	FaultsInjected fault.Counters `json:"faults_injected"`
 	// Failovers counts permanent-link-death repairs performed.
-	Failovers int
+	Failovers int `json:"failovers"`
 	// FailoverCycles is the total cycles between death detection and
 	// traffic resume, across all failovers.
-	FailoverCycles int64
+	FailoverCycles int64 `json:"failover_cycles"`
 	// RescuedPackets counts packets the failover controller re-injected
 	// on regenerated routes.
-	RescuedPackets uint64
+	RescuedPackets uint64 `json:"rescued_packets"`
 	// ClusterFailed reports that the fault manager declared the cluster
 	// unrepairable. A run can still complete cleanly in this state if
 	// every rank program recovers from the ClusterFailed channel errors
 	// and returns.
-	ClusterFailed bool
+	ClusterFailed bool `json:"cluster_failed"`
 	// Sched reports how the engine spent the run: which scheduler ran,
 	// how many cycles were executed versus skipped by fast-forward, and
 	// the kernel-tick / proc-step / FIFO-commit work totals.
-	Sched sim.SchedStats
+	Sched sim.SchedStats `json:"sched"`
 }
 
 // LinkStats describes the traffic one directed link carried during a

@@ -79,9 +79,9 @@ func (inj *Injector) Timeline() []TimedFault {
 
 // Counters aggregates injected-fault statistics across all links.
 type Counters struct {
-	Dropped   uint64 // packets silently discarded on the wire
-	Corrupted uint64 // packets with a flipped bit
-	FlapLost  uint64 // packets lost to a down (flapped or killed) link
+	Dropped   uint64 `json:"dropped"`   // packets silently discarded on the wire
+	Corrupted uint64 `json:"corrupted"` // packets with a flipped bit
+	FlapLost  uint64 `json:"flap_lost"` // packets lost to a down (flapped or killed) link
 }
 
 // Counters sums the per-link fault counters (deterministic order).

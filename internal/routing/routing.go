@@ -25,6 +25,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"strings"
 
 	"repro/internal/topology"
 )
@@ -253,6 +254,51 @@ func (r *Routes) computeUpDown() {
 
 // At returns the exit interface at device dev for destination dst.
 func (r *Routes) At(dev, dst int) int { return r.Next[dev][dst] }
+
+// Key returns a canonical identifier of the routing problem: the exact
+// wiring of the topology plus the policy. Two topologies with identical
+// device/interface counts and identical connection lists (in order)
+// produce the same key; any difference in wiring or policy produces a
+// different key. The key is an exact description, not a hash, so
+// distinct problems can never collide — which is what makes it safe as
+// a cache key for computed routing tables (internal/service reuses
+// verified tables across jobs keyed by this string).
+func Key(t *topology.Topology, p Policy) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "v1;policy=%d;devices=%d;ifaces=%d;", p, t.Devices, t.Ifaces)
+	for _, c := range t.Connections {
+		fmt.Fprintf(&b, "%d:%d-%d:%d;", c.A.Device, c.A.Iface, c.B.Device, c.B.Iface)
+	}
+	return b.String()
+}
+
+// Clone returns a deep copy of the route set. Clusters mutate their
+// Routes in place during failover (CopyFrom), so any cached or shared
+// tables must be cloned before being handed to a cluster.
+func (r *Routes) Clone() *Routes {
+	out := &Routes{}
+	out.CopyFrom(r)
+	return out
+}
+
+// Equal reports whether two route sets carry bit-identical forwarding
+// tables under the same policy and dimensions.
+func (r *Routes) Equal(o *Routes) bool {
+	if r.Policy != o.Policy || r.Devices != o.Devices || r.Ifaces != o.Ifaces || len(r.Next) != len(o.Next) {
+		return false
+	}
+	for d := range r.Next {
+		if len(r.Next[d]) != len(o.Next[d]) {
+			return false
+		}
+		for dst := range r.Next[d] {
+			if r.Next[d][dst] != o.Next[d][dst] {
+				return false
+			}
+		}
+	}
+	return true
+}
 
 // CopyFrom overwrites this route set in place with o's tables, policy,
 // and topology. The transport layer holds a pointer to its Routes, so an

@@ -1,0 +1,158 @@
+package service
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/routing"
+	"repro/internal/topology"
+)
+
+func mustTorus(t *testing.T, rows, cols int) *topology.Topology {
+	t.Helper()
+	topo, err := topology.Torus2D(rows, cols)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return topo
+}
+
+func TestCacheHitReturnsIdenticalRoutes(t *testing.T) {
+	c := NewRouteCache(4)
+	topo := mustTorus(t, 4, 4)
+
+	first, hit, err := c.Get(topo, routing.ShortestPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hit {
+		t.Fatal("first Get reported a cache hit")
+	}
+	// An identically-specified topology (fresh object, same wiring) must
+	// hit and return bit-identical tables.
+	again, hit, err := c.Get(mustTorus(t, 4, 4), routing.ShortestPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !hit {
+		t.Fatal("identical topology missed the cache")
+	}
+	if again != first {
+		t.Fatal("cache hit returned a different Routes object than it stored")
+	}
+	fresh, err := routing.Compute(topo, routing.ShortestPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !again.Equal(fresh) {
+		t.Fatal("cached routes differ from freshly computed routes")
+	}
+	st := c.Stats()
+	if st.Hits != 1 || st.Misses != 1 || st.Entries != 1 {
+		t.Fatalf("stats = %+v, want 1 hit, 1 miss, 1 entry", st)
+	}
+}
+
+func TestCacheDistinctTopologiesNeverCollide(t *testing.T) {
+	c := NewRouteCache(16)
+	shapes := []*topology.Topology{}
+	build := func(topo *topology.Topology, err error) {
+		t.Helper()
+		if err != nil {
+			t.Fatal(err)
+		}
+		shapes = append(shapes, topo)
+	}
+	build(topology.Torus2D(2, 4))
+	build(topology.Torus2D(4, 2)) // same device count, different wiring
+	build(topology.Ring(8))
+	build(topology.Bus(8))
+	build(topology.Star(8))
+	build(topology.Hypercube(3))
+
+	keys := map[string]bool{}
+	for _, topo := range shapes {
+		key := routing.Key(topo, routing.ShortestPath)
+		if keys[key] {
+			t.Fatalf("key collision: %q", key)
+		}
+		keys[key] = true
+		if _, hit, err := c.Get(topo, routing.ShortestPath); err != nil {
+			t.Fatal(err)
+		} else if hit {
+			t.Fatalf("distinct topology reported a cache hit (key %q)", key)
+		}
+	}
+	// Same wiring under a different policy is a different entry too.
+	if keys[routing.Key(shapes[0], routing.UpDown)] {
+		t.Fatal("policy not part of the cache key")
+	}
+	if st := c.Stats(); st.Entries != len(shapes) {
+		t.Fatalf("entries = %d, want %d", st.Entries, len(shapes))
+	}
+}
+
+func TestCacheUpDownRoutesStayDeadlockFree(t *testing.T) {
+	c := NewRouteCache(4)
+	topo := mustTorus(t, 4, 4)
+	r, _, err := c.Get(topo, routing.UpDown)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := routing.VerifyDeadlockFree(r); err != nil {
+		t.Fatalf("cached up*/down* routes: %v", err)
+	}
+	cached, hit, err := c.Get(topo, routing.UpDown)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !hit {
+		t.Fatal("second up*/down* lookup missed")
+	}
+	if err := routing.VerifyDeadlockFree(cached); err != nil {
+		t.Fatalf("cache-hit up*/down* routes: %v", err)
+	}
+}
+
+func TestCacheLRUEviction(t *testing.T) {
+	c := NewRouteCache(2)
+	a, b, d := mustTorus(t, 2, 2), mustTorus(t, 2, 3), mustTorus(t, 2, 4)
+	c.Get(a, routing.ShortestPath)
+	c.Get(b, routing.ShortestPath)
+	c.Get(a, routing.ShortestPath) // touch a: b becomes LRU
+	c.Get(d, routing.ShortestPath) // evicts b
+	if _, hit, _ := c.Get(a, routing.ShortestPath); !hit {
+		t.Fatal("recently used entry was evicted")
+	}
+	if _, hit, _ := c.Get(b, routing.ShortestPath); hit {
+		t.Fatal("LRU entry survived past capacity")
+	}
+	if st := c.Stats(); st.Entries != 2 {
+		t.Fatalf("entries = %d, want capacity 2", st.Entries)
+	}
+}
+
+func TestCacheConcurrentIdenticalLookups(t *testing.T) {
+	c := NewRouteCache(4)
+	const n = 8
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			topo, err := topology.Torus2D(4, 4)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			if _, _, err := c.Get(topo, routing.ShortestPath); err != nil {
+				t.Error(err)
+			}
+		}()
+	}
+	wg.Wait()
+	st := c.Stats()
+	if st.Misses != 1 || st.Hits != n-1 {
+		t.Fatalf("concurrent identical lookups: %d misses, %d hits; want 1 miss, %d hits", st.Misses, st.Hits, n-1)
+	}
+}

@@ -1,0 +1,81 @@
+package service
+
+import (
+	"errors"
+	"fmt"
+	"net/http"
+)
+
+// ErrorKind classifies service errors so callers (and the HTTP layer)
+// can react without string matching — the service-level mirror of the
+// smi.ChannelError surface.
+type ErrorKind uint8
+
+const (
+	// InvalidSpec rejects a malformed or unsatisfiable JobSpec.
+	InvalidSpec ErrorKind = iota
+	// Overloaded rejects a submission because the admission queue is
+	// full — the typed 429 backpressure signal; the server never buffers
+	// unboundedly.
+	Overloaded
+	// NotFound reports an unknown job ID.
+	NotFound
+	// ShuttingDown rejects work arriving after shutdown began.
+	ShuttingDown
+	// Conflict rejects an operation illegal in the job's current state
+	// (e.g. replaying a job that has not completed).
+	Conflict
+)
+
+func (k ErrorKind) String() string {
+	switch k {
+	case InvalidSpec:
+		return "invalid-spec"
+	case Overloaded:
+		return "overloaded"
+	case NotFound:
+		return "not-found"
+	case ShuttingDown:
+		return "shutting-down"
+	case Conflict:
+		return "conflict"
+	default:
+		return fmt.Sprintf("ErrorKind(%d)", uint8(k))
+	}
+}
+
+// Error is a typed service error.
+type Error struct {
+	Kind ErrorKind
+	Msg  string
+}
+
+func (e *Error) Error() string { return fmt.Sprintf("service: %s: %s", e.Kind, e.Msg) }
+
+// HTTPStatus maps the error kind to its transport status code.
+func (e *Error) HTTPStatus() int {
+	switch e.Kind {
+	case InvalidSpec:
+		return http.StatusBadRequest
+	case Overloaded:
+		return http.StatusTooManyRequests
+	case NotFound:
+		return http.StatusNotFound
+	case ShuttingDown:
+		return http.StatusServiceUnavailable
+	case Conflict:
+		return http.StatusConflict
+	default:
+		return http.StatusInternalServerError
+	}
+}
+
+func errf(kind ErrorKind, format string, args ...any) *Error {
+	return &Error{Kind: kind, Msg: fmt.Sprintf(format, args...)}
+}
+
+// IsKind reports whether err is a service error of the given kind.
+func IsKind(err error, kind ErrorKind) bool {
+	var se *Error
+	return errors.As(err, &se) && se.Kind == kind
+}

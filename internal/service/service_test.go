@@ -1,0 +1,255 @@
+package service
+
+import (
+	"context"
+	"reflect"
+	"testing"
+	"time"
+
+	"repro/internal/fault"
+	"repro/internal/topology"
+)
+
+// waitTerminal blocks until the job reaches a terminal state.
+func waitTerminal(t *testing.T, j *Job) JobStatus {
+	t.Helper()
+	deadline := time.Now().Add(60 * time.Second)
+	for {
+		_, changed, terminal := j.EventsSince(0)
+		if terminal {
+			return j.Status()
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job %s stuck in state %s", j.ID(), j.State())
+		}
+		select {
+		case <-changed:
+		case <-time.After(time.Second):
+		}
+	}
+}
+
+func mustDone(t *testing.T, j *Job) JobStatus {
+	t.Helper()
+	st := waitTerminal(t, j)
+	if st.State != StateDone {
+		t.Fatalf("job %s ended %s: %s", st.ID, st.State, st.Error)
+	}
+	return st
+}
+
+func newTestService(t *testing.T, cfg Config) *Service {
+	t.Helper()
+	svc := New(cfg)
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+		defer cancel()
+		svc.Shutdown(ctx)
+	})
+	return svc
+}
+
+func TestSubmitRunsJob(t *testing.T) {
+	svc := newTestService(t, Config{Workers: 2})
+	job, err := svc.Submit(JobSpec{Workload: "bcast", Ranks: 4, Size: 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := mustDone(t, job)
+	if st.Result == nil || st.Result.Cycles <= 0 {
+		t.Fatalf("done job has no result: %+v", st)
+	}
+	if st.Result.OutputDigest == "" {
+		t.Fatal("done job has no output digest")
+	}
+	if st.Started == nil || st.Finished == nil {
+		t.Fatal("done job missing timestamps")
+	}
+}
+
+func TestInvalidSpecsRejectedAtSubmit(t *testing.T) {
+	svc := newTestService(t, Config{Workers: 1})
+	cases := []JobSpec{
+		{Workload: "nope", Ranks: 4},
+		{Workload: "bcast", Ranks: 1},
+		{Workload: "bcast", Ranks: -3},
+		{Workload: "bcast", Ranks: 4, RoutingPolicy: "bogus"},
+		{Workload: "bcast", Ranks: 4, Scheduler: "bogus"},
+		{Workload: "bcast", Ranks: 4, Size: -1},
+		{Workload: "bcast", Ranks: 9, Topology: &topology.Spec{Kind: "torus", Rows: 2, Cols: 2}},
+		{Workload: "bcast", Ranks: 4, Faults: &fault.Spec{DropProb: 2}},
+		{Workload: "summa", Ranks: 4, Faults: &fault.Spec{DropProb: 0.5}},
+	}
+	for i, spec := range cases {
+		if _, err := svc.Submit(spec); !IsKind(err, InvalidSpec) {
+			t.Errorf("case %d (%+v): err = %v, want InvalidSpec", i, spec, err)
+		}
+	}
+	if got := svc.Stats().Jobs; len(got) != 0 {
+		t.Fatalf("rejected submissions leaked jobs: %v", got)
+	}
+}
+
+func TestConcurrentIdenticalJobsShareRoutes(t *testing.T) {
+	svc := newTestService(t, Config{Workers: 2})
+	spec := JobSpec{Workload: "stencil", Ranks: 16}
+	a, err := svc.Submit(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := svc.Submit(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stA, stB := mustDone(t, a), mustDone(t, b)
+	cs := svc.Stats().RouteCache
+	if cs.Misses != 1 || cs.Hits != 1 {
+		t.Fatalf("route cache: %d misses, %d hits; want exactly 1 and 1", cs.Misses, cs.Hits)
+	}
+	if !stA.CacheHit && !stB.CacheHit {
+		t.Fatal("neither job observed the cache hit")
+	}
+	if stA.Result.OutputDigest != stB.Result.OutputDigest {
+		t.Fatalf("identical jobs diverged: %s vs %s", stA.Result.OutputDigest, stB.Result.OutputDigest)
+	}
+	if !reflect.DeepEqual(stA.Result.Stats, stB.Result.Stats) {
+		t.Fatal("identical jobs produced different stats")
+	}
+}
+
+// TestReplayDeterminism is the headline replay guarantee: a faulty run
+// replayed from its stored spec reproduces cycles, stats, and output
+// digest bit for bit, and the service's own verification agrees.
+func TestReplayDeterminism(t *testing.T) {
+	svc := newTestService(t, Config{Workers: 2})
+	spec := JobSpec{
+		Workload: "bcast", Ranks: 8, Size: 512,
+		Faults: &fault.Spec{
+			Seed:     42,
+			DropProb: 0.01,
+			Events:   []fault.Event{{Kind: fault.Drop, At: 100}},
+		},
+	}
+	orig, err := svc.Submit(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	origSt := mustDone(t, orig)
+	if origSt.Result.Stats.FaultsInjected.Dropped == 0 && origSt.Result.Stats.Retransmits == 0 {
+		t.Fatalf("fault spec had no observable effect: %+v", origSt.Result.Stats)
+	}
+
+	replay, err := svc.Replay(orig.ID())
+	if err != nil {
+		t.Fatal(err)
+	}
+	repSt := mustDone(t, replay)
+	if repSt.ReplayOf != orig.ID() {
+		t.Fatalf("replay_of = %q, want %q", repSt.ReplayOf, orig.ID())
+	}
+	if !reflect.DeepEqual(*origSt.Result, *repSt.Result) {
+		t.Fatalf("replay diverged:\n orig: %+v\n replay: %+v", *origSt.Result, *repSt.Result)
+	}
+	if repSt.ReplayMatch == nil || !*repSt.ReplayMatch {
+		t.Fatalf("service did not verify the replay as bit-identical: %+v", repSt.ReplayMatch)
+	}
+	events, _, _ := replay.EventsSince(0)
+	verified := false
+	for _, ev := range events {
+		if ev.Kind == "replay-verified" {
+			verified = true
+		}
+	}
+	if !verified {
+		t.Fatalf("no replay-verified event in %v", events)
+	}
+}
+
+func TestReplayErrors(t *testing.T) {
+	svc := newTestService(t, Config{Workers: 1})
+	if _, err := svc.Replay("j9999"); !IsKind(err, NotFound) {
+		t.Fatalf("replay of unknown job: %v, want NotFound", err)
+	}
+}
+
+// TestOverloadAndShutdown drives admission control and the drain path:
+// with one worker pinned on a long job and the depth-1 queue holding a
+// second, a third submission must be rejected with Overloaded; shutdown
+// then cancels the queued job, drains the running one, and rejects new
+// work with ShuttingDown.
+func TestOverloadAndShutdown(t *testing.T) {
+	svc := New(Config{Workers: 1, QueueDepth: 1})
+	long := JobSpec{Workload: "pingpong", Ranks: 4, Size: 20000}
+	running, err := svc.Submit(long)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Give the single worker a moment to take the first job off the
+	// queue so the next submission occupies the only queue slot.
+	waitRunning(t, running)
+	queued, err := svc.Submit(long)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := svc.Submit(long); !IsKind(err, Overloaded) {
+		t.Fatalf("third submission: %v, want Overloaded", err)
+	}
+	if st := svc.Stats(); st.QueueDepth != 1 || st.QueueCapacity != 1 {
+		t.Fatalf("queue stats = %d/%d, want 1/1", st.QueueDepth, st.QueueCapacity)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	if err := svc.Shutdown(ctx); err != nil {
+		t.Fatalf("shutdown: %v", err)
+	}
+	if st := waitTerminal(t, running); st.State != StateDone {
+		t.Fatalf("running job after drain: %s (%s), want done", st.State, st.Error)
+	}
+	if st := queued.Status(); st.State != StateCanceled || st.ErrorKind != ShuttingDown.String() {
+		t.Fatalf("queued job after drain: %+v, want canceled/shutting-down", st)
+	}
+	if _, err := svc.Submit(long); !IsKind(err, ShuttingDown) {
+		t.Fatalf("submit after shutdown: %v, want ShuttingDown", err)
+	}
+	if _, err := svc.Replay(queued.ID()); !IsKind(err, Conflict) {
+		t.Fatalf("replay of canceled job: %v, want Conflict", err)
+	}
+	// Idempotent.
+	if err := svc.Shutdown(ctx); err != nil {
+		t.Fatalf("second shutdown: %v", err)
+	}
+}
+
+func waitRunning(t *testing.T, j *Job) {
+	t.Helper()
+	deadline := time.Now().Add(30 * time.Second)
+	for j.State() == StateQueued {
+		if time.Now().After(deadline) {
+			t.Fatalf("job %s never started", j.ID())
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+func TestJobFailureIsIsolated(t *testing.T) {
+	svc := newTestService(t, Config{Workers: 1})
+	// A fault schedule that kills a bus link partitions the topology;
+	// the run fails, the service does not.
+	bad, err := svc.Submit(JobSpec{
+		Workload: "bandwidth", Ranks: 2, Size: 4096,
+		Topology: &topology.Spec{Kind: "bus", Devices: 2},
+		Faults:   &fault.Spec{Events: []fault.Event{{Kind: fault.Kill, At: 10}}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := waitTerminal(t, bad); st.State != StateFailed {
+		t.Fatalf("partitioned run ended %s, want failed", st.State)
+	}
+	good, err := svc.Submit(JobSpec{Workload: "bcast", Ranks: 4, Size: 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustDone(t, good)
+}

@@ -1,0 +1,134 @@
+package service
+
+import (
+	"fmt"
+
+	"repro/internal/fault"
+	"repro/internal/routing"
+	"repro/internal/sim"
+	"repro/internal/topology"
+	"repro/internal/workload"
+)
+
+// JobSpec is the JSON document a client submits to run one simulation
+// job. It is the complete, self-contained description of the run: the
+// stored spec alone is enough to re-execute the job bit-identically,
+// which is what the replay endpoint does.
+type JobSpec struct {
+	// Workload names a registered workload (GET /v1/workloads lists
+	// them).
+	Workload string `json:"workload"`
+	// Ranks is the number of participating devices.
+	Ranks int `json:"ranks"`
+	// Size and Steps are the workload's problem-size knobs (0 picks the
+	// workload default).
+	Size  int `json:"size,omitempty"`
+	Steps int `json:"steps,omitempty"`
+	// Verify enables output verification where supported.
+	Verify bool `json:"verify,omitempty"`
+	// Seed overrides the fault spec's seed when nonzero, so one stored
+	// fault schedule can be replayed under different noise streams.
+	Seed int64 `json:"seed,omitempty"`
+	// Topology describes the wiring declaratively; nil picks the
+	// workload's default wiring for Ranks devices.
+	Topology *topology.Spec `json:"topology,omitempty"`
+	// RoutingPolicy is "shortest-path" (default) or "updown".
+	RoutingPolicy string `json:"routing_policy,omitempty"`
+	// Scheduler is "event" (default) or "dense".
+	Scheduler string `json:"scheduler,omitempty"`
+	// Faults attaches a deterministic fault-injection schedule.
+	Faults *fault.Spec `json:"faults,omitempty"`
+	// MaxCycles bounds the simulation (0 = workload default).
+	MaxCycles int64 `json:"max_cycles,omitempty"`
+}
+
+// parsePolicy maps the wire name to a routing policy.
+func parsePolicy(s string) (routing.Policy, error) {
+	switch s {
+	case "", "shortest", "shortest-path":
+		return routing.ShortestPath, nil
+	case "updown", "up-down", "up*/down*":
+		return routing.UpDown, nil
+	default:
+		return 0, fmt.Errorf("unknown routing policy %q (have shortest-path, updown)", s)
+	}
+}
+
+// parseScheduler maps the wire name to a scheduler kind.
+func parseScheduler(s string) (sim.SchedulerKind, error) {
+	switch s {
+	case "", "event":
+		return sim.SchedEvent, nil
+	case "dense":
+		return sim.SchedDense, nil
+	default:
+		return 0, fmt.Errorf("unknown scheduler %q (have event, dense)", s)
+	}
+}
+
+// resolved is a JobSpec with every declarative field constructed: the
+// worker's run plan. Resolution is deterministic, so resolving the same
+// spec twice (submit and replay) yields identical plans.
+type resolved struct {
+	workload workload.Workload
+	topo     *topology.Topology
+	policy   routing.Policy
+	sched    sim.SchedulerKind
+	faults   *fault.Spec
+}
+
+// resolve validates the spec and constructs the run plan. Every failure
+// is an InvalidSpec service error: a malformed submission fails the
+// request, it never reaches (or kills) a worker.
+func (s *JobSpec) resolve() (resolved, error) {
+	var r resolved
+	w, err := workload.Get(s.Workload)
+	if err != nil {
+		return r, errf(InvalidSpec, "%v", err)
+	}
+	r.workload = w
+	if s.Ranks < w.MinRanks {
+		return r, errf(InvalidSpec, "workload %s needs at least %d ranks, got %d", w.Name, w.MinRanks, s.Ranks)
+	}
+	if s.Size < 0 || s.Steps < 0 || s.MaxCycles < 0 {
+		return r, errf(InvalidSpec, "negative size, steps, or max_cycles")
+	}
+	if r.policy, err = parsePolicy(s.RoutingPolicy); err != nil {
+		return r, errf(InvalidSpec, "%v", err)
+	}
+	if r.sched, err = parseScheduler(s.Scheduler); err != nil {
+		return r, errf(InvalidSpec, "%v", err)
+	}
+	if s.Topology != nil {
+		if r.topo, err = s.Topology.Build(); err != nil {
+			return r, errf(InvalidSpec, "%v", err)
+		}
+		if r.topo.Devices < s.Ranks {
+			return r, errf(InvalidSpec, "topology has %d devices, job needs %d ranks", r.topo.Devices, s.Ranks)
+		}
+		if !r.topo.Connected() {
+			return r, errf(InvalidSpec, "topology is not connected")
+		}
+	} else if s.Ranks >= 2 {
+		if r.topo, err = workload.DefaultTopology(s.Ranks); err != nil {
+			return r, errf(InvalidSpec, "%v", err)
+		}
+	}
+	if s.Faults != nil {
+		if !r.workload.SupportsFaults && !s.Faults.Zero() {
+			return r, errf(InvalidSpec, "workload %s does not support fault injection", w.Name)
+		}
+		if err := s.Faults.Validate(); err != nil {
+			return r, errf(InvalidSpec, "%v", err)
+		}
+		// Copy before overriding the seed: the stored spec must stay
+		// exactly what the client submitted.
+		f := *s.Faults
+		if s.Seed != 0 {
+			f.Seed = s.Seed
+		}
+		f.Events = append([]fault.Event(nil), s.Faults.Events...)
+		r.faults = &f
+	}
+	return r, nil
+}

@@ -91,6 +91,11 @@ type Engine struct {
 	procSteps   int64
 	kernelTicks int64
 	fifoCommits int64
+
+	// progress observer (see SetProgress)
+	progressEvery int64
+	progressFn    func(now int64)
+	nextProgress  int64
 }
 
 // Recorder receives activity intervals for offline visualization (see
@@ -128,6 +133,31 @@ func (e *Engine) SetTrace(w io.Writer) { e.trace = w }
 // SetRecorder attaches an activity recorder (see Recorder). Recording
 // costs a scan over procs and kernels per simulated cycle.
 func (e *Engine) SetRecorder(r Recorder) { e.recorder = r }
+
+// SetProgress installs a progress observer: fn is called at most once
+// per executed cycle, whenever the clock reaches or crosses a multiple
+// of `every` cycles (fast-forwarded spans fire at the first executed
+// cycle past the boundary). The callback is purely observational — it
+// runs between cycles and must not touch simulation state — so it never
+// perturbs cycle counts under either scheduler.
+func (e *Engine) SetProgress(every int64, fn func(now int64)) {
+	if every <= 0 || fn == nil {
+		e.progressEvery, e.progressFn = 0, nil
+		return
+	}
+	e.progressEvery, e.progressFn = every, fn
+	e.nextProgress = every
+}
+
+// maybeProgress fires the progress observer if the clock has reached
+// the next reporting boundary.
+func (e *Engine) maybeProgress() {
+	if e.progressFn == nil || e.now < e.nextProgress {
+		return
+	}
+	e.progressFn(e.now)
+	e.nextProgress = e.now - e.now%e.progressEvery + e.progressEvery
+}
 
 // stateName maps a proc status to its recorder label.
 func stateName(s procStatus) string {
@@ -255,6 +285,7 @@ func (e *Engine) runDense() error {
 			e.stopProcs()
 			return maxCyclesErr(e.maxCycles)
 		}
+		e.maybeProgress()
 		e.executed++
 		active := false
 

@@ -58,15 +58,17 @@ type IdleUntiler interface {
 	IdleUntil(now int64) int64
 }
 
-// SchedStats summarizes scheduler effort for benchmarking.
+// SchedStats summarizes scheduler effort for benchmarking. The JSON
+// form is part of the stats schema smid serves and smibench -json
+// emits.
 type SchedStats struct {
-	Scheduler      string // "dense" or "event"
-	Cycles         int64  // final simulated cycle count
-	CyclesExecuted int64  // cycles the engine actually iterated
-	CyclesSkipped  int64  // cycles fast-forwarded over
-	ProcSteps      int64  // proc resumptions
-	KernelTicks    int64  // Kernel.Tick invocations
-	FifoCommits    int64  // commit calls that published writes
+	Scheduler      string `json:"scheduler"`       // "dense" or "event"
+	Cycles         int64  `json:"cycles"`          // final simulated cycle count
+	CyclesExecuted int64  `json:"cycles_executed"` // cycles the engine actually iterated
+	CyclesSkipped  int64  `json:"cycles_skipped"`  // cycles fast-forwarded over
+	ProcSteps      int64  `json:"proc_steps"`      // proc resumptions
+	KernelTicks    int64  `json:"kernel_ticks"`    // Kernel.Tick invocations
+	FifoCommits    int64  `json:"fifo_commits"`    // commit calls that published writes
 }
 
 // engine phases, used to time same-cycle kernel wakes the way the dense
@@ -347,6 +349,7 @@ func (e *Engine) runEvent() error {
 			e.stopProcs()
 			return maxCyclesErr(e.maxCycles)
 		}
+		e.maybeProgress()
 		e.executed++
 		active := false
 

@@ -1,0 +1,58 @@
+package topology
+
+import "fmt"
+
+// Spec is a declarative description of a topology, the JSON-friendly
+// form a job submission names instead of carrying an explicit wiring
+// list. Build resolves it through the same builders the command-line
+// tools use, so a spec-built topology is identical to a hand-built one.
+type Spec struct {
+	// Kind selects the builder: "torus", "bus", "ring", "star", "full",
+	// or "hypercube".
+	Kind string `json:"kind"`
+	// Rows and Cols size a torus.
+	Rows int `json:"rows,omitempty"`
+	Cols int `json:"cols,omitempty"`
+	// Devices sizes a bus, ring, star, or fully connected mesh.
+	Devices int `json:"devices,omitempty"`
+	// Dim sizes a hypercube (2^dim devices).
+	Dim int `json:"dim,omitempty"`
+}
+
+// Build constructs and validates the described topology.
+func (s Spec) Build() (*Topology, error) {
+	switch s.Kind {
+	case "torus":
+		return Torus2D(s.Rows, s.Cols)
+	case "bus":
+		return Bus(s.Devices)
+	case "ring":
+		return Ring(s.Devices)
+	case "star":
+		return Star(s.Devices)
+	case "full":
+		return FullyConnected(s.Devices)
+	case "hypercube":
+		return Hypercube(s.Dim)
+	default:
+		return nil, fmt.Errorf("topology: unknown kind %q (have torus, bus, ring, star, full, hypercube)", s.Kind)
+	}
+}
+
+// Ranks returns the device count the spec will build, without building
+// it (0 if the spec is malformed).
+func (s Spec) Ranks() int {
+	switch s.Kind {
+	case "torus":
+		return s.Rows * s.Cols
+	case "bus", "ring", "star", "full":
+		return s.Devices
+	case "hypercube":
+		if s.Dim < 1 || s.Dim > 8 {
+			return 0
+		}
+		return 1 << s.Dim
+	default:
+		return 0
+	}
+}

@@ -1,0 +1,143 @@
+package workload
+
+import (
+	"testing"
+
+	"repro/internal/fault"
+	"repro/internal/routing"
+	"repro/internal/topology"
+)
+
+func TestRegistryNames(t *testing.T) {
+	want := []string{"bandwidth", "bcast", "pingpong", "reduce", "stencil", "summa"}
+	got := Names()
+	if len(got) != len(want) {
+		t.Fatalf("Names() = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Names() = %v, want %v", got, want)
+		}
+	}
+	if _, err := Get("nope"); err == nil {
+		t.Fatal("Get(nope) succeeded")
+	}
+}
+
+func TestGrid(t *testing.T) {
+	cases := map[int][2]int{
+		1: {1, 1}, 2: {1, 2}, 4: {2, 2}, 6: {2, 3}, 8: {2, 4},
+		16: {4, 4}, 32: {4, 8}, 64: {8, 8}, 7: {1, 7},
+	}
+	for ranks, want := range cases {
+		rows, cols := Grid(ranks)
+		if rows != want[0] || cols != want[1] {
+			t.Errorf("Grid(%d) = %d×%d, want %d×%d", ranks, rows, cols, want[0], want[1])
+		}
+	}
+}
+
+func TestRunDefaultsAndDeterminism(t *testing.T) {
+	for _, name := range Names() {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			p := Params{Ranks: 4, Verify: true, Size: quickTestSize(name)}
+			a, err := Run(name, p)
+			if err != nil {
+				t.Fatalf("Run(%s): %v", name, err)
+			}
+			if a.Cycles <= 0 {
+				t.Fatalf("Run(%s): cycles = %d", name, a.Cycles)
+			}
+			if a.OutputDigest == "" {
+				t.Fatalf("Run(%s): empty output digest", name)
+			}
+			b, err := Run(name, p)
+			if err != nil {
+				t.Fatalf("Run(%s) again: %v", name, err)
+			}
+			if a.OutputDigest != b.OutputDigest || a.Cycles != b.Cycles {
+				t.Fatalf("Run(%s) not deterministic: (%d, %s) vs (%d, %s)",
+					name, a.Cycles, a.OutputDigest, b.Cycles, b.OutputDigest)
+			}
+		})
+	}
+}
+
+func quickTestSize(name string) int {
+	switch name {
+	case "bandwidth":
+		return 1024
+	case "pingpong":
+		return 8
+	case "bcast", "reduce":
+		return 256
+	case "stencil", "summa":
+		return 8
+	default:
+		return 0
+	}
+}
+
+func TestRunGuards(t *testing.T) {
+	if _, err := Run("bandwidth", Params{Ranks: 1}); err == nil {
+		t.Fatal("bandwidth at 1 rank succeeded, want MinRanks error")
+	}
+	// summa registers SupportsFaults=false: a live fault spec must be
+	// rejected, a zero one tolerated.
+	faulty := &fault.Spec{DropProb: 0.1, Seed: 1}
+	if _, err := Run("summa", Params{Ranks: 2, Size: 8, Faults: faulty}); err == nil {
+		t.Fatal("summa with faults succeeded, want unsupported error")
+	}
+	routes := &routing.Routes{}
+	if _, err := Run("summa", Params{Ranks: 2, Size: 8, Routes: routes}); err == nil {
+		t.Fatal("summa with precomputed routes succeeded, want unsupported error")
+	}
+}
+
+func TestRunWithPrecomputedRoutes(t *testing.T) {
+	topo, err := topology.Torus2D(2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	routes, err := routing.Compute(topo, routing.ShortestPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := Params{Ranks: 4, Size: 512, Topology: topo}
+	plain, err := Run("bcast", base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	withRoutes := base
+	withRoutes.Routes = routes
+	cached, err := Run("bcast", withRoutes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain.OutputDigest != cached.OutputDigest || plain.Cycles != cached.Cycles {
+		t.Fatalf("precomputed routes changed the run: (%d, %s) vs (%d, %s)",
+			plain.Cycles, plain.OutputDigest, cached.Cycles, cached.OutputDigest)
+	}
+}
+
+func TestDefaultTopology(t *testing.T) {
+	if _, err := DefaultTopology(1); err == nil {
+		t.Fatal("DefaultTopology(1) succeeded")
+	}
+	topo, err := DefaultTopology(16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if topo.Devices != 16 {
+		t.Fatalf("DefaultTopology(16).Devices = %d", topo.Devices)
+	}
+	bus, err := DefaultTopology(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bus.Devices != 3 {
+		t.Fatalf("DefaultTopology(3).Devices = %d", bus.Devices)
+	}
+}
