@@ -27,6 +27,7 @@ func main() {
 	jsonOut := flag.Bool("json", false, "write machine-readable JSON to stdout instead of tables (the stats schema matches what smid serves)")
 	ranks := flag.String("ranks", "", "comma-separated rank counts for rank sweeps (e.g. 8,16,32,64)")
 	workload := flag.String("workload", "", "restrict multi-workload experiments to one workload (e.g. stencil, bcast)")
+	shards := flag.Int("shards", 0, "shard count for the sharded-scheduler rows of rank sweeps (0 = experiment default)")
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: smibench [-quick] [-list] <experiment>... | all\n\nexperiments:\n")
 		for _, e := range bench.Experiments() {
@@ -61,7 +62,7 @@ func main() {
 		}
 	}
 
-	opts := bench.Options{Quick: *quick, Workload: *workload}
+	opts := bench.Options{Quick: *quick, Workload: *workload, Shards: *shards}
 	if *ranks != "" {
 		for _, part := range strings.Split(*ranks, ",") {
 			n, err := strconv.Atoi(strings.TrimSpace(part))

@@ -34,8 +34,11 @@ type NetConfig struct {
 	Faults   *fault.Spec
 	Reliable bool
 	// Scheduler selects the simulator's scheduling mode (default
-	// sim.SchedEvent); cycle counts are identical in both modes.
+	// sim.SchedEvent); cycle counts are identical in all modes.
 	Scheduler sim.SchedulerKind
+	// Shards partitions the ranks into engine shards (see
+	// smi.Config.Shards); 0 keeps the single-engine build.
+	Shards int
 	// Routes supplies precomputed routing tables (see smi.Config.Routes).
 	Routes *routing.Routes
 	// Progress/ProgressEvery install a cycle-progress observer (see
@@ -58,6 +61,7 @@ func (cfg NetConfig) cluster(prog smi.ProgramSpec) (*smi.Cluster, error) {
 		Faults:        cfg.Faults,
 		Reliable:      cfg.Reliable,
 		Scheduler:     cfg.Scheduler,
+		Shards:        cfg.Shards,
 		Progress:      cfg.Progress,
 		ProgressEvery: cfg.ProgressEvery,
 	})

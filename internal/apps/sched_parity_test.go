@@ -1,6 +1,7 @@
 package apps
 
 import (
+	"os"
 	"testing"
 
 	"repro/internal/fault"
@@ -9,12 +10,28 @@ import (
 	"repro/internal/topology"
 )
 
-// TestSchedulerParity is the event-scheduler acceptance gate: every
-// workload must finish at the identical cycle under the dense reference
-// scan and the activity-set scheduler, with bit-identical outputs where
-// the workload produces data. The event runs must also actually skip
-// cycles — a scheduler that degenerates to dense would pass the equality
-// checks while delivering none of the speedup.
+// schedVariants is the scheduler matrix every parity workload runs
+// under: the dense reference scan, the activity-set event scheduler, and
+// the sharded conservative-parallel scheduler (4 shards over 8 ranks).
+// All three must be bit-identical in cycle counts and outputs.
+var schedVariants = []struct {
+	name   string
+	kind   sim.SchedulerKind
+	shards int
+}{
+	{"dense", sim.SchedDense, 0},
+	{"event", sim.SchedEvent, 0},
+	{"shard", sim.SchedShard, 4},
+}
+
+// TestSchedulerParity is the scheduler acceptance gate: every workload
+// must finish at the identical cycle under the dense reference scan, the
+// activity-set scheduler, and the sharded parallel scheduler, with
+// bit-identical outputs where the workload produces data. The event runs
+// must also actually skip cycles, and the shard runs must actually run
+// sharded (shards recorded, barriers counted) — schedulers that
+// degenerate to dense would pass the equality checks while delivering
+// none of the speedup.
 func TestSchedulerParity(t *testing.T) {
 	topo, err := topology.Torus2D(2, 4)
 	if err != nil {
@@ -33,87 +50,180 @@ func TestSchedulerParity(t *testing.T) {
 				c.Faults = &fault.Spec{Seed: 11, DropProb: 0.002}
 			}},
 		} {
-			cfg := base
-			variant.mod(&cfg)
-			ev, err := PingPong(cfg, 0, 1, 50)
-			if err != nil {
-				t.Fatalf("%s event: %v", variant.name, err)
+			cycles := make([]int64, len(schedVariants))
+			for i, sv := range schedVariants {
+				cfg := base
+				variant.mod(&cfg)
+				cfg.Scheduler, cfg.Shards = sv.kind, sv.shards
+				res, err := PingPong(cfg, 0, 1, 50)
+				if err != nil {
+					t.Fatalf("%s %s: %v", variant.name, sv.name, err)
+				}
+				cycles[i] = res.Cycles
 			}
-			cfg.Scheduler = sim.SchedDense
-			de, err := PingPong(cfg, 0, 1, 50)
-			if err != nil {
-				t.Fatalf("%s dense: %v", variant.name, err)
-			}
-			if ev.Cycles != de.Cycles {
-				t.Errorf("%s: event finished at cycle %d, dense at %d", variant.name, ev.Cycles, de.Cycles)
+			for i := 1; i < len(cycles); i++ {
+				if cycles[i] != cycles[0] {
+					t.Errorf("%s: %s finished at cycle %d, %s at %d",
+						variant.name, schedVariants[i].name, cycles[i], schedVariants[0].name, cycles[0])
+				}
 			}
 		}
 	})
 
 	t.Run("bandwidth", func(t *testing.T) {
-		ev, err := Bandwidth(base, 0, 5, 20000)
-		if err != nil {
-			t.Fatal(err)
+		results := make([]BandwidthResult, len(schedVariants))
+		for i, sv := range schedVariants {
+			cfg := base
+			cfg.Scheduler, cfg.Shards = sv.kind, sv.shards
+			res, err := Bandwidth(cfg, 0, 5, 20000)
+			if err != nil {
+				t.Fatalf("%s: %v", sv.name, err)
+			}
+			results[i] = res
 		}
-		dcfg := base
-		dcfg.Scheduler = sim.SchedDense
-		de, err := Bandwidth(dcfg, 0, 5, 20000)
-		if err != nil {
-			t.Fatal(err)
+		for i := 1; i < len(results); i++ {
+			if results[i].Cycles != results[0].Cycles {
+				t.Errorf("%s finished at cycle %d, dense at %d", schedVariants[i].name, results[i].Cycles, results[0].Cycles)
+			}
 		}
-		if ev.Cycles != de.Cycles {
-			t.Errorf("event finished at cycle %d, dense at %d", ev.Cycles, de.Cycles)
+		if results[0].Net.Sched.Scheduler != "dense" || results[1].Net.Sched.Scheduler != "event" || results[2].Net.Sched.Scheduler != "shard" {
+			t.Errorf("scheduler labels: %q %q %q",
+				results[0].Net.Sched.Scheduler, results[1].Net.Sched.Scheduler, results[2].Net.Sched.Scheduler)
 		}
-		if ev.Net.Sched.Scheduler != "event" || de.Net.Sched.Scheduler != "dense" {
-			t.Errorf("scheduler labels: event=%q dense=%q", ev.Net.Sched.Scheduler, de.Net.Sched.Scheduler)
+		if sh := results[2].Net.Sched; sh.Shards != 4 || sh.Syncs == 0 || len(sh.PerShard) != 4 {
+			t.Errorf("shard run did not run sharded: shards=%d syncs=%d pershard=%d", sh.Shards, sh.Syncs, len(sh.PerShard))
 		}
 	})
 
 	t.Run("bcast", func(t *testing.T) {
-		ev, err := BcastTime(base, 8, 2000)
-		if err != nil {
-			t.Fatal(err)
+		results := make([]CollectiveResult, len(schedVariants))
+		for i, sv := range schedVariants {
+			cfg := base
+			cfg.Scheduler, cfg.Shards = sv.kind, sv.shards
+			res, err := BcastTime(cfg, 8, 2000)
+			if err != nil {
+				t.Fatalf("%s: %v", sv.name, err)
+			}
+			results[i] = res
 		}
-		dcfg := base
-		dcfg.Scheduler = sim.SchedDense
-		de, err := BcastTime(dcfg, 8, 2000)
-		if err != nil {
-			t.Fatal(err)
+		for i := 1; i < len(results); i++ {
+			if results[i].Cycles != results[0].Cycles {
+				t.Errorf("%s finished at cycle %d, dense at %d", schedVariants[i].name, results[i].Cycles, results[0].Cycles)
+			}
+			if results[i].Net.PacketsDelivered != results[0].Net.PacketsDelivered {
+				t.Errorf("%s delivered %d packets, dense %d",
+					schedVariants[i].name, results[i].Net.PacketsDelivered, results[0].Net.PacketsDelivered)
+			}
 		}
-		if ev.Cycles != de.Cycles {
-			t.Errorf("event finished at cycle %d, dense at %d", ev.Cycles, de.Cycles)
-		}
-		if ev.Net.Sched.CyclesSkipped == 0 {
+		if results[1].Net.Sched.CyclesSkipped == 0 {
 			t.Error("event run skipped no cycles: the activity sets never fast-forwarded")
 		}
 	})
 
-	t.Run("stencil", func(t *testing.T) {
-		cfg := StencilConfig{N: 24, Timesteps: 4, RanksX: 2, RanksY: 4, Verify: true}
-		ev, err := Stencil(cfg)
-		if err != nil {
-			t.Fatal(err)
+	t.Run("summa", func(t *testing.T) {
+		results := make([]SummaResult, len(schedVariants))
+		for i, sv := range schedVariants {
+			res, err := Summa(SummaConfig{
+				N: 32, Ranks: 8, Verify: true,
+				Scheduler: sv.kind, Shards: sv.shards,
+			})
+			if err != nil {
+				t.Fatalf("%s: %v", sv.name, err)
+			}
+			results[i] = res
 		}
-		cfg.Scheduler = sim.SchedDense
-		de, err := Stencil(cfg)
-		if err != nil {
-			t.Fatal(err)
-		}
-		if ev.Cycles != de.Cycles {
-			t.Errorf("event finished at cycle %d, dense at %d", ev.Cycles, de.Cycles)
-		}
-		ref := StencilReference(cfg.N, cfg.Timesteps)
-		for _, run := range []struct {
-			name string
-			res  StencilResult
-		}{{"event", ev}, {"dense", de}} {
-			for i := range ref {
-				for j := range ref[i] {
-					if run.res.Grid[i][j] != ref[i][j] {
-						t.Fatalf("%s grid[%d][%d] = %v, reference %v", run.name, i, j, run.res.Grid[i][j], ref[i][j])
+		ref := SummaReference(32)
+		for i, res := range results {
+			if res.Cycles != results[0].Cycles {
+				t.Errorf("%s finished at cycle %d, dense at %d", schedVariants[i].name, res.Cycles, results[0].Cycles)
+			}
+			for r := range ref {
+				for c := range ref[r] {
+					if res.C[r][c] != ref[r][c] {
+						t.Fatalf("%s C[%d][%d] = %v, reference %v", schedVariants[i].name, r, c, res.C[r][c], ref[r][c])
 					}
 				}
 			}
 		}
 	})
+
+	t.Run("stencil", func(t *testing.T) {
+		ref := StencilReference(24, 4)
+		for _, faults := range []*fault.Spec{
+			nil,
+			// The fault-injected leg of the matrix: drops force the
+			// retransmission protocol to do real repair work, and all
+			// three schedulers must still produce the reference grid at
+			// the same cycle.
+			{Seed: 7, DropProb: 0.001},
+		} {
+			label := "pristine"
+			if faults != nil {
+				label = "faulty"
+			}
+			results := make([]StencilResult, len(schedVariants))
+			for i, sv := range schedVariants {
+				cfg := StencilConfig{
+					N: 24, Timesteps: 4, RanksX: 2, RanksY: 4, Verify: true,
+					Faults: faults, Scheduler: sv.kind, Shards: sv.shards,
+				}
+				res, err := Stencil(cfg)
+				if err != nil {
+					t.Fatalf("%s %s: %v", label, sv.name, err)
+				}
+				results[i] = res
+			}
+			for i, res := range results {
+				if res.Cycles != results[0].Cycles {
+					t.Errorf("%s: %s finished at cycle %d, dense at %d",
+						label, schedVariants[i].name, res.Cycles, results[0].Cycles)
+				}
+				for r := range ref {
+					for c := range ref[r] {
+						if res.Grid[r][c] != ref[r][c] {
+							t.Fatalf("%s %s grid[%d][%d] = %v, reference %v",
+								label, schedVariants[i].name, r, c, res.Grid[r][c], ref[r][c])
+						}
+					}
+				}
+			}
+		}
+	})
+}
+
+// TestShardSmoke64 is the CI race-detector gate: a 64-rank torus split
+// into 4 parallel shards must match the dense single-engine run cycle
+// for cycle. Gated behind SMI_SHARD_SMOKE=1 because 64 ranks is slow
+// under -race; the shard-smoke CI job enables it.
+func TestShardSmoke64(t *testing.T) {
+	if os.Getenv("SMI_SHARD_SMOKE") != "1" {
+		t.Skip("set SMI_SHARD_SMOKE=1 to run the 64-rank shard smoke test")
+	}
+	topo, err := topology.Torus2D(8, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := NetConfig{Topology: topo, RoutingPolicy: routing.UpDown}
+
+	sh := base
+	sh.Scheduler, sh.Shards = sim.SchedShard, 4
+	shard, err := BcastTime(sh, 64, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	de := base
+	de.Scheduler = sim.SchedDense
+	dense, err := BcastTime(de, 64, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if shard.Cycles != dense.Cycles {
+		t.Errorf("shard run finished at cycle %d, dense at %d", shard.Cycles, dense.Cycles)
+	}
+	if shard.Net.PacketsDelivered != dense.Net.PacketsDelivered {
+		t.Errorf("shard run delivered %d packets, dense %d", shard.Net.PacketsDelivered, dense.Net.PacketsDelivered)
+	}
+	if st := shard.Net.Sched; st.Shards != 4 || st.Syncs == 0 {
+		t.Errorf("shard run did not run sharded: shards=%d syncs=%d", st.Shards, st.Syncs)
+	}
 }

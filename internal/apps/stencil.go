@@ -42,8 +42,11 @@ type StencilConfig struct {
 	// Faults attaches a fault-injection schedule to the links.
 	Faults *fault.Spec
 	// Scheduler selects the simulator's scheduling mode (default
-	// sim.SchedEvent); cycle counts are identical in both modes.
+	// sim.SchedEvent); cycle counts are identical in all modes.
 	Scheduler sim.SchedulerKind
+	// Shards partitions the ranks into engine shards (see
+	// smi.Config.Shards); 0 keeps the single-engine build.
+	Shards int
 	// Routes supplies precomputed routing tables (see smi.Config.Routes).
 	Routes *routing.Routes
 	// Progress/ProgressEvery install a cycle-progress observer (see
@@ -162,6 +165,7 @@ func Stencil(cfg StencilConfig) (StencilResult, error) {
 		Routes:        cfg.Routes,
 		Faults:        cfg.Faults,
 		Scheduler:     cfg.Scheduler,
+		Shards:        cfg.Shards,
 		Progress:      cfg.Progress,
 		ProgressEvery: cfg.ProgressEvery,
 	})
@@ -250,8 +254,8 @@ func Stencil(cfg StencilConfig) (StencilResult, error) {
 		goStreams := make([]*smi.Stream, len(senders))
 		doneStreams := make([]*smi.Stream, len(senders))
 		for si, sd := range senders {
-			goStreams[si] = c.NewStream(fmt.Sprintf("r%d.%s.go", r, sd.name), 1)
-			doneStreams[si] = c.NewStream(fmt.Sprintf("r%d.%s.done", r, sd.name), 1)
+			goStreams[si] = c.NewStreamOn(r, fmt.Sprintf("r%d.%s.go", r, sd.name), 1)
+			doneStreams[si] = c.NewStreamOn(r, fmt.Sprintf("r%d.%s.done", r, sd.name), 1)
 		}
 
 		for si, sd := range senders {

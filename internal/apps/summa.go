@@ -30,8 +30,11 @@ type SummaConfig struct {
 	// MaxCycles optionally bounds the simulation.
 	MaxCycles int64
 	// Scheduler selects the simulator's scheduling mode (default
-	// sim.SchedEvent); cycle counts are identical in both modes.
+	// sim.SchedEvent); cycle counts are identical in all modes.
 	Scheduler sim.SchedulerKind
+	// Shards partitions the ranks into engine shards (see
+	// smi.Config.Shards); 0 keeps the single-engine build.
+	Shards int
 }
 
 // SummaResult reports one distributed matrix multiply.
@@ -88,6 +91,7 @@ func Summa(cfg SummaConfig) (SummaResult, error) {
 		}},
 		MaxCycles: cfg.MaxCycles,
 		Scheduler: cfg.Scheduler,
+		Shards:    cfg.Shards,
 	})
 	if err != nil {
 		return SummaResult{}, err

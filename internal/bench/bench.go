@@ -22,6 +22,9 @@ type Options struct {
 	// Workload restricts multi-workload experiments (the scaling
 	// experiment) to one workload; empty means all.
 	Workload string
+	// Shards overrides the shard count of the sharded-scheduler rows in
+	// rank sweeps (0 = the experiment's default of 4).
+	Shards int
 }
 
 // Report is the regenerated form of one table or figure.

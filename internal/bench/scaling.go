@@ -11,49 +11,65 @@ import (
 )
 
 func init() {
-	register("scaling", "Simulator scaling: event scheduler vs dense scan at 8..64 ranks", scaling)
+	register("scaling", "Simulator scaling: dense scan vs event scheduler vs sharded parallel at 8..1024 ranks", scaling)
 }
 
 // scalingRanks are the supported sweep points; workload.Grid decomposes
-// each into the same 2D torus the sweep has always used.
-var scalingRanks = map[int]bool{8: true, 16: true, 32: true, 64: true}
+// each into the same 2D torus the sweep has always used. The dense
+// reference scan is only run up to denseRankLimit — its per-cycle
+// full-component sweep makes the big points prohibitively slow, and the
+// event scheduler (verified against dense at every small point) serves
+// as the baseline beyond it.
+var scalingRanks = map[int]bool{8: true, 16: true, 32: true, 64: true, 256: true, 1024: true}
 
-// ScalingRow is one (workload, ranks, scheduler) measurement.
+const denseRankLimit = 64
+
+// ScalingRow is one (workload, ranks, scheduler, shards) measurement.
 type ScalingRow struct {
-	Workload       string  `json:"workload"`
-	Ranks          int     `json:"ranks"`
-	Scheduler      string  `json:"scheduler"`
-	Cycles         int64   `json:"cycles"`
-	CyclesExecuted int64   `json:"cycles_executed"`
-	CyclesSkipped  int64   `json:"cycles_skipped"`
-	KernelTicks    int64   `json:"kernel_ticks"`
-	WallMs         float64 `json:"wall_ms"`
-	NsPerCycle     float64 `json:"ns_per_simulated_cycle"`
+	Workload  string `json:"workload"`
+	Ranks     int    `json:"ranks"`
+	Scheduler string `json:"scheduler"`
+	Shards    int    `json:"shards"`
+	Syncs     int64  `json:"syncs,omitempty"`
+	// PerShard carries each shard's effort counters (including its sync
+	// count) for sharded rows — the load-balance signal.
+	PerShard       []sim.ShardEffort `json:"per_shard,omitempty"`
+	Cycles         int64             `json:"cycles"`
+	CyclesExecuted int64             `json:"cycles_executed"`
+	CyclesSkipped  int64             `json:"cycles_skipped"`
+	KernelTicks    int64             `json:"kernel_ticks"`
+	WallMs         float64           `json:"wall_ms"`
+	NsPerCycle     float64           `json:"ns_per_simulated_cycle"`
 }
 
 // scalingJSON is the BENCH_scaling.json document: every row of the
-// sweep (the dense baseline rows included, so the improvement and its
-// reference live in the same file) plus the headline ratio.
+// sweep (the baseline rows included, so the improvement and its
+// reference live in the same file) plus the headline ratios.
 type scalingJSON struct {
 	Description string       `json:"description"`
 	Rows        []ScalingRow `json:"rows"`
-	// SpeedupAtMax is dense wall-clock / event wall-clock per workload
-	// at the largest rank count measured.
+	// SpeedupAtMax is baseline wall-clock / event wall-clock per workload
+	// at the largest rank count measured (baseline = dense where it ran,
+	// event otherwise).
 	SpeedupAtMax map[string]float64 `json:"wall_clock_speedup_at_max_ranks"`
-	MaxRanks     int                `json:"max_ranks"`
+	// ShardSpeedupAtMax is event wall-clock / shard wall-clock per
+	// workload at the largest rank count measured. On a single-core host
+	// this hovers around 1 or below (barrier overhead with no parallel
+	// hardware); the shard scheduler's win needs real cores.
+	ShardSpeedupAtMax map[string]float64 `json:"shard_wall_clock_speedup_at_max_ranks"`
+	MaxRanks          int                `json:"max_ranks"`
 }
 
 // scalingRun executes one workload at one rank count under one
 // scheduler and reports the measurement. Dispatch goes through the
 // workload registry — the same resolution path smid uses — with the
 // registry defaults reproducing the sweep's historical problem sizes.
-func scalingRun(name string, ranks int, kind sim.SchedulerKind) (ScalingRow, error) {
-	label := "event"
-	if kind == sim.SchedDense {
-		label = "dense"
-	}
-	row := ScalingRow{Workload: name, Ranks: ranks, Scheduler: label}
+func scalingRun(name string, ranks int, kind sim.SchedulerKind, shards int) (ScalingRow, error) {
+	row := ScalingRow{Workload: name, Ranks: ranks, Scheduler: kind.String(), Shards: shards}
 	params := workload.Params{Ranks: ranks, Scheduler: kind}
+	if shards > 1 {
+		params.Shards = shards
+	}
 	if name == "bcast" {
 		params.RoutingPolicy = routing.UpDown
 	}
@@ -63,6 +79,8 @@ func scalingRun(name string, ranks int, kind sim.SchedulerKind) (ScalingRow, err
 		return row, err
 	}
 	wall := time.Since(start)
+	row.Syncs = res.Stats.Sched.Syncs
+	row.PerShard = res.Stats.Sched.PerShard
 	row.Cycles = res.Cycles
 	row.CyclesExecuted = res.Stats.Sched.CyclesExecuted
 	row.CyclesSkipped = res.Stats.Sched.CyclesSkipped
@@ -75,17 +93,22 @@ func scalingRun(name string, ranks int, kind sim.SchedulerKind) (ScalingRow, err
 }
 
 // scaling sweeps stencil and broadcast over growing rank counts, running
-// each point under both schedulers. The dense scan is the reference the
-// event scheduler must match cycle for cycle — the sweep fails on any
-// divergence — and the baseline its wall-clock improvement is quoted
-// against.
+// each point under the event scheduler and the sharded parallel
+// scheduler, plus the dense reference scan at the small points. Every
+// scheduler must finish every run on the identical cycle — the sweep
+// fails on any divergence — and the slowest available scheduler is the
+// baseline the wall-clock improvements are quoted against.
 func scaling(opts Options) (*Report, error) {
 	rankSet := opts.Ranks
 	if len(rankSet) == 0 {
-		rankSet = []int{8, 16, 32, 64}
+		rankSet = []int{8, 16, 32, 64, 256, 1024}
 		if opts.Quick {
 			rankSet = []int{8}
 		}
+	}
+	shards := opts.Shards
+	if shards <= 0 {
+		shards = 4
 	}
 	workloads := []string{"stencil", "bcast"}
 	if opts.Workload != "" {
@@ -94,46 +117,80 @@ func scaling(opts Options) (*Report, error) {
 
 	r := &Report{
 		ID:     "scaling",
-		Title:  "Wall-clock per simulated cycle: event scheduler vs dense scan",
-		Header: []string{"workload", "ranks", "cycles", "skipped%", "dense ms", "event ms", "speedup", "ns/cycle"},
+		Title:  "Wall-clock per simulated cycle: dense scan vs event scheduler vs sharded parallel",
+		Header: []string{"workload", "ranks", "cycles", "skipped%", "dense ms", "event ms", "shard ms", "shards", "syncs", "speedup"},
 		Notes: []string{
-			"both schedulers must (and do) finish every run on the identical cycle;",
-			"'skipped%' is the share of simulated cycles the event scheduler fast-forwarded",
+			"all schedulers must (and do) finish every run on the identical cycle;",
+			"'skipped%' is the share of simulated cycles the event scheduler fast-forwarded;",
+			"dense rows stop at 64 ranks (the reference scan is too slow beyond);",
+			"'speedup' is dense/event wall clock where dense ran, else event/shard;",
+			"shard rows need a multi-core host to win wall clock — on one core the",
+			"barriers only add overhead over the identical-cycle event run",
 		},
 	}
 	doc := scalingJSON{
-		Description:  "smibench scaling: identical workloads under the dense reference scan and the event scheduler; dense rows are the baseline for the wall-clock comparison",
-		SpeedupAtMax: map[string]float64{},
+		Description:       "smibench scaling: identical workloads under the dense reference scan, the event scheduler, and the sharded conservative-parallel scheduler; dense rows (<=64 ranks) are the baseline for the wall-clock comparison",
+		SpeedupAtMax:      map[string]float64{},
+		ShardSpeedupAtMax: map[string]float64{},
 	}
 	for _, w := range workloads {
 		for _, ranks := range rankSet {
 			if !scalingRanks[ranks] {
-				return nil, fmt.Errorf("scaling: unsupported rank count %d (have 8, 16, 32, 64)", ranks)
+				return nil, fmt.Errorf("scaling: unsupported rank count %d (have 8, 16, 32, 64, 256, 1024)", ranks)
 			}
-			dense, err := scalingRun(w, ranks, sim.SchedDense)
-			if err != nil {
-				return nil, fmt.Errorf("scaling %s/%d dense: %w", w, ranks, err)
+			sh := shards
+			if sh > ranks {
+				sh = ranks
 			}
-			event, err := scalingRun(w, ranks, sim.SchedEvent)
+			var dense ScalingRow
+			haveDense := ranks <= denseRankLimit
+			if haveDense {
+				var err error
+				dense, err = scalingRun(w, ranks, sim.SchedDense, 1)
+				if err != nil {
+					return nil, fmt.Errorf("scaling %s/%d dense: %w", w, ranks, err)
+				}
+			}
+			event, err := scalingRun(w, ranks, sim.SchedEvent, 1)
 			if err != nil {
 				return nil, fmt.Errorf("scaling %s/%d event: %w", w, ranks, err)
 			}
-			if dense.Cycles != event.Cycles {
+			shard, err := scalingRun(w, ranks, sim.SchedShard, sh)
+			if err != nil {
+				return nil, fmt.Errorf("scaling %s/%d shard: %w", w, ranks, err)
+			}
+			if haveDense && dense.Cycles != event.Cycles {
 				return nil, fmt.Errorf("scaling %s/%d: dense finished at cycle %d, event at %d — scheduler parity broken",
 					w, ranks, dense.Cycles, event.Cycles)
 			}
-			doc.Rows = append(doc.Rows, dense, event)
-			speedup := 0.0
-			if event.WallMs > 0 {
-				speedup = dense.WallMs / event.WallMs
+			if shard.Cycles != event.Cycles {
+				return nil, fmt.Errorf("scaling %s/%d: shard finished at cycle %d, event at %d — scheduler parity broken",
+					w, ranks, shard.Cycles, event.Cycles)
+			}
+			if haveDense {
+				doc.Rows = append(doc.Rows, dense)
+			}
+			doc.Rows = append(doc.Rows, event, shard)
+			speedup, denseMs := 0.0, "-"
+			if haveDense {
+				denseMs = f2(dense.WallMs)
+				if event.WallMs > 0 {
+					speedup = dense.WallMs / event.WallMs
+				}
+			} else if shard.WallMs > 0 {
+				speedup = event.WallMs / shard.WallMs
 			}
 			skipped := 100 * float64(event.CyclesSkipped) / float64(event.Cycles)
 			r.Rows = append(r.Rows, []string{
 				w, fmt.Sprintf("%d", ranks), fmt.Sprintf("%d", event.Cycles),
-				f1(skipped), f2(dense.WallMs), f2(event.WallMs), f2(speedup), f2(event.NsPerCycle),
+				f1(skipped), denseMs, f2(event.WallMs), f2(shard.WallMs),
+				fmt.Sprintf("%d", sh), fmt.Sprintf("%d", shard.Syncs), f2(speedup),
 			})
 			if ranks == rankSet[len(rankSet)-1] {
 				doc.SpeedupAtMax[w] = speedup
+				if shard.WallMs > 0 {
+					doc.ShardSpeedupAtMax[w] = event.WallMs / shard.WallMs
+				}
 				doc.MaxRanks = ranks
 				r.metric(fmt.Sprintf("%s_%dranks_speedup", w, ranks), speedup)
 			}

@@ -121,7 +121,7 @@ func (ch *SendChannel) PushE(bits uint64) error {
 		// Establish the circuit: one packet carries all the message
 		// meta-information; the payload that follows is headerless.
 		rawPkts := (ch.count + ch.epp - 1) / ch.epp
-		open := packet.EncodeOpen(uint8(ch.x.rank), uint8(ch.dst), uint8(ch.port),
+		open := packet.EncodeOpen(uint16(ch.x.rank), uint16(ch.dst), uint8(ch.port),
 			packet.OpenInfo{RawPackets: uint32(rawPkts), Elems: uint32(ch.count)})
 		if res := ch.ep.appSend.PushProcE(ch.x.proc, open, deadline); res != sim.WaitOK {
 			return ch.x.waitErr(res, "push", ch.port, ch.dst)
@@ -177,8 +177,8 @@ func (ch *SendChannel) flushE(deadline int64) error {
 			ch.credits += int(packet.DecodeCreditElems(grant))
 		}
 	}
-	ch.cur.Src = uint8(ch.x.rank)
-	ch.cur.Dst = uint8(ch.dst)
+	ch.cur.Src = uint16(ch.x.rank)
+	ch.cur.Dst = uint16(ch.dst)
 	ch.cur.Port = uint8(ch.port)
 	if ch.circuit {
 		ch.cur.Op = packet.OpRaw
@@ -364,7 +364,7 @@ func (ch *RecvChannel) sendCreditE(deadline int64) error {
 		n = avail
 	}
 	grant := packet.Packet{
-		Src: uint8(ch.x.rank), Dst: uint8(ch.src), Port: uint8(ch.port),
+		Src: uint16(ch.x.rank), Dst: uint16(ch.src), Port: uint8(ch.port),
 		Op: packet.OpCredit,
 	}
 	packet.EncodeCreditElems(&grant, uint32(n))

@@ -70,10 +70,23 @@ type Config struct {
 	// transport kernels on regenerated routes (default 400 cycles).
 	RepairCycles int64
 	// Scheduler selects the simulator's scheduling mode: the default
-	// sim.SchedEvent activity-set scheduler, or sim.SchedDense, the
-	// reference dense scan. Both produce bit-identical runs; dense is
-	// kept for parity testing and as a benchmark baseline.
+	// sim.SchedEvent activity-set scheduler, sim.SchedDense, the
+	// reference dense scan, or sim.SchedShard, the conservative parallel
+	// scheduler (see Shards). All three produce bit-identical runs;
+	// dense is kept for parity testing and as a benchmark baseline.
 	Scheduler sim.SchedulerKind
+	// Shards partitions the cluster's ranks into that many self-contained
+	// engine shards connected only through the link boundaries, each
+	// shard owning a contiguous rank range. Under sim.SchedShard the
+	// shards advance on worker goroutines, synchronizing every
+	// link-latency lookahead window; under the serial schedulers the same
+	// sharded structure runs one shard at a time (the exact comparator).
+	// 0 or 1 keeps the classic single-engine build. Sharding requires
+	// pristine links: a cluster with Faults or Reliable set falls back to
+	// one shard, because the retransmission protocol's ack piggybacking
+	// and the failover manager couple both cable directions within a
+	// cycle. Tracing (Trace/ChromeTrace) is rejected with Shards > 1.
+	Shards int
 	// Progress, if non-nil, is called between cycles whenever the clock
 	// crosses a multiple of ProgressEvery cycles (default 1_000_000 when
 	// a callback is set). Purely observational: it never changes cycle
@@ -85,7 +98,9 @@ type Config struct {
 // Cluster is a multi-FPGA system ready to execute rank programs.
 type Cluster struct {
 	cfg    Config
-	eng    *sim.Engine
+	engs   []*sim.Engine // one engine per shard, ranks in contiguous ranges
+	group  *sim.Group    // barrier driver, nil when len(engs) == 1
+	shards int
 	routes *routing.Routes
 	world  Comm
 	clock  sim.Clock
@@ -135,7 +150,7 @@ func NewCluster(cfg Config) (*Cluster, error) {
 		return nil, err
 	}
 	if cfg.Topology.Devices > packet.MaxRanks {
-		return nil, fmt.Errorf("smi: %d devices exceed the %d-rank limit of the 8-bit packet header",
+		return nil, fmt.Errorf("smi: %d devices exceed the simulator's %d-rank limit",
 			cfg.Topology.Devices, packet.MaxRanks)
 	}
 	if err := cfg.Program.Validate(); err != nil {
@@ -161,6 +176,34 @@ func NewCluster(cfg Config) (*Cluster, error) {
 	if cfg.RepairCycles <= 0 {
 		cfg.RepairCycles = 400
 	}
+	reliable := cfg.Reliable || cfg.Faults != nil
+	if reliable && cfg.Topology.Devices > packet.MaxWireRanks {
+		// The reliable layer serializes packets into 32-byte wire frames
+		// whose rank fields are 8 bits wide (the paper's header format);
+		// larger clusters run pristine links only.
+		return nil, fmt.Errorf("smi: %d devices exceed the %d-rank limit of the 8-bit wire header required by reliable links",
+			cfg.Topology.Devices, packet.MaxWireRanks)
+	}
+	shards := cfg.Shards
+	if shards < 0 {
+		return nil, fmt.Errorf("smi: negative shard count %d", cfg.Shards)
+	}
+	if shards > cfg.Topology.Devices {
+		return nil, fmt.Errorf("smi: %d shards exceed the cluster's %d ranks", shards, cfg.Topology.Devices)
+	}
+	if shards == 0 {
+		shards = 1
+	}
+	if reliable {
+		// The reliable layer couples both directions of a cable (ack
+		// piggybacking, failover) within single cycles; it runs on the
+		// classic single-engine build regardless of the requested shard
+		// count. See Config.Shards.
+		shards = 1
+	}
+	if shards > 1 && (cfg.Trace != nil || cfg.ChromeTrace != nil) {
+		return nil, fmt.Errorf("smi: tracing records a single global event order and cannot run with %d shards", shards)
+	}
 
 	var routes *routing.Routes
 	if cfg.Routes != nil {
@@ -183,37 +226,44 @@ func NewCluster(cfg Config) (*Cluster, error) {
 		}
 	}
 
-	eng := sim.NewEngine()
-	eng.SetScheduler(cfg.Scheduler)
-	eng.SetMaxCycles(cfg.MaxCycles)
-	if cfg.Trace != nil {
-		eng.SetTrace(cfg.Trace)
+	engs := make([]*sim.Engine, shards)
+	for i := range engs {
+		e := sim.NewEngine()
+		e.SetScheduler(cfg.Scheduler)
+		e.SetMaxCycles(cfg.MaxCycles)
+		engs[i] = e
 	}
-	if cfg.Progress != nil {
-		every := cfg.ProgressEvery
-		if every <= 0 {
-			every = 1_000_000
-		}
-		eng.SetProgress(every, cfg.Progress)
+	if cfg.Trace != nil {
+		engs[0].SetTrace(cfg.Trace)
+	}
+	progressEvery := cfg.ProgressEvery
+	if progressEvery <= 0 {
+		progressEvery = 1_000_000
+	}
+	if cfg.Progress != nil && shards == 1 {
+		engs[0].SetProgress(progressEvery, cfg.Progress)
 	}
 	var tracer *vistrace.Tracer
 	if cfg.ChromeTrace != nil {
 		tracer = vistrace.New()
-		eng.SetRecorder(tracer)
+		engs[0].SetRecorder(tracer)
 	}
 
 	c := &Cluster{
 		cfg:    cfg,
-		eng:    eng,
+		engs:   engs,
+		shards: shards,
 		routes: routes,
 		world:  Comm{base: 0, size: cfg.Topology.Devices},
 		clock:  sim.Clock{Hz: cfg.ClockHz},
 		board:  cfg.Board,
 		tracer: tracer,
 	}
+	engFor := c.engFor
 
 	ifaces := cfg.Topology.Ifaces
 	for r := 0; r < cfg.Topology.Devices; r++ {
+		eng := engFor(r) // every per-rank component lives on the rank's shard
 		rs := &rankState{rank: r, eps: make(map[int]*endpoint)}
 		var bindings []transport.PortBinding
 		for i := range cfg.Program.Ports {
@@ -274,7 +324,6 @@ func NewCluster(cfg Config) (*Cluster, error) {
 		c.ranks = append(c.ranks, rs)
 	}
 
-	reliable := cfg.Reliable || cfg.Faults != nil
 	if reliable {
 		c.injector = fault.NewInjector(cfg.Faults)
 	}
@@ -302,15 +351,16 @@ func NewCluster(cfg Config) (*Cluster, error) {
 		outA, inA := c.ranks[a.Device].dev.NetOut[a.Iface], c.ranks[a.Device].dev.NetIn[a.Iface]
 		outB, inB := c.ranks[b.Device].dev.NetOut[b.Iface], c.ranks[b.Device].dev.NetIn[b.Iface]
 		if reliable {
-			ab, ba := link.NewReliablePair(eng, nameAB, nameBA,
+			// reliable forces shards == 1, so engs[0] owns every rank.
+			ab, ba := link.NewReliablePair(engs[0], nameAB, nameBA,
 				outA, inB, outB, inA, cfg.LinkLatency, cfg.LinkParams,
 				c.injector.ForLink(nameAB), c.injector.ForLink(nameBA))
 			c.rlinks = append(c.rlinks, ab, ba)
 			c.cables = append(c.cables, &cable{conn: conn, ab: ab, ba: ba})
 		} else {
 			c.links = append(c.links,
-				link.New(eng, nameAB, outA, inB, cfg.LinkLatency),
-				link.New(eng, nameBA, outB, inA, cfg.LinkLatency),
+				link.New(engFor(a.Device), engFor(b.Device), nameAB, outA, inB, cfg.LinkLatency),
+				link.New(engFor(b.Device), engFor(a.Device), nameBA, outB, inA, cfg.LinkLatency),
 			)
 		}
 	}
@@ -318,9 +368,21 @@ func NewCluster(cfg Config) (*Cluster, error) {
 		// Registered after every link so a death declared in cycle t is
 		// handled the same cycle.
 		c.manager = newFaultManager(c, cfg.RepairCycles)
-		eng.AddKernel(c.manager)
+		engs[0].AddKernel(c.manager)
+	}
+	if shards > 1 {
+		c.group = sim.NewGroup(engs, cfg.MaxCycles, cfg.Scheduler == sim.SchedShard)
+		if cfg.Progress != nil {
+			c.group.SetProgress(progressEvery, cfg.Progress)
+		}
 	}
 	return c, nil
+}
+
+// engFor maps a rank to its engine shard: shard i owns the i-th of
+// `shards` contiguous, balanced rank ranges.
+func (c *Cluster) engFor(rank int) *sim.Engine {
+	return c.engs[rank*c.shards/c.cfg.Topology.Devices]
 }
 
 // Size returns the number of ranks in the cluster.
@@ -361,7 +423,7 @@ func (c *Cluster) OnRank(rank int, name string, body func(*Ctx)) error {
 		return fmt.Errorf("smi: cluster already ran")
 	}
 	x := &Ctx{c: c, rank: rank}
-	x.proc = sim.NewProc(c.eng, fmt.Sprintf("r%d.%s", rank, name), func(p *sim.Proc) {
+	x.proc = sim.NewProc(c.engFor(rank), fmt.Sprintf("r%d.%s", rank, name), func(p *sim.Proc) {
 		body(x)
 	})
 	c.procs++
@@ -440,7 +502,7 @@ type LinkStats struct {
 // LinkStats reports per-link traffic after Run (sorted by the builder's
 // link order: both directions of each cable in topology order).
 func (c *Cluster) LinkStats() []LinkStats {
-	cycles := c.eng.Now()
+	cycles := c.cycles()
 	out := make([]LinkStats, 0, len(c.links)+len(c.rlinks))
 	for _, l := range c.links {
 		st := LinkStats{Name: l.Name(), Delivered: l.Delivered(), Stalls: l.Stalls()}
@@ -460,6 +522,30 @@ func (c *Cluster) LinkStats() []LinkStats {
 	return out
 }
 
+// cycles returns the run's quoted cycle count: the group's
+// barrier-derived count for sharded builds (invariant under the shard
+// count), the engine clock otherwise.
+func (c *Cluster) cycles() int64 {
+	if c.group != nil {
+		return c.group.Cycles()
+	}
+	return c.engs[0].Now()
+}
+
+// schedStats assembles the scheduler-effort report for Stats.
+func (c *Cluster) schedStats() sim.SchedStats {
+	if c.group != nil {
+		return c.group.SchedStats(c.cfg.Scheduler)
+	}
+	st := c.engs[0].SchedStats()
+	if c.cfg.Scheduler == sim.SchedShard {
+		// A one-shard "shard" run executes on the plain event loop with
+		// no barriers to count.
+		st.Shards = 1
+	}
+	return st
+}
+
 // Run executes every registered rank program to completion and returns
 // timing and traffic statistics. It fails on deadlock (with a diagnostic
 // of every blocked operation), on a rank program panic, or if MaxCycles
@@ -472,7 +558,12 @@ func (c *Cluster) Run() (Stats, error) {
 		return Stats{}, fmt.Errorf("smi: cluster already ran")
 	}
 	c.ran = true
-	err := c.eng.Run()
+	var err error
+	if c.group != nil {
+		err = c.group.Run()
+	} else {
+		err = c.engs[0].Run()
+	}
 	if err != nil && c.manager != nil && c.manager.err != nil {
 		// A failed repair quiesces whatever the abort wake-up could not
 		// reach; a resulting deadlock or panic is a symptom, the repair
@@ -496,7 +587,7 @@ func (c *Cluster) Run() (Stats, error) {
 			err = fmt.Errorf("smi: writing chrome trace: %w", werr)
 		}
 	}
-	st := Stats{Cycles: c.eng.Now(), Sched: c.eng.SchedStats()}
+	st := Stats{Cycles: c.cycles(), Sched: c.schedStats()}
 	st.Micros = c.clock.Micros(st.Cycles)
 	for _, l := range c.links {
 		st.PacketsDelivered += l.Delivered()

@@ -61,11 +61,11 @@ func (x *Ctx) openCollective(kind PortKind, count int, dt Datatype, port, root i
 	// Deliver the dynamic channel configuration to the support kernel.
 	// This is the one collective open step that blocks, so it honors the
 	// channel deadline; a failed open leaves the port reusable.
-	cfg := packet.EncodeConfig(uint8(x.rank), uint8(port), packet.Config{
-		Root:  uint8(b.root),
+	cfg := packet.EncodeConfig(uint16(x.rank), uint8(port), packet.Config{
+		Root:  uint16(b.root),
 		Count: uint32(count),
-		Base:  uint8(comm.base),
-		Size:  uint8(comm.size),
+		Base:  uint16(comm.base),
+		Size:  uint16(comm.size),
 	})
 	ep.inUseSend, ep.inUseRecv = true, true
 	if res := ep.appSend.PushProcE(x.proc, cfg, b.opDeadline()); res != sim.WaitOK {
@@ -108,8 +108,8 @@ func (b *collectiveBase) flushE(deadline int64, op string) error {
 	if b.n == 0 {
 		return nil
 	}
-	b.cur.Src = uint8(b.x.rank)
-	b.cur.Dst = uint8(b.x.rank) // the support kernel retargets
+	b.cur.Src = uint16(b.x.rank)
+	b.cur.Dst = uint16(b.x.rank) // the support kernel retargets
 	b.cur.Port = uint8(b.port)
 	b.cur.Op = packet.OpData
 	b.cur.Count = uint8(b.n)

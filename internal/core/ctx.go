@@ -64,10 +64,20 @@ func (x *Ctx) StreamMem(bytes int64, banks int) {
 // intra-FPGA modules" (§3.1.1).
 type Stream = sim.Fifo[uint64]
 
-// NewStream creates an intra-FPGA element FIFO of the given capacity.
-// Streams must be created before Run.
+// NewStream creates an intra-FPGA element FIFO of the given capacity on
+// rank 0. Streams must be created before Run. Clusters built with more
+// than one shard must place streams with NewStreamOn: a stream is
+// on-chip wiring and both of its endpoints live on one device.
 func (c *Cluster) NewStream(name string, capacity int) *Stream {
-	return sim.NewFifo[uint64](c.eng, "stream."+name, capacity)
+	return c.NewStreamOn(0, name, capacity)
+}
+
+// NewStreamOn creates an intra-FPGA element FIFO of the given capacity
+// on the given rank's device. Only kernels running on that rank may
+// touch it — in sharded builds this is enforced structurally, since the
+// FIFO lives on the rank's engine shard.
+func (c *Cluster) NewStreamOn(rank int, name string, capacity int) *Stream {
+	return sim.NewFifo[uint64](c.engFor(rank), "stream."+name, capacity)
 }
 
 // PushStream pushes an element onto an intra-FPGA stream (one cycle,

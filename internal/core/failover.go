@@ -144,7 +144,9 @@ func (m *faultManager) declareFailed(now int64, err error) {
 	m.err = err
 	m.state = fmFailed
 	m.logEvent(now, "failed")
-	m.c.eng.CancelWaits()
+	// The manager only exists on reliable clusters, which always build as
+	// a single shard.
+	m.c.engs[0].CancelWaits()
 }
 
 // swapAndRescue uploads the regenerated tables through the shared Routes

@@ -163,7 +163,7 @@ func (s *supportKernel) drainProtocol() bool {
 // protocolPacket builds a SYNC or CREDIT packet to dst.
 func (s *supportKernel) protocolPacket(op packet.Op, dst int) packet.Packet {
 	return packet.Packet{
-		Src: uint8(s.rank), Dst: uint8(dst), Port: uint8(s.spec.Port), Op: op,
+		Src: uint16(s.rank), Dst: uint16(dst), Port: uint8(s.spec.Port), Op: op,
 	}
 }
 
@@ -368,8 +368,8 @@ func (s *supportKernel) tickBcastStream() bool {
 		return true
 	}
 	out := s.dup
-	out.Dst = uint8(s.memberRank(s.dupNext))
-	out.Src = uint8(s.rank)
+	out.Dst = uint16(s.memberRank(s.dupNext))
+	out.Src = uint16(s.rank)
 	if s.netOut.TryPush(out) {
 		s.dupNext++
 	}
@@ -543,7 +543,7 @@ func (s *supportKernel) flushResults(n int) bool {
 		n = s.epp
 	}
 	out := packet.Packet{
-		Src: uint8(s.rank), Dst: uint8(s.rank), Port: uint8(s.spec.Port),
+		Src: uint16(s.rank), Dst: uint16(s.rank), Port: uint8(s.spec.Port),
 		Op: packet.OpData, Count: uint8(n),
 	}
 	for i := 0; i < n; i++ {
@@ -597,8 +597,8 @@ func (s *supportKernel) tickReduceSend() bool {
 		return true
 	}
 	out := p
-	out.Dst = uint8(s.root)
-	out.Src = uint8(s.rank)
+	out.Dst = uint16(s.root)
+	out.Src = uint16(s.rank)
 	s.netOut.TryPush(out)
 	s.sendAllow -= int(p.Count)
 	s.remaining -= int(p.Count)
@@ -644,8 +644,8 @@ func (s *supportKernel) tickScatterRoot() bool {
 		return true
 	}
 	out := p
-	out.Dst = uint8(m)
-	out.Src = uint8(s.rank)
+	out.Dst = uint16(m)
+	out.Src = uint16(s.rank)
 	s.netOut.TryPush(out)
 	if s.advanceChunk(int(p.Count)) {
 		s.syncCount[m]--
@@ -730,8 +730,8 @@ func (s *supportKernel) tickGatherSend() bool {
 		return true
 	}
 	out := p
-	out.Dst = uint8(s.root)
-	out.Src = uint8(s.rank)
+	out.Dst = uint16(s.root)
+	out.Src = uint16(s.rank)
 	s.netOut.TryPush(out)
 	s.remaining -= int(p.Count)
 	if s.remaining <= 0 {

@@ -101,8 +101,8 @@ func (s *supportKernel) tickTBcastStream() bool {
 		return true
 	}
 	out := s.dup
-	out.Src = uint8(s.rank)
-	out.Dst = uint8(s.childrenG[s.dupNext])
+	out.Src = uint16(s.rank)
+	out.Dst = uint16(s.childrenG[s.dupNext])
 	if s.netOut.TryPush(out) {
 		s.dupNext++
 	}
@@ -128,7 +128,7 @@ func (s *supportKernel) tickTBcastForward() bool {
 	}
 	if s.dupNext == -1 {
 		out := s.dup
-		out.Dst = uint8(s.rank)
+		out.Dst = uint16(s.rank)
 		if !s.appOut.TryPush(out) {
 			return false // blocked on the application
 		}
@@ -144,8 +144,8 @@ func (s *supportKernel) tickTBcastForward() bool {
 		return true
 	}
 	out := s.dup
-	out.Src = uint8(s.rank)
-	out.Dst = uint8(s.childrenG[s.dupNext])
+	out.Src = uint16(s.rank)
+	out.Dst = uint16(s.childrenG[s.dupNext])
 	if s.netOut.TryPush(out) {
 		s.dupNext++
 	}
@@ -242,7 +242,7 @@ func (s *supportKernel) tickTReduceCollect() bool {
 					n = s.epp
 				}
 				out := packet.Packet{
-					Src: uint8(s.rank), Dst: uint8(s.parentG), Port: uint8(s.spec.Port),
+					Src: uint16(s.rank), Dst: uint16(s.parentG), Port: uint8(s.spec.Port),
 					Op: packet.OpData, Count: uint8(n),
 				}
 				for i := 0; i < n; i++ {

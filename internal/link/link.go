@@ -6,8 +6,20 @@
 // propagation/serialization latency. Links are lossless: the BSP's QSFP
 // interfaces "implement error correction, flow control, and handle
 // backpressure" (paper §5.1), which the simulation reflects by stalling
-// the head of the delay line when the receiver FIFO is full and by
-// refusing new packets when the in-flight window is exhausted.
+// delivery when the receiver FIFO is full and by refusing new packets
+// when the credit window is exhausted.
+//
+// Each direction is split into a transmit half (living on the sender
+// rank's engine shard) and a receive half (on the receiver's shard),
+// joined by two sim.Boundary delay lines: the wire carrying packets
+// forward and a same-latency credit return path. The transmit half
+// admits a packet only while fewer than 2×latency packets are
+// outstanding (sent but no credit back) — the round-trip window that
+// sustains one packet per cycle at saturation, like a credit-based
+// serial protocol. Crucially, admission depends only on sender-local
+// state plus credits that are at least one link latency old, so the two
+// halves never need same-cycle agreement: exactly the decoupling the
+// sharded scheduler's lookahead window requires.
 package link
 
 import (
@@ -23,98 +35,148 @@ import (
 const DefaultLatency = 110
 
 // Link is a unidirectional packet pipe between two devices. A physical
-// cable is modeled as two Links, one per direction.
+// cable is modeled as two Links, one per direction. The struct is a
+// facade over the split transmit/receive kernels.
 type Link struct {
 	name    string
-	in      *sim.Fifo[packet.Packet] // transmit side (CKS "network port")
-	out     *sim.Fifo[packet.Packet] // receive side (CKR "network port")
 	latency int64
+	tx      *linkTx
+	rx      *linkRx
+}
 
-	q []inFlight // delay line, oldest first
+// linkTx is the sender-side half: it pops the transport's network-out
+// FIFO and puts packets on the wire, gated by the credit window.
+type linkTx struct {
+	name    string
+	in      *sim.Fifo[packet.Packet] // transmit side (CKS "network port")
+	wire    *sim.Boundary[packet.Packet]
+	credits *sim.Boundary[struct{}]
+	window  int64 // max outstanding packets: 2×latency (the round trip)
+	// outstanding counts packets sent whose credits have not matured.
+	outstanding int64
+}
 
-	// Stats.
+// linkRx is the receiver-side half: it delivers matured wire entries to
+// the transport's network-in FIFO and returns one credit per delivery.
+type linkRx struct {
+	name    string
+	out     *sim.Fifo[packet.Packet] // receive side (CKR "network port")
+	wire    *sim.Boundary[packet.Packet]
+	credits *sim.Boundary[struct{}]
+
 	delivered  uint64
 	stalls     uint64 // cycles the head packet waited on a full receiver
 	stallSince int64  // cycle the current blocked-head window opened, -1 if none
 }
 
-type inFlight struct {
-	p       packet.Packet
-	readyAt int64
-}
-
-// New registers a unidirectional link between in (sender side) and out
-// (receiver side) on the engine. latency <= 0 selects DefaultLatency.
-func New(e *sim.Engine, name string, in, out *sim.Fifo[packet.Packet], latency int64) *Link {
+// New registers a unidirectional link between in (sender side, on the
+// src engine) and out (receiver side, on the dst engine). src and dst
+// are the same engine in single-shard runs. latency <= 0 selects
+// DefaultLatency.
+func New(src, dst *sim.Engine, name string, in, out *sim.Fifo[packet.Packet], latency int64) *Link {
 	if latency <= 0 {
 		latency = DefaultLatency
 	}
-	l := &Link{name: name, in: in, out: out, latency: latency, stallSince: -1}
-	id := e.AddKernel(l)
+	rx := &linkRx{name: name, out: out, stallSince: -1}
+	tx := &linkTx{name: name, in: in, window: 2 * latency}
+	// The receive half registers before the transmit half, mirroring the
+	// deliver-then-accept order of a single-kernel link.
+	rxID := dst.AddKernel(rx)
+	txID := src.AddKernel(tx)
+	wire := sim.NewBoundary[packet.Packet](src, dst, rxID, latency)
+	credits := sim.NewBoundary[struct{}](dst, src, txID, latency)
+	tx.wire, tx.credits = wire, credits
+	rx.wire, rx.credits = wire, credits
 	// Commits on the transmit FIFO and pops on the receive FIFO are the
-	// only external events that can give a parked link work.
-	in.WakesKernel(id)
-	out.WakesKernel(id)
-	return l
+	// only external events (besides boundary arrivals, which wake the
+	// halves directly) that can give a parked half work.
+	in.WakesKernel(txID)
+	out.WakesKernel(rxID)
+	return &Link{name: name, latency: latency, tx: tx, rx: rx}
 }
 
 // Name returns the link's name.
 func (l *Link) Name() string { return l.name }
 
 // Delivered returns the number of packets delivered to the receiver.
-func (l *Link) Delivered() uint64 { return l.delivered }
+func (l *Link) Delivered() uint64 { return l.rx.delivered }
 
 // Stalls returns the number of cycles the link head spent blocked on a
 // full receiver FIFO (backpressure pressure gauge).
-func (l *Link) Stalls() uint64 { return l.stalls }
+func (l *Link) Stalls() uint64 { return l.rx.stalls }
 
-// Tick advances the link one cycle: deliver at most one arrived packet,
-// then accept at most one new packet if the in-flight window allows.
-func (l *Link) Tick(now int64) bool {
-	active := false
-	if len(l.q) > 0 && l.q[0].readyAt <= now {
-		if l.out.TryPush(l.q[0].p) {
-			if l.stallSince >= 0 {
-				// Close the blocked-head window: the opening cycle was
-				// counted when the window opened.
-				l.stalls += uint64(now - l.stallSince - 1)
-				l.stallSince = -1
-			}
-			l.q = l.q[1:]
-			l.delivered++
-			active = true
-		} else if l.stallSince < 0 {
-			l.stallSince = now
-			l.stalls++
-		}
-	}
-	// The in-flight window equals the latency: one packet can be "on the
-	// wire" per cycle of flight time. This bounds buffering to what the
-	// physical serialization pipeline holds.
-	if int64(len(l.q)) < l.latency {
-		if p, ok := l.in.TryPop(); ok {
-			l.q = append(l.q, inFlight{p: p, readyAt: now + l.latency})
-			active = true
-		}
-	}
-	// Packets still serializing arrive by the passage of time alone; that
-	// is a scheduled wake (IdleUntil), not per-cycle activity. A delay
-	// line whose every packet is ready but blocked on a full receiver
-	// depends on external progress and reports idle (so jams are
-	// diagnosable as deadlocks).
-	return active
+func (l *Link) String() string {
+	return fmt.Sprintf("link %s (lat=%d, delivered=%d)", l.name, l.latency, l.rx.delivered)
 }
 
-// IdleUntil promises the link does nothing before its oldest in-flight
-// packet finishes serializing. Head-ready-but-blocked and empty states
-// park until a FIFO wake (transmit commit or receive pop).
-func (l *Link) IdleUntil(now int64) int64 {
-	if len(l.q) > 0 && l.q[0].readyAt > now {
-		return l.q[0].readyAt
+func (t *linkTx) Name() string { return t.name + ".tx" }
+
+// Tick advances the transmit half one cycle: collect matured credits,
+// then accept at most one new packet if the window allows.
+func (t *linkTx) Tick(now int64) bool {
+	for {
+		if _, ok := t.credits.PopReady(now); !ok {
+			break
+		}
+		t.outstanding--
+	}
+	if t.outstanding < t.window {
+		if p, ok := t.in.TryPop(); ok {
+			t.wire.Put(now, p)
+			t.outstanding++
+			return true
+		}
+	}
+	// Credit maturation alone is not activity: it changes no state any
+	// other component can observe, so an otherwise idle sender must not
+	// delay quiescence detection while residual credits drain.
+	return false
+}
+
+// IdleUntil parks the transmit half until the next credit matures when
+// it is window-blocked with data waiting; everything else that can give
+// it work arrives as a wake (transmit-FIFO commit, credit flush).
+func (t *linkTx) IdleUntil(now int64) int64 {
+	if t.in.CanPop() && t.outstanding >= t.window {
+		return t.credits.NextReadyAt()
 	}
 	return sim.Never
 }
 
-func (l *Link) String() string {
-	return fmt.Sprintf("link %s (lat=%d, delivered=%d)", l.name, l.latency, l.delivered)
+func (r *linkRx) Name() string { return r.name + ".rx" }
+
+// Tick advances the receive half one cycle: deliver at most one matured
+// packet and return its credit.
+func (r *linkRx) Tick(now int64) bool {
+	p, ok := r.wire.PeekReady(now)
+	if !ok {
+		return false
+	}
+	if !r.out.TryPush(p) {
+		if r.stallSince < 0 {
+			r.stallSince = now
+			r.stalls++
+		}
+		return false
+	}
+	if r.stallSince >= 0 {
+		// Close the blocked-head window: the opening cycle was counted
+		// when the window opened.
+		r.stalls += uint64(now - r.stallSince - 1)
+		r.stallSince = -1
+	}
+	r.wire.PopReady(now)
+	r.credits.Put(now, struct{}{})
+	r.delivered++
+	return true
+}
+
+// IdleUntil promises the receive half does nothing before its oldest
+// in-flight packet finishes serializing. Head-ready-but-blocked and
+// empty states park until a wake (receive-FIFO pop or wire arrival).
+func (r *linkRx) IdleUntil(now int64) int64 {
+	if next := r.wire.NextReadyAt(); next > now {
+		return next // Never when the wire is empty
+	}
+	return sim.Never
 }

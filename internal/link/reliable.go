@@ -116,6 +116,12 @@ type ReliableLink struct {
 	peer    *ReliableLink
 
 	wire []wireFrame // delay line, oldest first
+	// credits models the receiver's credit return path: one entry per
+	// frame drained from the wire, maturing at drain+latency. The sender
+	// admits a frame only while outstanding (wire + unmatured credits) is
+	// below 2*latency — the same round-trip window the lossless Link
+	// uses, so fault-free timing stays bit-identical between the two.
+	credits []int64
 
 	// Transmit state (lives at the source device).
 	buf        []txFrame // unacked frames, seq order
@@ -226,6 +232,7 @@ func (l *ReliableLink) Park() {
 	l.parked = true
 	l.dead = true
 	l.wire = nil
+	l.credits = nil
 	l.held = nil
 }
 
@@ -281,6 +288,11 @@ func (l *ReliableLink) IdleUntil(now int64) int64 {
 	if len(l.wire) > 0 && l.wire[0].readyAt > now {
 		next = l.wire[0].readyAt
 	}
+	if len(l.credits) > 0 && l.credits[0] > now && l.credits[0] < next {
+		// A maturing credit can reopen the admission window for a sender
+		// blocked on it (harmless extra wake otherwise).
+		next = l.credits[0]
+	}
 	if !l.dead && l.timerArmed {
 		if d := l.timerBase + l.par.RTO; d < next {
 			next = d
@@ -315,6 +327,9 @@ func (l *ReliableLink) tickReceive(now int64) bool {
 	}
 	f := l.wire[0].f
 	l.wire = l.wire[1:]
+	// Return one credit per drained wire slot regardless of the frame's
+	// fate: the slot itself is free again after the feedback latency.
+	l.credits = append(l.credits, now+l.latency)
 	if l.inj.Down(now) {
 		// The link dropped carrier while the frame was in flight.
 		l.inj.LoseOnWire(now)
@@ -373,6 +388,16 @@ func (l *ReliableLink) oweNack() {
 	l.eng.WakeKernel(l.peer.id)
 }
 
+// wireOutstanding counts frames charged against the credit window:
+// frames still on the wire plus drained frames whose credit has not
+// matured. Matured credits are discarded as a side effect.
+func (l *ReliableLink) wireOutstanding(now int64) int64 {
+	for len(l.credits) > 0 && l.credits[0] <= now {
+		l.credits = l.credits[1:]
+	}
+	return int64(len(l.wire) + len(l.credits))
+}
+
 // tickTransmit handles the retransmit timeout and places at most one
 // frame — backlog retransmission, fresh data, or a pure control frame —
 // on the wire.
@@ -385,7 +410,7 @@ func (l *ReliableLink) tickTransmit(now int64) bool {
 	// but congested, and retransmitting into it would be both futile
 	// and unfaithful.
 	if l.timerArmed && now-l.timerBase >= l.par.RTO {
-		if len(l.wire) >= int(l.latency) {
+		if l.wireOutstanding(now) >= 2*l.latency {
 			l.timerBase = now
 		} else {
 			l.cursor = 0 // go-back-N rewind
@@ -398,8 +423,7 @@ func (l *ReliableLink) tickTransmit(now int64) bool {
 			}
 		}
 	}
-	wireRoom := len(l.wire) < int(l.latency)
-	if !wireRoom {
+	if l.wireOutstanding(now) >= 2*l.latency {
 		return false
 	}
 	// Backlog first: frames already accepted but not yet (re)sent.

@@ -64,7 +64,7 @@ func TestReliableZeroFaultParity(t *testing.T) {
 	be := sim.NewEngine()
 	bin := sim.NewFifo[packet.Packet](be, "in", 8)
 	bout := sim.NewFifo[packet.Packet](be, "out", 8)
-	New(be, "l", bin, bout, latency)
+	New(be, be, "l", bin, bout, latency)
 	var baseDone int64
 	sim.NewProc(be, "tx", func(p *sim.Proc) {
 		for i := 0; i < n; i++ {

@@ -9,8 +9,13 @@
 //	byte 2: port
 //	byte 3: operation type (3 bits) | number of valid elements (5 bits)
 //
-// Rank and port are truncated to 8 bits to mitigate the header overhead
-// of packet switching, exactly as in the reference implementation.
+// Rank and port are truncated to 8 bits on the wire to mitigate the
+// header overhead of packet switching, exactly as in the reference
+// implementation. The in-memory Packet keeps 16-bit rank fields so the
+// simulator can model clusters beyond the 8-bit wire format's 256
+// ranks; only the encoded wire form (the reliable link layer's frames)
+// is bound to the 8-bit limit, and reliable clusters are capped at
+// MaxWireRanks accordingly.
 package packet
 
 import (
@@ -26,8 +31,14 @@ const (
 	PayloadSize = Size - HeaderSize // 28
 )
 
-// MaxRanks is the largest addressable rank count (8-bit rank field).
-const MaxRanks = 256
+// MaxRanks is the largest rank count the simulator addresses (16-bit
+// in-memory rank fields, bounded to keep per-rank state small).
+const MaxRanks = 1024
+
+// MaxWireRanks is the largest rank count the encoded 32-byte wire form
+// can address (8-bit rank field). Paths that serialize packets — the
+// reliable link layer — are limited to clusters of this size.
+const MaxWireRanks = 256
 
 // MaxPorts is the largest addressable port count (8-bit port field).
 const MaxPorts = 256
@@ -87,8 +98,8 @@ func (o Op) String() string {
 // standing in for the state real circuit-switched hardware keeps per
 // established circuit.
 type Packet struct {
-	Src     uint8
-	Dst     uint8
+	Src     uint16
+	Dst     uint16
 	Port    uint8
 	Op      Op
 	Count   uint8 // number of valid elements in Payload (5 bits, <= 28)
@@ -96,11 +107,14 @@ type Packet struct {
 	Payload [PayloadSize]byte
 }
 
-// Encode serializes the packet into its 32-byte wire form.
+// Encode serializes the packet into its 32-byte wire form. Ranks are
+// truncated to the 8-bit wire fields; callers guarantee they are below
+// MaxWireRanks (the reliable link layer only runs in clusters capped at
+// that size).
 func (p *Packet) Encode() [Size]byte {
 	var w [Size]byte
-	w[0] = p.Src
-	w[1] = p.Dst
+	w[0] = uint8(p.Src)
+	w[1] = uint8(p.Dst)
 	w[2] = p.Port
 	w[3] = uint8(p.Op)<<5 | p.Count&0x1f
 	copy(w[HeaderSize:], p.Payload[:])
@@ -110,8 +124,8 @@ func (p *Packet) Encode() [Size]byte {
 // Decode deserializes a 32-byte wire word into a packet.
 func Decode(w [Size]byte) Packet {
 	var p Packet
-	p.Src = w[0]
-	p.Dst = w[1]
+	p.Src = uint16(w[0])
+	p.Dst = uint16(w[1])
 	p.Port = w[2]
 	p.Op = Op(w[3] >> 5)
 	p.Count = w[3] & 0x1f
@@ -184,29 +198,32 @@ func Checksum(w [Size]byte, seq, ack uint64, flags byte) uint32 {
 // instantiated at every rank, to allow the root rank to be specified
 // dynamically").
 type Config struct {
-	Root  uint8
+	Root  uint16
 	Count uint32 // message length in elements (per rank)
-	Base  uint8  // first global rank of the communicator
-	Size  uint8  // communicator size in ranks
+	Base  uint16 // first global rank of the communicator
+	Size  uint16 // communicator size in ranks
 }
 
-// EncodeConfig packs a Config into an OpConfig packet for the given port.
-func EncodeConfig(src uint8, port uint8, c Config) Packet {
+// EncodeConfig packs a Config into an OpConfig packet for the given
+// port. The rank fields are 16-bit: OpConfig never crosses the network,
+// so it is not bound to the wire header's 8-bit rank limit and can
+// describe communicators up to MaxRanks.
+func EncodeConfig(src uint16, port uint8, c Config) Packet {
 	p := Packet{Src: src, Dst: src, Port: port, Op: OpConfig}
-	p.Payload[0] = c.Root
-	binary.LittleEndian.PutUint32(p.Payload[1:], c.Count)
-	p.Payload[5] = c.Base
-	p.Payload[6] = c.Size
+	binary.LittleEndian.PutUint16(p.Payload[0:], c.Root)
+	binary.LittleEndian.PutUint32(p.Payload[2:], c.Count)
+	binary.LittleEndian.PutUint16(p.Payload[6:], c.Base)
+	binary.LittleEndian.PutUint16(p.Payload[8:], c.Size)
 	return p
 }
 
 // DecodeConfig extracts a Config from an OpConfig packet.
 func DecodeConfig(p Packet) Config {
 	return Config{
-		Root:  p.Payload[0],
-		Count: binary.LittleEndian.Uint32(p.Payload[1:]),
-		Base:  p.Payload[5],
-		Size:  p.Payload[6],
+		Root:  binary.LittleEndian.Uint16(p.Payload[0:]),
+		Count: binary.LittleEndian.Uint32(p.Payload[2:]),
+		Base:  binary.LittleEndian.Uint16(p.Payload[6:]),
+		Size:  binary.LittleEndian.Uint16(p.Payload[8:]),
 	}
 }
 
@@ -267,7 +284,7 @@ type OpenInfo struct {
 }
 
 // EncodeOpen builds the circuit-establishment packet.
-func EncodeOpen(src, dst, port uint8, info OpenInfo) Packet {
+func EncodeOpen(src, dst uint16, port uint8, info OpenInfo) Packet {
 	p := Packet{Src: src, Dst: dst, Port: port, Op: OpOpen}
 	binary.LittleEndian.PutUint32(p.Payload[0:], info.RawPackets)
 	binary.LittleEndian.PutUint32(p.Payload[4:], info.Elems)

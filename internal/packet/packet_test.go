@@ -23,11 +23,12 @@ func TestEncodeDecodeRoundtrip(t *testing.T) {
 	}
 }
 
-// Property: every packet with in-range fields survives the wire format.
+// Property: every packet with wire-addressable fields (ranks below
+// MaxWireRanks — the 8-bit header limit) survives the wire format.
 func TestEncodeDecodeQuick(t *testing.T) {
 	prop := func(src, dst, port uint8, op uint8, count uint8, payload [PayloadSize]byte) bool {
 		p := Packet{
-			Src: src, Dst: dst, Port: port,
+			Src: uint16(src), Dst: uint16(dst), Port: port,
 			Op:      Op(op % uint8(numOps)),
 			Count:   count % 29,
 			Payload: payload,
@@ -140,13 +141,20 @@ func TestFloatConversions(t *testing.T) {
 }
 
 func TestConfigRoundtrip(t *testing.T) {
-	c := Config{Root: 7, Count: 123456789, Base: 2, Size: 6}
-	p := EncodeConfig(3, 9, c)
-	if p.Op != OpConfig || p.Port != 9 || p.Src != 3 {
-		t.Fatalf("bad config packet header: %v", p)
-	}
-	if got := DecodeConfig(p); got != c {
-		t.Fatalf("config roundtrip: got %+v, want %+v", got, c)
+	// Config never crosses the network, so its rank fields cover the
+	// full simulator range (MaxRanks), not just the 8-bit wire range —
+	// a 1024-rank communicator must survive intact.
+	for _, c := range []Config{
+		{Root: 7, Count: 123456789, Base: 2, Size: 6},
+		{Root: 1000, Count: 1 << 20, Base: 0, Size: MaxRanks},
+	} {
+		p := EncodeConfig(3, 9, c)
+		if p.Op != OpConfig || p.Port != 9 || p.Src != 3 {
+			t.Fatalf("bad config packet header: %v", p)
+		}
+		if got := DecodeConfig(p); got != c {
+			t.Fatalf("config roundtrip: got %+v, want %+v", got, c)
+		}
 	}
 }
 

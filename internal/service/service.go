@@ -173,6 +173,7 @@ func (s *Service) runJob(job *Job) {
 		Topology:      r.topo,
 		RoutingPolicy: r.policy,
 		Scheduler:     r.sched,
+		Shards:        r.shards,
 		Faults:        r.faults,
 		MaxCycles:     spec.MaxCycles,
 	}

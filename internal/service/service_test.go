@@ -67,6 +67,34 @@ func TestSubmitRunsJob(t *testing.T) {
 	}
 }
 
+// TestShardJobMatchesEvent admits a sharded job and checks it against
+// the same spec under the default scheduler: identical cycles and
+// output digest, with the shard layout visible in the returned stats.
+func TestShardJobMatchesEvent(t *testing.T) {
+	svc := newTestService(t, Config{Workers: 2})
+	shard, err := svc.Submit(JobSpec{Workload: "bcast", Ranks: 8, Size: 256, Scheduler: "shard", Shards: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	event, err := svc.Submit(JobSpec{Workload: "bcast", Ranks: 8, Size: 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	stS, stE := mustDone(t, shard), mustDone(t, event)
+	if stS.Result.Cycles != stE.Result.Cycles {
+		t.Fatalf("shard job finished at cycle %d, event at %d", stS.Result.Cycles, stE.Result.Cycles)
+	}
+	if stS.Result.OutputDigest != stE.Result.OutputDigest {
+		t.Fatalf("shard digest %s != event digest %s", stS.Result.OutputDigest, stE.Result.OutputDigest)
+	}
+	if got := stS.Result.Stats.Sched.Shards; got != 4 {
+		t.Fatalf("shard job reports %d shards, want 4", got)
+	}
+	if stS.Result.Stats.Sched.Syncs <= 0 {
+		t.Fatal("shard job reports no boundary synchronizations")
+	}
+}
+
 func TestInvalidSpecsRejectedAtSubmit(t *testing.T) {
 	svc := newTestService(t, Config{Workers: 1})
 	cases := []JobSpec{
@@ -79,6 +107,12 @@ func TestInvalidSpecsRejectedAtSubmit(t *testing.T) {
 		{Workload: "bcast", Ranks: 9, Topology: &topology.Spec{Kind: "torus", Rows: 2, Cols: 2}},
 		{Workload: "bcast", Ranks: 4, Faults: &fault.Spec{DropProb: 2}},
 		{Workload: "summa", Ranks: 4, Faults: &fault.Spec{DropProb: 0.5}},
+		{Workload: "bcast", Ranks: 4, Scheduler: "shard"},             // shards missing
+		{Workload: "bcast", Ranks: 4, Scheduler: "shard", Shards: -2}, // negative
+		{Workload: "bcast", Ranks: 4, Scheduler: "shard", Shards: 8},  // > ranks
+		{Workload: "bcast", Ranks: 4, Shards: 2},                      // shards without shard scheduler
+		{Workload: "bcast", Ranks: 8, Scheduler: "shard", Shards: 2,
+			Faults: &fault.Spec{Seed: 1, DropProb: 0.1}}, // shard + faults
 	}
 	for i, spec := range cases {
 		if _, err := svc.Submit(spec); !IsKind(err, InvalidSpec) {

@@ -34,8 +34,15 @@ type JobSpec struct {
 	Topology *topology.Spec `json:"topology,omitempty"`
 	// RoutingPolicy is "shortest-path" (default) or "updown".
 	RoutingPolicy string `json:"routing_policy,omitempty"`
-	// Scheduler is "event" (default) or "dense".
+	// Scheduler is "event" (default), "dense", or "shard" (conservative
+	// parallel simulation, one engine per shard of ranks).
 	Scheduler string `json:"scheduler,omitempty"`
+	// Shards is the shard count for the "shard" scheduler: required to
+	// be in [1, ranks] when Scheduler is "shard", and must be left zero
+	// otherwise. Fault-injected jobs run on the single-engine build
+	// regardless (see smi.Config.Shards), so "shard" cannot be combined
+	// with a fault schedule.
+	Shards int `json:"shards,omitempty"`
 	// Faults attaches a deterministic fault-injection schedule.
 	Faults *fault.Spec `json:"faults,omitempty"`
 	// MaxCycles bounds the simulation (0 = workload default).
@@ -61,8 +68,10 @@ func parseScheduler(s string) (sim.SchedulerKind, error) {
 		return sim.SchedEvent, nil
 	case "dense":
 		return sim.SchedDense, nil
+	case "shard":
+		return sim.SchedShard, nil
 	default:
-		return 0, fmt.Errorf("unknown scheduler %q (have event, dense)", s)
+		return 0, fmt.Errorf("unknown scheduler %q (have event, dense, shard)", s)
 	}
 }
 
@@ -74,6 +83,7 @@ type resolved struct {
 	topo     *topology.Topology
 	policy   routing.Policy
 	sched    sim.SchedulerKind
+	shards   int
 	faults   *fault.Spec
 }
 
@@ -98,6 +108,19 @@ func (s *JobSpec) resolve() (resolved, error) {
 	}
 	if r.sched, err = parseScheduler(s.Scheduler); err != nil {
 		return r, errf(InvalidSpec, "%v", err)
+	}
+	if r.sched == sim.SchedShard {
+		switch {
+		case s.Shards <= 0:
+			return r, errf(InvalidSpec, "scheduler \"shard\" needs a positive shard count, got %d", s.Shards)
+		case s.Shards > s.Ranks:
+			return r, errf(InvalidSpec, "%d shards exceed the job's %d ranks", s.Shards, s.Ranks)
+		case s.Faults != nil && !s.Faults.Zero():
+			return r, errf(InvalidSpec, "scheduler \"shard\" cannot run a fault schedule (reliable links are single-engine)")
+		}
+		r.shards = s.Shards
+	} else if s.Shards != 0 {
+		return r, errf(InvalidSpec, "shards is only valid with scheduler \"shard\", got shards=%d with scheduler %q", s.Shards, s.Scheduler)
 	}
 	if s.Topology != nil {
 		if r.topo, err = s.Topology.Build(); err != nil {

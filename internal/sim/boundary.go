@@ -1,0 +1,129 @@
+package sim
+
+// Boundary is the one legal channel for state to cross between engine
+// shards: a single-producer single-consumer queue of timestamped
+// entries with a fixed minimum latency. The producing engine Puts
+// entries during its window; the consuming engine sees an entry only
+// once its readyAt cycle is due. Entries become visible to the consumer
+//
+//   - immediately (gated by readyAt) when both halves live on the same
+//     engine, exactly like an in-kernel delay line, or
+//   - at the next group barrier when the halves live on different
+//     engines. Because every entry's readyAt lies at least `latency`
+//     cycles after its Put and windows are no longer than the smallest
+//     boundary latency, a barrier flush always publishes entries before
+//     the consumer's clock can reach them — the conservative-lookahead
+//     invariant that makes sharded runs bit-identical to the dense scan.
+//
+// A Boundary wakes the consumer kernel (wakeKernelAt) when entries
+// become visible, so parked consumers resume exactly at readyAt.
+type Boundary[T any] struct {
+	src, dst *Engine
+	dstK     KernelID
+	latency  int64
+
+	head []boundaryEntry[T] // visible to the consumer
+	tail []boundaryEntry[T] // produced this window, not yet flushed
+}
+
+type boundaryEntry[T any] struct {
+	v       T
+	readyAt int64
+}
+
+// boundaryFlusher is the untyped view of a Boundary the Group drives at
+// barriers.
+type boundaryFlusher interface {
+	flush()
+	Latency() int64
+}
+
+// boundaryInlet is the consumer-side untyped view the destination
+// engine's earliestEvent merges: pending arrivals are future work even
+// when every local proc and kernel is quiescent.
+type boundaryInlet interface {
+	NextReadyAt() int64
+}
+
+// NewBoundary creates a boundary whose producer runs on src and whose
+// consumer is kernel dstK on dst. Entries Put at cycle t become
+// consumable at t+latency. The boundary registers itself with the
+// source engine so a Group covering both engines flushes it at every
+// barrier; when src == dst no flushing is needed and Puts land in head
+// directly.
+func NewBoundary[T any](src, dst *Engine, dstK KernelID, latency int64) *Boundary[T] {
+	if latency < 1 {
+		latency = 1
+	}
+	b := &Boundary[T]{src: src, dst: dst, dstK: dstK, latency: latency}
+	if src != dst {
+		src.boundaries = append(src.boundaries, b)
+		dst.inBoundaries = append(dst.inBoundaries, b)
+	}
+	return b
+}
+
+// Latency returns the boundary's minimum crossing latency in cycles.
+func (b *Boundary[T]) Latency() int64 { return b.latency }
+
+// Crossing reports whether the boundary connects two distinct engines.
+func (b *Boundary[T]) Crossing() bool { return b.src != b.dst }
+
+// Put appends v with readyAt = now+latency. Must be called from the
+// source engine's thread (its kernel or proc phases).
+func (b *Boundary[T]) Put(now int64, v T) {
+	ent := boundaryEntry[T]{v: v, readyAt: now + b.latency}
+	if b.src == b.dst {
+		b.head = append(b.head, ent)
+		// The consumer may be parked waiting for exactly this arrival.
+		b.src.wakeKernelAt(b.dstK, ent.readyAt)
+		return
+	}
+	b.tail = append(b.tail, ent)
+}
+
+// flush publishes the producer's window output to the consumer and
+// schedules the consumer kernel at the first new entry's ready cycle.
+// Called by the Group at barriers, with all engines stopped.
+func (b *Boundary[T]) flush() {
+	if len(b.tail) == 0 {
+		return
+	}
+	b.head = append(b.head, b.tail...)
+	b.dst.wakeKernelAt(b.dstK, b.tail[0].readyAt)
+	b.tail = b.tail[:0]
+}
+
+// Len returns the number of entries visible to the consumer.
+func (b *Boundary[T]) Len() int { return len(b.head) }
+
+// Pending returns the number of unflushed (produced this window)
+// entries; consumer-side callers must treat it as zero.
+func (b *Boundary[T]) Pending() int { return len(b.tail) }
+
+// PeekReady returns the oldest entry if its readyAt is due.
+func (b *Boundary[T]) PeekReady(now int64) (T, bool) {
+	var zero T
+	if len(b.head) == 0 || b.head[0].readyAt > now {
+		return zero, false
+	}
+	return b.head[0].v, true
+}
+
+// PopReady removes and returns the oldest entry if its readyAt is due.
+func (b *Boundary[T]) PopReady(now int64) (T, bool) {
+	v, ok := b.PeekReady(now)
+	if ok {
+		b.head = b.head[1:]
+	}
+	return v, ok
+}
+
+// NextReadyAt returns the readyAt of the oldest visible entry, or Never
+// if none is visible — the consumer's IdleUntil contribution.
+func (b *Boundary[T]) NextReadyAt() int64 {
+	if len(b.head) == 0 {
+		return Never
+	}
+	return b.head[0].readyAt
+}

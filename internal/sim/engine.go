@@ -92,6 +92,22 @@ type Engine struct {
 	kernelTicks int64
 	fifoCommits int64
 
+	// Windowed (shard-group) state: a Group drives the engine one
+	// lookahead window at a time instead of to completion (see shard.go).
+	windowed     bool
+	horizon      int64             // exclusive window end while windowed
+	eventInit    bool              // runEvent seeding done
+	procsDoneAt  int64             // max over finished procs of (finish cycle + 1)
+	boundaries   []boundaryFlusher // outbound: flushed by the Group at barriers
+	inBoundaries []boundaryInlet   // inbound: merged into earliestEvent
+	// windowIdleUntil is the loop's own quiescence estimate, maintained
+	// every executed cycle: now+1 after an active cycle, the phase-4
+	// fast-forward target (pre horizon clamp) after an inactive one, and
+	// Never when nothing is scheduled at all. It is what the engine knows
+	// about its own future at a window boundary — hot kernels and
+	// due-this-cycle work included, which the wake heaps alone are not.
+	windowIdleUntil int64
+
 	// progress observer (see SetProgress)
 	progressEvery int64
 	progressFn    func(now int64)
@@ -267,10 +283,12 @@ func (e *Engine) Run() error {
 		p.start()
 	}
 	defer e.finishRecording()
-	if e.sched == SchedEvent {
-		return e.runEvent()
+	if e.sched == SchedDense {
+		return e.runDense()
 	}
-	return e.runDense()
+	// SchedShard on a lone engine is the event scheduler; the
+	// parallelism lives in the Group driver (shard.go).
+	return e.runEvent()
 }
 
 // runDense is the reference scheduler: every proc, kernel, and FIFO is
@@ -278,14 +296,20 @@ func (e *Engine) Run() error {
 // event scheduler must match cycle for cycle.
 func (e *Engine) runDense() error {
 	for {
-		if e.finished == len(e.procs) && len(e.procs) > 0 {
-			return e.drain()
+		if e.windowed {
+			if e.now >= e.horizon {
+				return nil
+			}
+		} else {
+			if e.finished == len(e.procs) && len(e.procs) > 0 {
+				return e.drain()
+			}
+			if e.now >= e.maxCycles {
+				e.stopProcs()
+				return maxCyclesErr(e.maxCycles)
+			}
+			e.maybeProgress()
 		}
-		if e.now >= e.maxCycles {
-			e.stopProcs()
-			return maxCyclesErr(e.maxCycles)
-		}
-		e.maybeProgress()
 		e.executed++
 		active := false
 
@@ -359,10 +383,21 @@ func (e *Engine) runDense() error {
 
 		// Phase 4: termination and fast-forward.
 		e.phase = phaseIdle
+		e.windowIdleUntil = e.now + 1
 		if !active {
 			next, sleeping := e.nextWake()
 			if kd, ok := e.denseKernelDeadline(); ok && (!sleeping || kd < next) {
 				next, sleeping = kd, true
+			}
+			if sleeping {
+				e.windowIdleUntil = next
+			} else {
+				e.windowIdleUntil = Never
+			}
+			if e.windowed && (!sleeping || next > e.horizon) {
+				// Quiescent through the window boundary; resume decisions
+				// belong to the group.
+				next, sleeping = e.horizon, true
 			}
 			switch {
 			case sleeping:
@@ -415,6 +450,13 @@ func (e *Engine) step(p *Proc) error {
 	<-p.yielded
 	if p.status == procFinished {
 		e.finished++
+		// The cycle the dense scan would report if this were the last
+		// proc: the finish cycle plus the final clock increment. The
+		// shard group quotes max(procsDoneAt) as the run's cycle count so
+		// completion cycles stay invariant across shard counts.
+		if at := e.now + 1; at > e.procsDoneAt {
+			e.procsDoneAt = at
+		}
 		if p.err != nil {
 			return fmt.Errorf("sim: proc %s: %w", p.name, p.err)
 		}
@@ -485,6 +527,83 @@ func (e *Engine) deadlock() error {
 
 // drain lets proc goroutines exit after completion.
 func (e *Engine) drain() error { return nil }
+
+// startAll starts every proc goroutine; the Group driver calls it once
+// in place of Run's own startup.
+func (e *Engine) startAll() {
+	e.started = true
+	for _, p := range e.procs {
+		p.start()
+	}
+}
+
+// runWindow advances the engine from its current cycle to exactly the
+// given horizon (exclusive): on return e.now == horizon unless a proc
+// failed. Conservative-parallel contract: the engine must receive no
+// external input (boundary flushes, wakes from other engines) while a
+// window is running.
+func (e *Engine) runWindow(horizon int64) error {
+	e.windowed = true
+	e.horizon = horizon
+	var err error
+	if e.sched == SchedDense {
+		err = e.runDense()
+	} else {
+		err = e.runEvent()
+	}
+	if err == nil && e.now < horizon {
+		// A clean early return cannot happen (the loops only return at
+		// the horizon), but keep the clock consistent defensively.
+		e.now = horizon
+	}
+	return err
+}
+
+// earliestEvent returns the earliest cycle at which this engine would do
+// work: its own loop's quiescence estimate (windowIdleUntil, which
+// covers hot kernels and scheduled wakes alike) merged with inbound
+// boundary arrivals the engine has not yet had a cycle to observe
+// (readyAt >= now; older stuck heads need a local event first, which the
+// estimate already covers). Never means the engine is quiescent until
+// further boundary traffic. Called between windows only
+// (single-threaded, boundaries flushed).
+func (e *Engine) earliestEvent() int64 {
+	next := e.windowIdleUntil
+	for _, b := range e.inBoundaries {
+		if r := b.NextReadyAt(); r >= e.now && r < next {
+			next = r
+		}
+	}
+	if next < e.now {
+		next = e.now
+	}
+	if next >= Never {
+		return Never
+	}
+	return next
+}
+
+// jumpTo fast-forwards an idle engine to cycle `at` without executing
+// anything; the caller (the Group) guarantees nothing is scheduled
+// before it.
+func (e *Engine) jumpTo(at int64) {
+	if at > e.now {
+		e.skipped += at - e.now
+		e.now = at
+	}
+}
+
+// blockedProcs returns one human-readable line per blocked proc, for
+// group-level deadlock reports.
+func (e *Engine) blockedProcs() []string {
+	var blocked []string
+	for _, p := range e.procs {
+		if p.status == procBlocked {
+			blocked = append(blocked, fmt.Sprintf("%s waiting on %s", p.name, p.blockedOn))
+		}
+	}
+	return blocked
+}
 
 // stopProcs terminates any still-running proc goroutines so they do not
 // leak after an error.

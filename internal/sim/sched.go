@@ -25,13 +25,24 @@ const (
 	SchedEvent SchedulerKind = iota
 	// SchedDense is the reference dense-scan scheduler.
 	SchedDense
+	// SchedShard is the conservative parallel scheduler: the cluster is
+	// partitioned into per-rank shards (one Engine each) that advance
+	// independently up to the link-latency lookahead horizon and exchange
+	// link traffic only at boundary synchronizations (see Group). A
+	// single engine given SchedShard behaves exactly like SchedEvent;
+	// the parallelism lives in the Group driver.
+	SchedShard
 )
 
 func (k SchedulerKind) String() string {
-	if k == SchedDense {
+	switch k {
+	case SchedDense:
 		return "dense"
+	case SchedShard:
+		return "shard"
+	default:
+		return "event"
 	}
-	return "event"
 }
 
 // Never is the IdleUntil sentinel meaning "idle until an external wake":
@@ -62,13 +73,33 @@ type IdleUntiler interface {
 // form is part of the stats schema smid serves and smibench -json
 // emits.
 type SchedStats struct {
-	Scheduler      string `json:"scheduler"`       // "dense" or "event"
+	Scheduler      string `json:"scheduler"`       // "dense", "event", or "shard"
 	Cycles         int64  `json:"cycles"`          // final simulated cycle count
 	CyclesExecuted int64  `json:"cycles_executed"` // cycles the engine actually iterated
 	CyclesSkipped  int64  `json:"cycles_skipped"`  // cycles fast-forwarded over
 	ProcSteps      int64  `json:"proc_steps"`      // proc resumptions
 	KernelTicks    int64  `json:"kernel_ticks"`    // Kernel.Tick invocations
 	FifoCommits    int64  `json:"fifo_commits"`    // commit calls that published writes
+	// Shards is the number of engine shards the run used (0 or 1 for a
+	// single-engine run), and Syncs the number of boundary
+	// synchronizations the shard group performed.
+	Shards int   `json:"shards,omitempty"`
+	Syncs  int64 `json:"syncs,omitempty"`
+	// PerShard breaks the effort counters down by shard for sharded
+	// runs (shard-local work is the load-balance signal).
+	PerShard []ShardEffort `json:"per_shard,omitempty"`
+}
+
+// ShardEffort is one shard's slice of the group effort counters.
+type ShardEffort struct {
+	Shard          int   `json:"shard"`
+	Procs          int   `json:"procs"` // simulated processes hosted by this shard
+	CyclesExecuted int64 `json:"cycles_executed"`
+	CyclesSkipped  int64 `json:"cycles_skipped"`
+	ProcSteps      int64 `json:"proc_steps"`
+	KernelTicks    int64 `json:"kernel_ticks"`
+	FifoCommits    int64 `json:"fifo_commits"`
+	Syncs          int64 `json:"syncs"`
 }
 
 // engine phases, used to time same-cycle kernel wakes the way the dense
@@ -252,7 +283,7 @@ func (e *Engine) wakeKernelAt(id KernelID, at int64) {
 // wake beating an armed deadline) strands the older entry, which the pop
 // and fast-forward paths recognize as stale and discard.
 func (e *Engine) scheduleProc(p *Proc, at int64) {
-	if e.sched == SchedEvent {
+	if e.sched != SchedDense {
 		p.schedAt = at
 		e.pq.push(at, p.idx)
 	}
@@ -313,7 +344,7 @@ func (e *Engine) kernNextDeadline() (int64, bool) {
 // push or pop of the cycle. Pops matter too: they free space, and the
 // wake pass must observe that.
 func (c *fifoCore) markDirty() {
-	if c.dirty || c.eng == nil || c.eng.sched != SchedEvent {
+	if c.dirty || c.eng == nil || c.eng.sched == SchedDense {
 		return
 	}
 	c.dirty = true
@@ -329,9 +360,14 @@ func (c *fifoCore) wakeKernels() {
 	}
 }
 
-// runEvent is the activity-set scheduler loop. It must produce exactly
-// the cycle-by-cycle behavior of runDense.
-func (e *Engine) runEvent() error {
+// ensureEventInit seeds the wake heap and hot set once per run. Windowed
+// runs (see Group) call runEvent once per window, so the seeding is
+// guarded rather than inlined in the loop entry.
+func (e *Engine) ensureEventInit() {
+	if e.eventInit {
+		return
+	}
+	e.eventInit = true
 	// All procs start runnable at cycle 0, in registration order.
 	for _, p := range e.procs {
 		p.schedAt = 0
@@ -341,15 +377,44 @@ func (e *Engine) runEvent() error {
 		e.isHot[j] = true
 		e.hotK = append(e.hotK, int32(j))
 	}
+}
+
+// nextProcEvent returns the earliest live proc wake in the event heap,
+// discarding stale entries along the way.
+func (e *Engine) nextProcEvent() int64 {
+	for e.pq.len() > 0 {
+		top := e.pq.top()
+		p := e.procs[top.idx]
+		if p.status == procFinished || p.schedAt != top.at {
+			e.pq.pop() // stale: superseded by a later (re)schedule
+			continue
+		}
+		return top.at
+	}
+	return Never
+}
+
+// runEvent is the activity-set scheduler loop. It must produce exactly
+// the cycle-by-cycle behavior of runDense. In windowed mode it runs the
+// clock up to (and stops exactly at) e.horizon; termination, deadlock,
+// and cycle-limit decisions then belong to the Group driver.
+func (e *Engine) runEvent() error {
+	e.ensureEventInit()
 	for {
-		if e.finished == len(e.procs) && len(e.procs) > 0 {
-			return e.drain()
+		if e.windowed {
+			if e.now >= e.horizon {
+				return nil
+			}
+		} else {
+			if e.finished == len(e.procs) && len(e.procs) > 0 {
+				return e.drain()
+			}
+			if e.now >= e.maxCycles {
+				e.stopProcs()
+				return maxCyclesErr(e.maxCycles)
+			}
+			e.maybeProgress()
 		}
-		if e.now >= e.maxCycles {
-			e.stopProcs()
-			return maxCyclesErr(e.maxCycles)
-		}
-		e.maybeProgress()
 		e.executed++
 		active := false
 
@@ -480,20 +545,18 @@ func (e *Engine) runEvent() error {
 
 		// Phase 4: termination and fast-forward.
 		e.phase = phaseIdle
+		e.windowIdleUntil = e.now + 1
 		if !active {
-			next := Never
-			for e.pq.len() > 0 {
-				top := e.pq.top()
-				p := e.procs[top.idx]
-				if p.status == procFinished || p.schedAt != top.at {
-					e.pq.pop() // stale: superseded by a later (re)schedule
-					continue
-				}
-				next = top.at
-				break
-			}
+			next := e.nextProcEvent()
 			if kd, ok := e.kernNextDeadline(); ok && kd < next {
 				next = kd
+			}
+			e.windowIdleUntil = next
+			if e.windowed && next > e.horizon {
+				// Quiescent through the window boundary; whether anything
+				// happens later (boundary traffic, other shards' procs) is
+				// the group's call, so jump to the horizon and return.
+				next = e.horizon
 			}
 			if next == Never {
 				if e.finished == len(e.procs) {

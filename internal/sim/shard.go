@@ -1,0 +1,276 @@
+package sim
+
+// Conservative parallel simulation driver. A Group owns several engine
+// shards that share no mutable state except Boundary queues. Because
+// every boundary imposes at least `window` cycles of latency, a shard
+// advancing through the window [t, t+window) can only produce boundary
+// entries whose readyAt lies at or beyond t+window — so shards may run
+// the window concurrently, synchronize once, exchange boundary traffic,
+// and repeat, while remaining cycle-for-cycle identical to a serial run.
+//
+// Determinism contract (see DESIGN.md "Shard scheduler"): shard-local
+// execution is the unmodified engine loop; barriers flush boundaries in
+// engine/registration order with all shards stopped; completion cycles
+// are quoted from per-proc finish cycles (procsDoneAt), which makes the
+// reported cycle count and every application-visible output invariant
+// under the shard count. Effort counters (executed/skipped/ticks) and
+// link tail traffic after the last proc finishes are quantized to the
+// window and therefore compared at fixed shard counts only.
+
+import (
+	"sort"
+	"sync"
+)
+
+// Group runs a set of engine shards under barrier synchronization.
+type Group struct {
+	engines   []*Engine
+	window    int64 // lookahead: min latency over crossing boundaries
+	maxCycles int64
+	parallel  bool // worker goroutines per window (SchedShard) or serial
+
+	base   int64 // current barrier cycle
+	syncs  int64
+	cycles int64 // final quoted cycle count (set when Run returns)
+
+	progressEvery int64
+	progressFn    func(now int64)
+	nextProgress  int64
+}
+
+// NewGroup assembles a shard group. Call after every engine is fully
+// built (kernels, FIFOs, boundaries): the lookahead window is derived
+// from the smallest cross-engine boundary latency. parallel selects
+// worker goroutines per window (SchedShard) versus serial shard
+// execution (the exact comparator used by SchedDense/SchedEvent runs of
+// a sharded cluster).
+func NewGroup(engines []*Engine, maxCycles int64, parallel bool) *Group {
+	g := &Group{engines: engines, maxCycles: maxCycles, parallel: parallel}
+	g.window = maxCycles
+	for _, e := range engines {
+		for _, bf := range e.boundaries {
+			if w := bf.Latency(); w < g.window {
+				g.window = w
+			}
+		}
+	}
+	if g.window < 1 {
+		g.window = 1
+	}
+	return g
+}
+
+// Window returns the lookahead window in cycles.
+func (g *Group) Window() int64 { return g.window }
+
+// Syncs returns the number of barrier synchronizations performed.
+func (g *Group) Syncs() int64 { return g.syncs }
+
+// Cycles returns the run's quoted cycle count: the completion cycle of
+// the slowest proc on clean runs (invariant under the shard count), or
+// the cycle the run stopped at on error.
+func (g *Group) Cycles() int64 { return g.cycles }
+
+// SetProgress installs a progress observer fired at barriers whenever
+// the group clock reaches or crosses a multiple of `every` cycles —
+// purely observational, like Engine.SetProgress.
+func (g *Group) SetProgress(every int64, fn func(now int64)) {
+	if every <= 0 || fn == nil {
+		g.progressEvery, g.progressFn = 0, nil
+		return
+	}
+	g.progressEvery, g.progressFn = every, fn
+	g.nextProgress = every
+}
+
+func (g *Group) maybeProgress() {
+	if g.progressFn == nil || g.base < g.nextProgress {
+		return
+	}
+	g.progressFn(g.base)
+	g.nextProgress = g.base - g.base%g.progressEvery + g.progressEvery
+}
+
+// SchedStats aggregates scheduler effort over the shards. kind is the
+// cluster-level scheduling mode the stats are reported under.
+func (g *Group) SchedStats(kind SchedulerKind) SchedStats {
+	st := SchedStats{
+		Scheduler: kind.String(),
+		Cycles:    g.cycles,
+		Shards:    len(g.engines),
+		Syncs:     g.syncs,
+	}
+	for i, e := range g.engines {
+		st.CyclesExecuted += e.executed
+		st.CyclesSkipped += e.skipped
+		st.ProcSteps += e.procSteps
+		st.KernelTicks += e.kernelTicks
+		st.FifoCommits += e.fifoCommits
+		st.PerShard = append(st.PerShard, ShardEffort{
+			Shard:          i,
+			Procs:          len(e.procs),
+			CyclesExecuted: e.executed,
+			CyclesSkipped:  e.skipped,
+			ProcSteps:      e.procSteps,
+			KernelTicks:    e.kernelTicks,
+			FifoCommits:    e.fifoCommits,
+			Syncs:          g.syncs,
+		})
+	}
+	return st
+}
+
+func (g *Group) totals() (done, total int) {
+	for _, e := range g.engines {
+		done += e.finished
+		total += len(e.procs)
+	}
+	return done, total
+}
+
+func (g *Group) maxProcsDoneAt() int64 {
+	var at int64
+	for _, e := range g.engines {
+		if e.procsDoneAt > at {
+			at = e.procsDoneAt
+		}
+	}
+	return at
+}
+
+// earliest returns the earliest cycle any shard would do work at given
+// no further boundary traffic (boundaries already flushed).
+func (g *Group) earliest() int64 {
+	at := Never
+	for _, e := range g.engines {
+		if w := e.earliestEvent(); w < at {
+			at = w
+		}
+	}
+	return at
+}
+
+func (g *Group) stopAll() {
+	for _, e := range g.engines {
+		e.stopProcs()
+	}
+}
+
+// flushAll publishes every boundary's window output, in deterministic
+// engine/registration order, with all shards stopped.
+func (g *Group) flushAll() {
+	for _, e := range g.engines {
+		for _, b := range e.boundaries {
+			b.flush()
+		}
+	}
+}
+
+// deadlockAll merges per-shard blocked-proc reports into one group
+// deadlock error. The reported cycle is the barrier the group quiesced
+// at (window-quantized; a single-engine run pins the exact cycle).
+func (g *Group) deadlockAll() error {
+	var blocked []string
+	for _, e := range g.engines {
+		blocked = append(blocked, e.blockedProcs()...)
+	}
+	sort.Strings(blocked)
+	return &DeadlockError{Cycle: g.base, Blocked: blocked}
+}
+
+// Run executes all shards to completion. Completion, deadlock, and
+// cycle-limit decisions are made at barriers: a run completes when every
+// proc of every shard has finished, deadlocks when no shard has any
+// scheduled event and no boundary traffic is pending, and fails with
+// ErrMaxCycles when the barrier clock reaches the limit first.
+func (g *Group) Run() error {
+	for _, e := range g.engines {
+		e.startAll()
+		if e.sched != SchedDense {
+			// Seed the event heaps before the first earliest() query.
+			e.ensureEventInit()
+		}
+	}
+	for {
+		if done, total := g.totals(); total > 0 && done == total {
+			g.cycles = g.maxProcsDoneAt()
+			return nil
+		}
+		if g.base >= g.maxCycles {
+			g.cycles = g.maxCycles
+			g.stopAll()
+			return maxCyclesErr(g.maxCycles)
+		}
+		minE := g.earliest()
+		if minE == Never {
+			g.cycles = g.base
+			err := g.deadlockAll()
+			g.stopAll()
+			return err
+		}
+		horizon := g.base + g.window
+		if minE >= horizon {
+			// Every shard is idle until minE: skip the empty span in one
+			// hop instead of spinning barriers through it. No shard can
+			// produce boundary traffic in a span it never executes, so
+			// the jump preserves the lookahead invariant.
+			to := minE
+			if to > g.maxCycles {
+				to = g.maxCycles
+			}
+			for _, e := range g.engines {
+				e.jumpTo(to)
+			}
+			g.base = to
+			g.maybeProgress()
+			continue
+		}
+		if horizon > g.maxCycles {
+			horizon = g.maxCycles
+		}
+		errs := make([]error, len(g.engines))
+		if g.parallel && len(g.engines) > 1 {
+			var wg sync.WaitGroup
+			for i, e := range g.engines {
+				wg.Add(1)
+				go func(i int, e *Engine) {
+					defer wg.Done()
+					errs[i] = e.runWindow(horizon)
+				}(i, e)
+			}
+			wg.Wait()
+		} else {
+			for i, e := range g.engines {
+				errs[i] = e.runWindow(horizon)
+			}
+		}
+		g.syncs++
+		if err := g.firstError(errs); err != nil {
+			g.stopAll()
+			return err
+		}
+		g.flushAll()
+		g.base = horizon
+		g.maybeProgress()
+	}
+}
+
+// firstError picks the error the serial (dense) run would have hit
+// first: smallest failure cycle, ties broken by shard index (shards are
+// ordered by rank, matching dense proc registration order).
+func (g *Group) firstError(errs []error) error {
+	best := -1
+	for i, err := range errs {
+		if err == nil {
+			continue
+		}
+		if best < 0 || g.engines[i].now < g.engines[best].now {
+			best = i
+		}
+	}
+	if best < 0 {
+		return nil
+	}
+	g.cycles = g.engines[best].now
+	return errs[best]
+}

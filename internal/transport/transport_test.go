@@ -48,16 +48,16 @@ func buildNet(t *testing.T, topo *topology.Topology, ports []int, cfg Config, li
 	}
 	for _, c := range topo.Connections {
 		a, b := c.A, c.B
-		link.New(n.eng, fmt.Sprintf("%s->%s", a, b),
+		link.New(n.eng, n.eng, fmt.Sprintf("%s->%s", a, b),
 			n.devices[a.Device].NetOut[a.Iface], n.devices[b.Device].NetIn[b.Iface], linkLatency)
-		link.New(n.eng, fmt.Sprintf("%s->%s", b, a),
+		link.New(n.eng, n.eng, fmt.Sprintf("%s->%s", b, a),
 			n.devices[b.Device].NetOut[b.Iface], n.devices[a.Device].NetIn[a.Iface], linkLatency)
 	}
 	return n
 }
 
 func dataPacket(src, dst, port, seq int) packet.Packet {
-	p := packet.Packet{Src: uint8(src), Dst: uint8(dst), Port: uint8(port), Op: packet.OpData, Count: 7}
+	p := packet.Packet{Src: uint16(src), Dst: uint16(dst), Port: uint8(port), Op: packet.OpData, Count: 7}
 	p.PutElem(0, packet.Int, packet.IntBits(int32(seq)))
 	return p
 }

@@ -49,6 +49,9 @@ type Params struct {
 	Faults *fault.Spec
 	// Scheduler selects the simulator scheduling mode.
 	Scheduler sim.SchedulerKind
+	// Shards partitions the ranks into engine shards (see
+	// smi.Config.Shards); 0 keeps the single-engine build.
+	Shards int
 	// MaxCycles bounds the simulation (0 = workload default).
 	MaxCycles int64
 	// Progress/ProgressEvery install a cycle-progress observer.

@@ -56,6 +56,7 @@ func netConfig(p Params) (apps.NetConfig, error) {
 		Routes:        p.Routes,
 		Faults:        p.Faults,
 		Scheduler:     p.Scheduler,
+		Shards:        p.Shards,
 		MaxCycles:     p.MaxCycles,
 		Progress:      p.Progress,
 		ProgressEvery: p.ProgressEvery,
@@ -209,6 +210,7 @@ func init() {
 				Routes:        p.Routes,
 				Faults:        p.Faults,
 				Scheduler:     p.Scheduler,
+				Shards:        p.Shards,
 				MaxCycles:     p.MaxCycles,
 				Progress:      p.Progress,
 				ProgressEvery: p.ProgressEvery,
@@ -243,6 +245,7 @@ func init() {
 				N: n, Ranks: p.Ranks, Verify: p.Verify,
 				Topology:  p.Topology,
 				Scheduler: p.Scheduler,
+				Shards:    p.Shards,
 				MaxCycles: p.MaxCycles,
 			})
 			if err != nil {
