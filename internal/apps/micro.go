@@ -15,6 +15,65 @@ import (
 	"repro/internal/transport"
 )
 
+// TransferMode selects the point-to-point transfer machinery a
+// microbenchmark's bulk port uses.
+type TransferMode uint8
+
+// Transfer modes.
+const (
+	// ModePacket is the default eager packet-switched path.
+	ModePacket TransferMode = iota
+	// ModeCredited adds the §3.3 credit-based flow control the paper
+	// prescribes when the endpoint buffer is smaller than the message.
+	ModeCredited
+	// ModeCircuit uses §4.2 circuit switching: whole-message raw-word
+	// transfer behind a single route lock.
+	ModeCircuit
+	// ModeStreaming uses the streaming large-message path: rendezvous
+	// handshake, then cut-through fragment trains of raw words.
+	ModeStreaming
+)
+
+func (m TransferMode) String() string {
+	switch m {
+	case ModePacket:
+		return "packet"
+	case ModeCredited:
+		return "credited"
+	case ModeCircuit:
+		return "circuit"
+	case ModeStreaming:
+		return "streaming"
+	default:
+		return fmt.Sprintf("TransferMode(%d)", uint8(m))
+	}
+}
+
+// ParseTransferMode maps a wire name ("packet", "credited", "circuit",
+// "streaming"; "" means packet) to a TransferMode.
+func ParseTransferMode(s string) (TransferMode, error) {
+	switch s {
+	case "", "packet":
+		return ModePacket, nil
+	case "credited":
+		return ModeCredited, nil
+	case "circuit":
+		return ModeCircuit, nil
+	case "streaming":
+		return ModeStreaming, nil
+	default:
+		return 0, fmt.Errorf("apps: unknown transfer mode %q (want packet, credited, circuit, or streaming)", s)
+	}
+}
+
+// apply configures a point-to-point PortSpec for the mode.
+func (m TransferMode) apply(spec *smi.PortSpec, streamBatch int) {
+	spec.Credited = m == ModeCredited
+	spec.Circuit = m == ModeCircuit
+	spec.Streaming = m == ModeStreaming
+	spec.StreamBatch = streamBatch
+}
+
 // NetConfig bundles the cluster knobs the microbenchmarks sweep.
 type NetConfig struct {
 	Topology  *topology.Topology
@@ -27,6 +86,12 @@ type NetConfig struct {
 	VecWidth int
 	// BufferElems is the endpoint buffer size (asynchronicity degree).
 	BufferElems int
+	// Mode selects the P2P transfer machinery for bulk microbenchmarks
+	// (default ModePacket).
+	Mode TransferMode
+	// StreamBatch is the streaming fragment size in raw words
+	// (ModeStreaming only; 0 picks the port default).
+	StreamBatch int
 	// MaxCycles optionally bounds the simulation.
 	MaxCycles int64
 	// Faults attaches a fault-injection schedule (enables the reliable
@@ -112,7 +177,9 @@ type BandwidthResult struct {
 // Bandwidth streams elems 32-bit integers from rank src to rank dst and
 // reports the achieved payload bandwidth — the §5.3.1 microbenchmark.
 // The sender uses a vectorized datapath wide enough to saturate one
-// packet per cycle unless cfg.VecWidth says otherwise.
+// packet per cycle unless cfg.VecWidth says otherwise. cfg.Mode selects
+// the transfer machinery (packet, credited, circuit, or streaming); the
+// endpoints move data through the bulk PushSlice/PopSlice API.
 func Bandwidth(cfg NetConfig, src, dst, elems int) (BandwidthResult, error) {
 	vec := cfg.VecWidth
 	if vec <= 0 {
@@ -125,17 +192,23 @@ func Bandwidth(cfg NetConfig, src, dst, elems int) (BandwidthResult, error) {
 	if err := cfg.checkRanks(src, dst); err != nil {
 		return BandwidthResult{}, err
 	}
-	c, err := cfg.cluster(smi.ProgramSpec{Ports: []smi.PortSpec{{Port: 0, Type: smi.Int, VecWidth: vec, BufferElems: buf}}})
+	spec := smi.PortSpec{Port: 0, Type: smi.Int, VecWidth: vec, BufferElems: buf}
+	cfg.Mode.apply(&spec, cfg.StreamBatch)
+	c, err := cfg.cluster(smi.ProgramSpec{Ports: []smi.PortSpec{spec}})
 	if err != nil {
 		return BandwidthResult{}, err
+	}
+	data := make([]int32, elems)
+	for i := range data {
+		data[i] = int32(i)
 	}
 	c.OnRank(src, "source", func(x *smi.Ctx) {
 		ch, err := x.OpenSend(smi.ChannelOpts{Count: elems, Type: smi.Int, Dst: dst, Port: 0})
 		if err != nil {
 			panic(err)
 		}
-		for i := 0; i < elems; i++ {
-			smi.Push(ch, int32(i))
+		if _, err := smi.PushSlice(ch, data); err != nil {
+			panic(err)
 		}
 	})
 	c.OnRank(dst, "sink", func(x *smi.Ctx) {
@@ -143,9 +216,13 @@ func Bandwidth(cfg NetConfig, src, dst, elems int) (BandwidthResult, error) {
 		if err != nil {
 			panic(err)
 		}
-		for i := 0; i < elems; i++ {
-			if got := smi.Pop[int32](ch); got != int32(i) {
-				panic(fmt.Sprintf("bandwidth: element %d corrupted: %d", i, got))
+		got := make([]int32, elems)
+		if _, err := smi.PopSlice(ch, got); err != nil {
+			panic(err)
+		}
+		for i := range got {
+			if got[i] != int32(i) {
+				panic(fmt.Sprintf("bandwidth: element %d corrupted: %d", i, got[i]))
 			}
 		}
 	})

@@ -95,6 +95,52 @@ func TestSchedulerParity(t *testing.T) {
 		}
 	})
 
+	t.Run("bandwidth-modes", func(t *testing.T) {
+		// Every P2P transfer machinery — credited flow control, circuit
+		// switching, and the streaming rendezvous path — must be
+		// bit-identical across schedulers, pristine and under fault
+		// injection (where raw words cross the reliable layer's frame
+		// sideband). 500 ints over a 64-element buffer forces credit
+		// round-trips and the streaming rendezvous alike.
+		for _, mode := range []TransferMode{ModeCredited, ModeCircuit, ModeStreaming} {
+			for _, variant := range []struct {
+				name string
+				mod  func(*NetConfig)
+			}{
+				{"pristine", func(*NetConfig) {}},
+				{"faulty", func(c *NetConfig) {
+					c.Faults = &fault.Spec{Seed: 11, DropProb: 0.002}
+				}},
+			} {
+				results := make([]BandwidthResult, len(schedVariants))
+				for i, sv := range schedVariants {
+					cfg := base
+					variant.mod(&cfg)
+					cfg.Scheduler, cfg.Shards = sv.kind, sv.shards
+					cfg.Mode, cfg.BufferElems = mode, 64
+					res, err := Bandwidth(cfg, 0, 5, 500)
+					if err != nil {
+						t.Fatalf("%s %s %s: %v", mode, variant.name, sv.name, err)
+					}
+					results[i] = res
+				}
+				for i := 1; i < len(results); i++ {
+					if results[i].Cycles != results[0].Cycles {
+						t.Errorf("%s %s: %s finished at cycle %d, dense at %d",
+							mode, variant.name, schedVariants[i].name, results[i].Cycles, results[0].Cycles)
+					}
+					if results[i].Net.PacketsDelivered != results[0].Net.PacketsDelivered {
+						t.Errorf("%s %s: %s delivered %d packets, dense %d",
+							mode, variant.name, schedVariants[i].name, results[i].Net.PacketsDelivered, results[0].Net.PacketsDelivered)
+					}
+				}
+				if mode == ModeStreaming && results[0].Net.StreamFragments == 0 {
+					t.Errorf("%s: streaming run cut no fragments through the transport", variant.name)
+				}
+			}
+		}
+	})
+
 	t.Run("bcast", func(t *testing.T) {
 		results := make([]CollectiveResult, len(schedVariants))
 		for i, sv := range schedVariants {

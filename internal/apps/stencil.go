@@ -261,14 +261,18 @@ func Stencil(cfg StencilConfig) (StencilResult, error) {
 		for si, sd := range senders {
 			si, sd := si, sd
 			c.OnRank(r, "send-"+sd.name, func(x *smi.Ctx) {
+				halo := make([]float32, sd.count)
 				for t := 0; t < cfg.Timesteps; t++ {
 					x.PopStream(goStreams[si])
 					ch, err := x.OpenSend(smi.ChannelOpts{Count: sd.count, Type: smi.Float, Dst: sd.neighbor, Port: sd.port})
 					if err != nil {
 						panic(err)
 					}
-					for k := 0; k < sd.count; k++ {
-						smi.Push(ch, sd.elem(st, k))
+					for k := range halo {
+						halo[k] = sd.elem(st, k)
+					}
+					if _, err := smi.PushSlice(ch, halo); err != nil {
+						panic(err)
 					}
 					x.PushStream(doneStreams[si], 1)
 				}
@@ -307,13 +311,13 @@ func Stencil(cfg StencilConfig) (StencilResult, error) {
 				}
 				for i := 0; i < H; i++ {
 					if i == 0 && hasN {
-						for j := 0; j < W; j++ {
-							northRow[j] = chN.PopFloat()
+						if _, err := smi.PopSlice(chN, northRow); err != nil {
+							panic(err)
 						}
 					}
 					if i == H-1 && hasS {
-						for j := 0; j < W; j++ {
-							southRow[j] = chS.PopFloat()
+						if _, err := smi.PopSlice(chS, southRow); err != nil {
+							panic(err)
 						}
 					}
 					var westVal, eastVal float32

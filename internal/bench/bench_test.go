@@ -39,7 +39,7 @@ func cell(t *testing.T, r *Report, row, col int) float64 {
 
 func TestRegistryComplete(t *testing.T) {
 	want := []string{"fig10", "fig11", "fig13", "fig15", "fig16", "fig9",
-		"scaling", "table1", "table2", "table3", "table4"}
+		"scaling", "streaming", "table1", "table2", "table3", "table4"}
 	got := Experiments()
 	var ids []string
 	for _, e := range got {
@@ -342,6 +342,32 @@ func TestAblateSwitchingShape(t *testing.T) {
 	pktCtl, circCtl := cell(t, r, 0, 2), cell(t, r, 1, 2)
 	if circCtl <= pktCtl {
 		t.Fatalf("circuit switching should delay the concurrent message: %f vs %f", circCtl, pktCtl)
+	}
+}
+
+func TestStreamingShape(t *testing.T) {
+	r := runQuick(t, "streaming") // Quick: 3 sizes x 4 modes
+	if len(r.Rows) != 12 {
+		t.Fatalf("quick streaming should have 12 rows (3 sizes x 4 modes), got %d", len(r.Rows))
+	}
+	// The acceptance gate: at >=4 KiB the streaming path must finish in
+	// at most half the cycles of the credited packet path on the 3-hop bus.
+	for _, m := range []string{"streaming_speedup_4K", "streaming_speedup_32K"} {
+		if sp, ok := r.Metrics[m]; !ok || sp < 2 {
+			t.Errorf("%s = %f, want >= 2 (metrics %v)", m, sp, r.Metrics)
+		}
+	}
+	// The switchover rationale: the advantage must grow with message size.
+	if r.Metrics["streaming_speedup_32K"] <= r.Metrics["streaming_speedup_1K"] {
+		t.Errorf("streaming advantage should grow with size: %v", r.Metrics)
+	}
+	if r.JSON == nil {
+		t.Fatal("streaming must carry its machine-readable BENCH_streaming.json payload")
+	}
+	for _, want := range []string{`"mode": "packet"`, `"mode": "circuit"`, `"mode": "streaming"`, `"stream_fragments"`} {
+		if !strings.Contains(string(r.JSON), want) {
+			t.Errorf("JSON payload missing %s", want)
+		}
 	}
 }
 

@@ -39,6 +39,20 @@ type SendChannel struct {
 	// payload packs into headerless 32-byte packets.
 	circuit bool
 	opened  bool
+
+	// Streaming state (Streaming ports whose message exceeds the endpoint
+	// buffer): the rendezvous handshake, the fragment sequence counter,
+	// and the raw words left in the fragment opened by the last header.
+	// Both sides derive "this message streams" from the same predicate
+	// (count > BufferElems), so no negotiation packet is needed for the
+	// eager case.
+	streaming bool // this message uses the rendezvous + fragment path
+	specPort  bool // the port is declared Streaming (half-duplex held)
+	batch     int  // fragment size in raw words
+	rvSent    bool // rendezvous request pushed
+	rvDone    bool // rendezvous grant received
+	seq       uint32
+	fragLeft  int
 }
 
 // OpenSendChannel opens a transient channel to stream count elements of
@@ -58,19 +72,25 @@ func (x *Ctx) OpenSendChannel(count int, dt Datatype, destination, port int, com
 		return nil, fmt.Errorf("smi: rank %d port %d already has an open send channel", x.rank, port)
 	}
 	dstGlobal := comm.Global(destination)
-	if ep.spec.Credited {
-		// The reverse direction of a credited port carries the credits.
+	if ep.spec.Credited || ep.spec.Streaming {
+		// The reverse direction of a credited port carries the credits;
+		// of a streaming port, the rendezvous handshake.
 		if ep.inUseRecv {
-			return nil, fmt.Errorf("smi: rank %d port %d: credited ports are half-duplex", x.rank, port)
+			return nil, fmt.Errorf("smi: rank %d port %d: credited and streaming ports are half-duplex", x.rank, port)
 		}
 		if dstGlobal == x.rank {
-			return nil, fmt.Errorf("smi: rank %d port %d: credited channels cannot target their own rank", x.rank, port)
+			return nil, fmt.Errorf("smi: rank %d port %d: credited and streaming channels cannot target their own rank", x.rank, port)
 		}
 		ep.inUseRecv = true
 	}
 	ep.inUseSend = true
+	// Eager-vs-rendezvous switchover: a message that fits the endpoint
+	// buffer goes eager on the plain packet path; a larger one streams.
+	// Both peers evaluate the same predicate on the same declared count,
+	// so they agree without negotiating.
+	streaming := ep.spec.Streaming && count > ep.spec.BufferElems
 	epp := dt.ElemsPerPacket()
-	if ep.spec.Circuit {
+	if ep.spec.Circuit || streaming {
 		epp = packet.RawElemsPerPacket(dt)
 	}
 	o := x.resolveOpts(opts)
@@ -78,7 +98,8 @@ func (x *Ctx) OpenSendChannel(count int, dt Datatype, destination, port int, com
 		x: x, ep: ep, dt: dt, epp: epp, vec: ep.spec.VecWidth,
 		count: count, dst: dstGlobal, port: port, patience: o.patience,
 		credited: ep.spec.Credited, credits: ep.spec.BufferElems,
-		circuit: ep.spec.Circuit,
+		circuit:   ep.spec.Circuit,
+		streaming: streaming, specPort: ep.spec.Streaming, batch: ep.spec.StreamBatch,
 	}, nil
 }
 
@@ -128,7 +149,14 @@ func (ch *SendChannel) PushE(bits uint64) error {
 		}
 		ch.opened = true
 	}
-	if ch.circuit {
+	if ch.streaming && !ch.rvDone {
+		// Rendezvous: the receiver must commit buffer before any payload
+		// enters the shared transport.
+		if err := ch.rendezvousE(deadline); err != nil {
+			return err
+		}
+	}
+	if ch.circuit || ch.streaming {
 		ch.cur.PutRawElem(ch.n, ch.dt, bits)
 	} else {
 		ch.cur.PutElem(ch.n, ch.dt, bits)
@@ -136,7 +164,13 @@ func (ch *SendChannel) PushE(bits uint64) error {
 	ch.n++
 	ch.sent++
 	if ch.n == ch.epp || ch.sent == ch.count {
-		if err := ch.flushE(deadline); err != nil {
+		var err error
+		if ch.streaming {
+			err = ch.flushStreamE(deadline)
+		} else {
+			err = ch.flushE(deadline)
+		}
+		if err != nil {
 			// Roll back the staged element; a retry re-stages it.
 			ch.n--
 			ch.sent--
@@ -146,11 +180,97 @@ func (ch *SendChannel) PushE(bits uint64) error {
 	if ch.sent == ch.count {
 		ch.ep.inUseSend = false // channel implicitly closed
 		ch.opened = false
-		if ch.credited {
+		if ch.credited || ch.specPort {
 			ch.ep.inUseRecv = false
 		}
 	}
 	return nil
+}
+
+// rendezvousE performs the sender half of the streaming handshake: a
+// request announcing the message, then a blocking wait for the
+// receiver's grant. The two legs are guarded separately so a failed
+// (deadline-expired) wait for the grant does not duplicate the request
+// on retry.
+func (ch *SendChannel) rendezvousE(deadline int64) error {
+	if !ch.rvSent {
+		req := packet.EncodeStreamCtl(uint16(ch.x.rank), uint16(ch.dst), uint8(ch.port),
+			packet.StreamCtl{Kind: packet.StreamReq, Elems: uint32(ch.count)})
+		if res := ch.ep.appSend.PushProcE(ch.x.proc, req, deadline); res != sim.WaitOK {
+			return ch.x.waitErr(res, "push", ch.port, ch.dst)
+		}
+		ch.rvSent = true
+	}
+	grant, res := ch.ep.appRecv.PopProcE(ch.x.proc, deadline)
+	if res != sim.WaitOK {
+		return ch.x.waitErr(res, "push", ch.port, ch.dst)
+	}
+	if grant.Op != packet.OpStreamCtl || int(grant.Src) != ch.dst {
+		panic(fmt.Sprintf("smi: rank %d port %d: expected stream grant from %d, got %v",
+			ch.x.rank, ch.port, ch.dst, grant))
+	}
+	if c := packet.DecodeStreamCtl(grant); c.Kind != packet.StreamGrant || int(c.Elems) != ch.count {
+		panic(fmt.Sprintf("smi: rank %d port %d: malformed stream grant %+v for %d-element message",
+			ch.x.rank, ch.port, c, ch.count))
+	}
+	ch.rvDone = true
+	return nil
+}
+
+// flushStreamE emits the staged raw word on the streaming path. At
+// fragment boundaries it first emits the OpStream header that pins the
+// route for the fragment's word train — one header amortized over up to
+// batch full 32-byte words. The header leg and the word leg are guarded
+// by fragLeft so a failed push resumes exactly where it left off.
+func (ch *SendChannel) flushStreamE(deadline int64) error {
+	if ch.fragLeft == 0 {
+		flushed := ch.sent - ch.n // elements already on the wire
+		elems := ch.count - flushed
+		if max := ch.batch * ch.epp; elems > max {
+			elems = max
+		}
+		frag := packet.StreamFrag{
+			Seq:   ch.seq,
+			Words: uint16((elems + ch.epp - 1) / ch.epp),
+			Elems: uint32(elems),
+			Last:  flushed+elems == ch.count,
+		}
+		hdr := packet.EncodeStreamFrag(uint16(ch.x.rank), uint16(ch.dst), uint8(ch.port), frag)
+		if res := ch.ep.appSend.PushProcE(ch.x.proc, hdr, deadline); res != sim.WaitOK {
+			return ch.x.waitErr(res, "push", ch.port, ch.dst)
+		}
+		ch.seq++
+		ch.fragLeft = int(frag.Words)
+	}
+	ch.cur.Src = uint16(ch.x.rank)
+	ch.cur.Dst = uint16(ch.dst)
+	ch.cur.Port = uint8(ch.port)
+	ch.cur.Op = packet.OpRaw
+	ch.cur.Count = uint8(ch.n)
+	cycles := int64((ch.n + ch.vec - 1) / ch.vec)
+	if cycles > 1 {
+		ch.x.proc.Sleep(cycles - 1)
+	}
+	if res := ch.ep.appSend.PushProcE(ch.x.proc, ch.cur, deadline); res != sim.WaitOK {
+		return ch.x.waitErr(res, "push", ch.port, ch.dst)
+	}
+	ch.fragLeft--
+	ch.cur = packet.Packet{}
+	ch.n = 0
+	return nil
+}
+
+// PushN pushes every element of bits in order, returning how many were
+// consumed and the first error. On error the remaining elements
+// (bits[n:]) may be retried. On a Streaming port this is the intended
+// bulk entry point: the whole slice rides one rendezvous.
+func (ch *SendChannel) PushN(bits []uint64) (int, error) {
+	for i, b := range bits {
+		if err := ch.PushE(b); err != nil {
+			return i, err
+		}
+	}
+	return len(bits), nil
 }
 
 // Remaining returns how many elements may still be pushed.
@@ -235,6 +355,17 @@ type RecvChannel struct {
 	// Circuit switching state: the leading OpOpen has been consumed.
 	circuit bool
 	opened  bool
+
+	// Streaming state: the rendezvous handshake, the expected fragment
+	// sequence number, and the words/elements left in the fragment whose
+	// header was last consumed.
+	streaming bool
+	specPort  bool
+	rvSeen    bool // rendezvous request consumed
+	rvDone    bool // grant pushed
+	seq       uint32
+	fragWords int
+	fragElems int
 }
 
 // OpenRecvChannel opens a transient channel to receive count elements of
@@ -258,14 +389,16 @@ func (x *Ctx) OpenRecvChannel(count int, dt Datatype, source, port int, comm Com
 		x: x, ep: ep, dt: dt, vec: ep.spec.VecWidth,
 		count: count, src: srcGlobal, port: port, patience: o.patience,
 	}
-	if ep.spec.Credited {
+	if ep.spec.Credited || ep.spec.Streaming {
 		if ep.inUseSend {
-			return nil, fmt.Errorf("smi: rank %d port %d: credited ports are half-duplex", x.rank, port)
+			return nil, fmt.Errorf("smi: rank %d port %d: credited and streaming ports are half-duplex", x.rank, port)
 		}
 		if srcGlobal == x.rank {
-			return nil, fmt.Errorf("smi: rank %d port %d: credited channels cannot target their own rank", x.rank, port)
+			return nil, fmt.Errorf("smi: rank %d port %d: credited and streaming channels cannot target their own rank", x.rank, port)
 		}
 		ep.inUseSend = true
+	}
+	if ep.spec.Credited {
 		ch.credited = true
 		ch.grantBatch = ep.spec.BufferElems / 2
 		epp := dt.ElemsPerPacket()
@@ -274,6 +407,8 @@ func (x *Ctx) OpenRecvChannel(count int, dt Datatype, source, port int, comm Com
 		}
 	}
 	ch.circuit = ep.spec.Circuit
+	ch.specPort = ep.spec.Streaming
+	ch.streaming = ep.spec.Streaming && count > ep.spec.BufferElems
 	ep.inUseRecv = true
 	return ch, nil
 }
@@ -313,12 +448,18 @@ func (ch *RecvChannel) PopE() (uint64, error) {
 	}
 	deadline := ch.opDeadline()
 	if ch.have == 0 {
-		if err := ch.fetchE(deadline); err != nil {
+		var err error
+		if ch.streaming {
+			err = ch.fetchStreamE(deadline)
+		} else {
+			err = ch.fetchE(deadline)
+		}
+		if err != nil {
 			return 0, err
 		}
 	}
 	var bits uint64
-	if ch.circuit {
+	if ch.circuit || ch.streaming {
 		bits = ch.cur.RawElem(ch.pos, ch.dt)
 	} else {
 		bits = ch.cur.Elem(ch.pos, ch.dt)
@@ -342,12 +483,26 @@ func (ch *RecvChannel) PopE() (uint64, error) {
 	}
 	if ch.received == ch.count {
 		ch.opened = false
-		if ch.credited {
+		if ch.credited || ch.specPort {
 			ch.ep.inUseSend = false
 		}
 		ch.ep.inUseRecv = false // channel implicitly closed
 	}
 	return bits, nil
+}
+
+// PopN fills bits in order, returning how many elements were delivered
+// and the first error. On error the remaining elements (bits[n:]) may be
+// retried.
+func (ch *RecvChannel) PopN(bits []uint64) (int, error) {
+	for i := range bits {
+		b, err := ch.PopE()
+		if err != nil {
+			return i, err
+		}
+		bits[i] = b
+	}
+	return len(bits), nil
 }
 
 // sendCreditE returns drained buffer space to the sender, never granting
@@ -418,6 +573,93 @@ func (ch *RecvChannel) fetchE(deadline int64) error {
 		panic(fmt.Sprintf("smi: rank %d port %d: empty data packet", ch.x.rank, ch.port))
 	}
 	// Charge the cycles a pipelined consumer spends draining the packet.
+	cycles := int64((int(pkt.Count) + ch.vec - 1) / ch.vec)
+	if cycles > 1 {
+		ch.x.proc.Sleep(cycles - 1)
+	}
+	ch.cur = pkt
+	ch.have = int(pkt.Count)
+	ch.pos = 0
+	return nil
+}
+
+// fetchStreamE pops the next raw word on the streaming path. The first
+// call completes the receiver half of the rendezvous (consume the
+// request, push the grant); fragment headers are consumed and validated
+// at fragment boundaries. Each leg is guarded by its own state flag so a
+// failed wait resumes exactly where it left off without consuming or
+// duplicating protocol packets. Malformed traffic panics — a mismatched
+// program is a bug, not a runtime condition.
+func (ch *RecvChannel) fetchStreamE(deadline int64) error {
+	if !ch.rvDone {
+		if !ch.rvSeen {
+			req, res := ch.ep.appRecv.PopProcE(ch.x.proc, deadline)
+			if res != sim.WaitOK {
+				return ch.x.waitErr(res, "pop", ch.port, ch.src)
+			}
+			if req.Op != packet.OpStreamCtl || int(req.Src) != ch.src {
+				panic(fmt.Sprintf("smi: rank %d port %d: expected stream request from %d, got %v",
+					ch.x.rank, ch.port, ch.src, req))
+			}
+			if c := packet.DecodeStreamCtl(req); c.Kind != packet.StreamReq || int(c.Elems) != ch.count {
+				panic(fmt.Sprintf("smi: rank %d port %d: stream request %+v mismatches %d-element channel",
+					ch.x.rank, ch.port, c, ch.count))
+			}
+			ch.rvSeen = true
+		}
+		// Grant the whole message: the rendezvous guarantees this receiver
+		// is parked on the channel draining it, which is what bounds the
+		// data's residence in the shared transport.
+		grant := packet.EncodeStreamCtl(uint16(ch.x.rank), uint16(ch.src), uint8(ch.port),
+			packet.StreamCtl{Kind: packet.StreamGrant, Elems: uint32(ch.count)})
+		if res := ch.ep.appSend.PushProcE(ch.x.proc, grant, deadline); res != sim.WaitOK {
+			return ch.x.waitErr(res, "pop", ch.port, ch.src)
+		}
+		ch.rvDone = true
+	}
+	if ch.fragWords == 0 {
+		hdr, res := ch.ep.appRecv.PopProcE(ch.x.proc, deadline)
+		if res != sim.WaitOK {
+			return ch.x.waitErr(res, "pop", ch.port, ch.src)
+		}
+		if hdr.Op != packet.OpStream || int(hdr.Src) != ch.src {
+			panic(fmt.Sprintf("smi: rank %d port %d: expected stream fragment from %d, got %v",
+				ch.x.rank, ch.port, ch.src, hdr))
+		}
+		f := packet.DecodeStreamFrag(hdr)
+		if f.Seq != ch.seq {
+			panic(fmt.Sprintf("smi: rank %d port %d: stream fragment seq %d, expected %d",
+				ch.x.rank, ch.port, f.Seq, ch.seq))
+		}
+		if f.Words == 0 || f.Elems == 0 || int(f.Elems) > ch.count-ch.received {
+			panic(fmt.Sprintf("smi: rank %d port %d: malformed stream fragment %+v", ch.x.rank, ch.port, f))
+		}
+		if f.Last != (ch.received+int(f.Elems) == ch.count) {
+			panic(fmt.Sprintf("smi: rank %d port %d: stream fragment %+v mislabels the message end",
+				ch.x.rank, ch.port, f))
+		}
+		ch.seq++
+		ch.fragWords = int(f.Words)
+		ch.fragElems = int(f.Elems)
+	}
+	pkt, res := ch.ep.appRecv.PopProcE(ch.x.proc, deadline)
+	if res != sim.WaitOK {
+		return ch.x.waitErr(res, "pop", ch.port, ch.src)
+	}
+	if pkt.Op != packet.OpRaw {
+		panic(fmt.Sprintf("smi: rank %d port %d: unexpected %v packet inside a stream fragment", ch.x.rank, ch.port, pkt.Op))
+	}
+	if pkt.Count == 0 || int(pkt.Count) > ch.fragElems {
+		panic(fmt.Sprintf("smi: rank %d port %d: stream word carries %d elements, fragment has %d left",
+			ch.x.rank, ch.port, pkt.Count, ch.fragElems))
+	}
+	ch.fragWords--
+	ch.fragElems -= int(pkt.Count)
+	if ch.fragWords == 0 && ch.fragElems != 0 {
+		panic(fmt.Sprintf("smi: rank %d port %d: stream fragment ended with %d elements missing",
+			ch.x.rank, ch.port, ch.fragElems))
+	}
+	// Charge the cycles a pipelined consumer spends draining the word.
 	cycles := int64((int(pkt.Count) + ch.vec - 1) / ch.vec)
 	if cycles > 1 {
 		ch.x.proc.Sleep(cycles - 1)

@@ -4,6 +4,8 @@ import (
 	"testing"
 	"testing/quick"
 
+	"repro/internal/fault"
+	"repro/internal/sim"
 	"repro/internal/topology"
 )
 
@@ -191,6 +193,60 @@ func TestCircuitRepeatedMessages(t *testing.T) {
 	})
 	if _, err := c.Run(); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestCircuitShardFaultDelivery closes a long-standing coverage gap:
+// circuit channels under the shard scheduler, with fault injection
+// forcing the reliable layer to carry headerless raw words (whose
+// op/count ride the frame sideband — see link.encodeWord). The full
+// cross-scheduler parity matrix for circuit and streaming channels is
+// TestStreamingSchedulerParity.
+func TestCircuitShardFaultDelivery(t *testing.T) {
+	const n = 1500
+	topo, err := topology.Bus(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := NewCluster(Config{
+		Topology:  topo,
+		Program:   ProgramSpec{Ports: []PortSpec{{Port: 0, Type: Int, Circuit: true, BufferElems: 256}}},
+		Scheduler: sim.SchedShard,
+		Shards:    4, // reliable clusters collapse to one engine; the request must still be honored
+		Faults:    &fault.Spec{Seed: 23, DropProb: 0.003, CorruptProb: 0.001},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.OnRank(0, "s", func(x *Ctx) {
+		ch, err := x.OpenSendChannel(n, Int, 3, 0, x.CommWorld())
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		for i := 0; i < n; i++ {
+			ch.PushInt(int32(i * 7))
+		}
+	})
+	c.OnRank(3, "r", func(x *Ctx) {
+		ch, err := x.OpenRecvChannel(n, Int, 0, 0, x.CommWorld())
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		for i := 0; i < n; i++ {
+			if got := ch.PopInt(); got != int32(i*7) {
+				t.Errorf("element %d = %d, want %d", i, got, i*7)
+				return
+			}
+		}
+	})
+	st, err := c.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Retransmits == 0 && st.CrcErrors == 0 {
+		t.Fatal("fault spec injected nothing; raw words never crossed a lossy wire")
 	}
 }
 

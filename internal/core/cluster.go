@@ -454,6 +454,10 @@ type Stats struct {
 	PacketsDelivered uint64 `json:"packets_delivered"`
 	// PacketsDropped counts undeliverable packets (normally 0).
 	PacketsDropped uint64 `json:"packets_dropped"`
+	// StreamFragments counts stream fragments cut through communication
+	// kernels (each fragment once per kernel it crossed): nonzero iff the
+	// streaming large-message path was exercised.
+	StreamFragments uint64 `json:"stream_fragments,omitempty"`
 	// LinkStalls counts cycles link heads spent blocked on full receiver
 	// FIFOs (backpressure).
 	LinkStalls uint64 `json:"link_stalls"`
@@ -610,6 +614,7 @@ func (c *Cluster) Run() (Stats, error) {
 	}
 	for _, rs := range c.ranks {
 		st.PacketsDropped += rs.dev.Dropped()
+		st.StreamFragments += rs.dev.StreamFragments()
 	}
 	if err != nil {
 		return st, err

@@ -64,6 +64,32 @@ func PopE[T Element](ch *RecvChannel) (T, error) {
 	return bitsElem[T](bits), nil
 }
 
+// PushSlice pushes every element of vs in order: the typed face of
+// SendChannel.PushN. It returns how many elements were consumed and the
+// first error; on error the remainder (vs[n:]) may be retried.
+func PushSlice[T Element](ch *SendChannel, vs []T) (int, error) {
+	for i, v := range vs {
+		if err := ch.PushE(elemBits(v)); err != nil {
+			return i, err
+		}
+	}
+	return len(vs), nil
+}
+
+// PopSlice fills vs in order: the typed face of RecvChannel.PopN. It
+// returns how many elements were delivered and the first error; on
+// error the remainder (vs[n:]) may be retried.
+func PopSlice[T Element](ch *RecvChannel, vs []T) (int, error) {
+	for i := range vs {
+		bits, err := ch.PopE()
+		if err != nil {
+			return i, err
+		}
+		vs[i] = bitsElem[T](bits)
+	}
+	return len(vs), nil
+}
+
 // PushInt pushes an int32 element.
 func (ch *SendChannel) PushInt(v int32) { Push(ch, v) }
 

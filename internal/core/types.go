@@ -133,6 +133,22 @@ type PortSpec struct {
 	// the opposite direction of the same port carries its credits.
 	// The default (eager, §3.3) relies on buffering and backpressure.
 	Credited bool
+	// Streaming selects the large-message streaming mode for this
+	// point-to-point port: messages that fit the endpoint buffer go eager
+	// exactly like the default path, while larger messages first complete
+	// a rendezvous handshake (request/grant on the reverse direction) and
+	// then travel as batched stream fragments — one OpStream header
+	// amortized over StreamBatch full 32-byte raw words, cut through
+	// intermediate kernels without store-and-forward. Streaming ports are
+	// half-duplex like Credited ports (the reverse direction carries the
+	// handshake) and mutually exclusive with Circuit and Credited.
+	Streaming bool
+	// StreamBatch is the fragment size in raw wire words for Streaming
+	// ports: each fragment header pins the route for this many words
+	// before competing channels get a polling turn. Larger batches
+	// amortize the header further; smaller ones release shared kernels
+	// sooner. Defaults to 16.
+	StreamBatch int
 	// Iface pins the endpoint to a specific CKS/CKR pair when PinIface
 	// is set; otherwise ports are assigned round-robin across pairs.
 	Iface    int
@@ -157,6 +173,12 @@ func (s *PortSpec) fill(index, ifaces int) {
 	// with packet boundaries.
 	if rem := s.CreditElems % epp; rem != 0 {
 		s.CreditElems += epp - rem
+	}
+	if s.StreamBatch <= 0 {
+		s.StreamBatch = 16
+	}
+	if s.StreamBatch > packet.MaxStreamWords {
+		s.StreamBatch = packet.MaxStreamWords
 	}
 	if !s.PinIface || s.Iface < 0 || s.Iface >= ifaces {
 		s.Iface = index % ifaces
@@ -200,6 +222,12 @@ func (p *ProgramSpec) Validate() error {
 		}
 		if s.Circuit && s.Credited {
 			return fmt.Errorf("smi: port %d: circuit switching and credit-based flow control are mutually exclusive", s.Port)
+		}
+		if s.Streaming && s.Kind != P2P {
+			return fmt.Errorf("smi: port %d: streaming applies to point-to-point ports only", s.Port)
+		}
+		if s.Streaming && (s.Circuit || s.Credited) {
+			return fmt.Errorf("smi: port %d: streaming is mutually exclusive with circuit switching and credit-based flow control", s.Port)
 		}
 	}
 	return nil

@@ -64,14 +64,22 @@ func (p *ReliableParams) fill(latency int64) {
 // control flags, CRC). Real hardware carries the sideband in the
 // inter-frame gap / control symbols of the serial encoding.
 type frame struct {
-	word [packet.Size]byte
-	seq  uint64
-	ack  uint64 // receiver's next expected seq for the opposite direction
-	nack bool   // ask the opposite sender to rewind
-	data bool   // false: pure control frame (ack/nack only)
-	crc  uint32
+	word  [packet.Size]byte
+	seq   uint64
+	ack   uint64 // receiver's next expected seq for the opposite direction
+	nack  bool   // ask the opposite sender to rewind
+	data  bool   // false: pure control frame (ack/nack only)
+	raw   bool   // word is a headerless raw word (all 32 bytes payload)
+	count uint8  // element count of a raw word (rides the sideband)
+	crc   uint32
 }
 
+// flags packs the link-layer sideband into one byte: nack (bit 0), data
+// (bit 1), raw (bit 2), and the raw element count (bits 3-7; counts are
+// at most 31, so five bits suffice). A raw word has no in-band header —
+// its op and count must cross the wire in the sideband, CRC-protected
+// like the rest, or circuit and stream payloads would be corrupted by
+// the header bytes a normal Encode writes.
 func (f *frame) flags() byte {
 	var b byte
 	if f.nack {
@@ -80,6 +88,10 @@ func (f *frame) flags() byte {
 	if f.data {
 		b |= 2
 	}
+	if f.raw {
+		b |= 4
+	}
+	b |= (f.count & 0x1f) << 3
 	return b
 }
 
@@ -96,8 +108,28 @@ type wireFrame struct {
 
 // txFrame is one unacknowledged entry of the retransmit buffer.
 type txFrame struct {
-	word [packet.Size]byte
-	seq  uint64
+	word  [packet.Size]byte
+	seq   uint64
+	raw   bool
+	count uint8
+}
+
+// encodeWord serializes a packet for the wire, routing headerless raw
+// words through the lossless EncodeRaw form with their op/count moved to
+// the frame sideband.
+func encodeWord(p packet.Packet) (word [packet.Size]byte, raw bool, count uint8) {
+	if p.Op == packet.OpRaw {
+		return p.EncodeRaw(), true, p.Count
+	}
+	return p.Encode(), false, 0
+}
+
+// decodeWord is the inverse of encodeWord.
+func decodeWord(word [packet.Size]byte, raw bool, count uint8) packet.Packet {
+	if raw {
+		return packet.DecodeRaw(word, count)
+	}
+	return packet.Decode(word)
 }
 
 // ReliableLink is one direction of a cable running the retransmission
@@ -220,7 +252,7 @@ func (l *ReliableLink) Unacked(peerDelivered uint64) []packet.Packet {
 	var out []packet.Packet
 	for _, t := range l.buf {
 		if t.seq >= peerDelivered {
-			out = append(out, packet.Decode(t.word))
+			out = append(out, decodeWord(t.word, t.raw, t.count))
 		}
 	}
 	return out
@@ -307,7 +339,7 @@ func (l *ReliableLink) IdleUntil(now int64) int64 {
 func (l *ReliableLink) tickReceive(now int64) bool {
 	// A held in-order frame retries its push before the wire moves.
 	if l.held != nil {
-		if l.out.TryPush(packet.Decode(l.held.word)) {
+		if l.out.TryPush(decodeWord(l.held.word, l.held.raw, l.held.count)) {
 			l.rxExpected = l.held.seq + 1
 			l.oweAck()
 			l.delivered++
@@ -347,7 +379,7 @@ func (l *ReliableLink) tickReceive(now int64) bool {
 	}
 	switch {
 	case f.seq == l.rxExpected:
-		if l.out.TryPush(packet.Decode(f.word)) {
+		if l.out.TryPush(decodeWord(f.word, f.raw, f.count)) {
 			l.rxExpected = f.seq + 1
 			l.oweAck()
 			l.delivered++
@@ -437,7 +469,8 @@ func (l *ReliableLink) tickTransmit(now int64) bool {
 	// admission timing to the lossless Link.
 	if len(l.buf) < l.par.Window {
 		if p, ok := l.in.TryPop(); ok {
-			t := txFrame{word: p.Encode(), seq: l.nextSeq}
+			word, raw, count := encodeWord(p)
+			t := txFrame{word: word, seq: l.nextSeq, raw: raw, count: count}
 			l.nextSeq++
 			l.buf = append(l.buf, t)
 			l.cursor = len(l.buf)
@@ -466,7 +499,7 @@ func (l *ReliableLink) sendData(now int64, t txFrame) {
 	} else {
 		l.maxSent = t.seq + 1
 	}
-	f := frame{word: t.word, seq: t.seq, data: true, ack: l.peer.rxExpected, nack: l.peer.nackOwed}
+	f := frame{word: t.word, seq: t.seq, data: true, raw: t.raw, count: t.count, ack: l.peer.rxExpected, nack: l.peer.nackOwed}
 	f.seal()
 	l.peer.ackOwed, l.peer.nackOwed = false, false
 	if !l.timerArmed {

@@ -67,6 +67,19 @@ const (
 	// OpRaw is a headerless circuit payload packet: all 32 bytes carry
 	// elements. Its routing is implied by the circuit its OpOpen opened.
 	OpRaw
+	// OpStream is a stream-fragment header (streaming large-message mode):
+	// it carries the fragment's sequence number, the number of headerless
+	// OpRaw payload words that follow, and the element count they hold.
+	// Communication kernels cut a fragment through as soon as this header
+	// resolves the route, pinning the route only for the fragment train —
+	// competing channels interleave at fragment boundaries instead of
+	// waiting out a whole message as they do under circuit switching.
+	OpStream
+	// OpStreamCtl is the streaming rendezvous control packet: a sender
+	// whose message exceeds the endpoint credit asks the receiver for
+	// permission (StreamReq) and streams only after the grant
+	// (StreamGrant) — the classic eager/rendezvous switchover.
+	OpStreamCtl
 
 	numOps
 )
@@ -85,6 +98,10 @@ func (o Op) String() string {
 		return "OPEN"
 	case OpRaw:
 		return "RAW"
+	case OpStream:
+		return "STREAM"
+	case OpStreamCtl:
+		return "STREAMCTL"
 	default:
 		return fmt.Sprintf("Op(%d)", uint8(o))
 	}
@@ -296,5 +313,110 @@ func DecodeOpen(p Packet) OpenInfo {
 	return OpenInfo{
 		RawPackets: binary.LittleEndian.Uint32(p.Payload[0:]),
 		Elems:      binary.LittleEndian.Uint32(p.Payload[4:]),
+	}
+}
+
+// The op space is 3 bits wide; OpStream and OpStreamCtl fill it exactly.
+var _ = [1]struct{}{}[numOps-8]
+
+// EncodeRaw serializes a headerless OpRaw packet into its full-payload
+// 32-byte wire word: unlike Encode, all four Extra bytes go on the wire
+// and no header is written. The out-of-band Op and Count ride in the
+// link-layer frame sideband (see internal/link), standing in for the
+// per-circuit state real cut-through hardware keeps.
+func (p *Packet) EncodeRaw() [Size]byte {
+	var w [Size]byte
+	copy(w[:HeaderSize], p.Extra[:])
+	copy(w[HeaderSize:], p.Payload[:])
+	return w
+}
+
+// DecodeRaw rebuilds a headerless OpRaw packet from its full-payload
+// wire word and the sideband element count.
+func DecodeRaw(w [Size]byte, count uint8) Packet {
+	p := Packet{Op: OpRaw, Count: count}
+	copy(p.Extra[:], w[:HeaderSize])
+	copy(p.Payload[:], w[HeaderSize:])
+	return p
+}
+
+// MaxStreamWords bounds the payload words of one stream fragment (the
+// 16-bit Words field of the fragment header).
+const MaxStreamWords = 1 << 16
+
+// StreamFrag is the meta-information an OpStream fragment header
+// carries: like a circuit's OpOpen but scoped to one bounded fragment,
+// so intermediate kernels release the route between fragments.
+type StreamFrag struct {
+	Seq   uint32 // fragment sequence number within the message, from 0
+	Words uint16 // headerless payload words that follow this header
+	Elems uint32 // elements carried by those words
+	Last  bool   // final fragment of the message
+}
+
+// EncodeStreamFrag builds a fragment header packet.
+func EncodeStreamFrag(src, dst uint16, port uint8, f StreamFrag) Packet {
+	p := Packet{Src: src, Dst: dst, Port: port, Op: OpStream}
+	binary.LittleEndian.PutUint32(p.Payload[0:], f.Seq)
+	binary.LittleEndian.PutUint16(p.Payload[4:], f.Words)
+	binary.LittleEndian.PutUint32(p.Payload[6:], f.Elems)
+	if f.Last {
+		p.Payload[10] = 1
+	}
+	return p
+}
+
+// DecodeStreamFrag extracts the fragment meta-information.
+func DecodeStreamFrag(p Packet) StreamFrag {
+	return StreamFrag{
+		Seq:   binary.LittleEndian.Uint32(p.Payload[0:]),
+		Words: binary.LittleEndian.Uint16(p.Payload[4:]),
+		Elems: binary.LittleEndian.Uint32(p.Payload[6:]),
+		Last:  p.Payload[10] != 0,
+	}
+}
+
+// StreamCtlKind distinguishes the two rendezvous control packets.
+type StreamCtlKind uint8
+
+const (
+	// StreamReq asks the receiver for permission to stream Elems
+	// elements (sender → receiver).
+	StreamReq StreamCtlKind = iota + 1
+	// StreamGrant acknowledges the request: the receiver is at its
+	// channel and ready to drain the stream (receiver → sender).
+	StreamGrant
+)
+
+func (k StreamCtlKind) String() string {
+	switch k {
+	case StreamReq:
+		return "REQ"
+	case StreamGrant:
+		return "GRANT"
+	default:
+		return fmt.Sprintf("StreamCtlKind(%d)", uint8(k))
+	}
+}
+
+// StreamCtl is the payload of an OpStreamCtl rendezvous packet.
+type StreamCtl struct {
+	Kind  StreamCtlKind
+	Elems uint32 // total message length in elements
+}
+
+// EncodeStreamCtl builds a rendezvous control packet.
+func EncodeStreamCtl(src, dst uint16, port uint8, c StreamCtl) Packet {
+	p := Packet{Src: src, Dst: dst, Port: port, Op: OpStreamCtl}
+	p.Payload[0] = uint8(c.Kind)
+	binary.LittleEndian.PutUint32(p.Payload[1:], c.Elems)
+	return p
+}
+
+// DecodeStreamCtl extracts the rendezvous control information.
+func DecodeStreamCtl(p Packet) StreamCtl {
+	return StreamCtl{
+		Kind:  StreamCtlKind(p.Payload[0]),
+		Elems: binary.LittleEndian.Uint32(p.Payload[1:]),
 	}
 }

@@ -234,6 +234,54 @@ func TestOpenRoundtrip(t *testing.T) {
 	}
 }
 
+func TestStreamFragRoundtrip(t *testing.T) {
+	for _, f := range []StreamFrag{
+		{Seq: 0, Words: 1, Elems: 8},
+		{Seq: 42, Words: 16, Elems: 128, Last: true},
+		{Seq: 0xFFFFFFFF, Words: 0xFFFF, Elems: 0xFFFFFFFF, Last: true},
+	} {
+		p := EncodeStreamFrag(3, 7, 9, f)
+		if p.Op != OpStream || p.Src != 3 || p.Dst != 7 || p.Port != 9 {
+			t.Fatalf("bad fragment header: %v", p)
+		}
+		if got := DecodeStreamFrag(p); got != f {
+			t.Fatalf("fragment roundtrip: %+v != %+v", got, f)
+		}
+	}
+}
+
+func TestStreamCtlRoundtrip(t *testing.T) {
+	for _, c := range []StreamCtl{
+		{Kind: StreamReq, Elems: 1},
+		{Kind: StreamGrant, Elems: 1 << 30},
+	} {
+		p := EncodeStreamCtl(5, 6, 2, c)
+		if p.Op != OpStreamCtl || p.Src != 5 || p.Dst != 6 || p.Port != 2 {
+			t.Fatalf("bad stream-ctl header: %v", p)
+		}
+		if got := DecodeStreamCtl(p); got != c {
+			t.Fatalf("stream-ctl roundtrip: %+v != %+v", got, c)
+		}
+	}
+}
+
+func TestEncodeRawKeepsExtraBytes(t *testing.T) {
+	// Encode drops Extra (it writes the 4-byte header); EncodeRaw must
+	// keep all 32 payload bytes, since a raw word has no header at all.
+	p := Packet{Op: OpRaw, Count: 8}
+	n := RawElemsPerPacket(Int)
+	for i := 0; i < n; i++ {
+		p.PutRawElem(i, Int, uint64(i+1)*2654435761)
+	}
+	got := DecodeRaw(p.EncodeRaw(), p.Count)
+	if got != p {
+		t.Fatalf("raw wire roundtrip:\n got %+v\nwant %+v", got, p)
+	}
+	if lossy := Decode(p.Encode()); lossy.Extra == p.Extra {
+		t.Fatal("sanity: the headered wire form should not preserve Extra")
+	}
+}
+
 func TestRawCapacityBeatsPacketSwitching(t *testing.T) {
 	// The whole point of circuit switching: every datatype packs at
 	// least as many elements per wire word, usually more.

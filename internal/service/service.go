@@ -176,6 +176,9 @@ func (s *Service) runJob(job *Job) {
 		Shards:        r.shards,
 		Faults:        r.faults,
 		MaxCycles:     spec.MaxCycles,
+		Mode:          spec.Mode,
+		BufferElems:   spec.BufferElems,
+		StreamBatch:   spec.StreamBatch,
 	}
 	if r.workload.SupportsRoutes && r.topo != nil {
 		routes, hit, err := s.cache.Get(r.topo, r.policy)

@@ -95,6 +95,39 @@ func TestShardJobMatchesEvent(t *testing.T) {
 	}
 }
 
+// TestStreamingJob admits a large-message bandwidth job on the
+// streaming path and checks it against the credited packet path: the
+// streaming knobs must survive the spec round trip, cut fragments, and
+// finish at least 2x sooner in simulated cycles.
+func TestStreamingJob(t *testing.T) {
+	svc := newTestService(t, Config{Workers: 2})
+	stream, err := svc.Submit(JobSpec{
+		Workload: "bandwidth", Ranks: 4, Size: 4096,
+		Mode: "streaming", BufferElems: 64, StreamBatch: 8,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	credited, err := svc.Submit(JobSpec{
+		Workload: "bandwidth", Ranks: 4, Size: 4096,
+		Mode: "credited", BufferElems: 64,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	stS, stC := mustDone(t, stream), mustDone(t, credited)
+	if stS.Result.Stats.StreamFragments == 0 {
+		t.Fatal("streaming job cut no fragments")
+	}
+	if stC.Result.Stats.StreamFragments != 0 {
+		t.Fatalf("credited job cut %d fragments", stC.Result.Stats.StreamFragments)
+	}
+	if 2*stS.Result.Cycles > stC.Result.Cycles {
+		t.Fatalf("streaming job took %d cycles, credited %d; want at least 2x win",
+			stS.Result.Cycles, stC.Result.Cycles)
+	}
+}
+
 func TestInvalidSpecsRejectedAtSubmit(t *testing.T) {
 	svc := newTestService(t, Config{Workers: 1})
 	cases := []JobSpec{
@@ -113,6 +146,12 @@ func TestInvalidSpecsRejectedAtSubmit(t *testing.T) {
 		{Workload: "bcast", Ranks: 4, Shards: 2},                      // shards without shard scheduler
 		{Workload: "bcast", Ranks: 8, Scheduler: "shard", Shards: 2,
 			Faults: &fault.Spec{Seed: 1, DropProb: 0.1}}, // shard + faults
+		{Workload: "bandwidth", Ranks: 4, Mode: "teleport"},                    // unknown mode
+		{Workload: "bcast", Ranks: 4, Mode: "streaming"},                       // mode-less workload
+		{Workload: "bcast", Ranks: 4, BufferElems: 64},                         // knob on mode-less workload
+		{Workload: "bandwidth", Ranks: 4, Mode: "circuit", StreamBatch: 8},     // batch without streaming
+		{Workload: "bandwidth", Ranks: 4, Mode: "streaming", BufferElems: -1},  // negative buffer
+		{Workload: "bandwidth", Ranks: 4, Mode: "streaming", StreamBatch: 1e7}, // oversized batch
 	}
 	for i, spec := range cases {
 		if _, err := svc.Submit(spec); !IsKind(err, InvalidSpec) {

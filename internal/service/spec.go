@@ -47,6 +47,17 @@ type JobSpec struct {
 	Faults *fault.Spec `json:"faults,omitempty"`
 	// MaxCycles bounds the simulation (0 = workload default).
 	MaxCycles int64 `json:"max_cycles,omitempty"`
+	// Mode selects the point-to-point transfer machinery for workloads
+	// that support it (bandwidth): "packet" (default), "credited",
+	// "circuit", or "streaming" (rendezvous + cut-through fragments).
+	Mode string `json:"mode,omitempty"`
+	// BufferElems sizes the endpoint buffer in elements (0 = workload
+	// default); with mode "streaming" it is also the eager/rendezvous
+	// switchover threshold.
+	BufferElems int `json:"buffer_elems,omitempty"`
+	// StreamBatch is the streaming fragment length in 32-byte wire
+	// words (mode "streaming" only; 0 = port default).
+	StreamBatch int `json:"stream_batch,omitempty"`
 }
 
 // parsePolicy maps the wire name to a routing policy.
@@ -102,6 +113,11 @@ func (s *JobSpec) resolve() (resolved, error) {
 	}
 	if s.Size < 0 || s.Steps < 0 || s.MaxCycles < 0 {
 		return r, errf(InvalidSpec, "negative size, steps, or max_cycles")
+	}
+	if err := workload.ValidateModeKnobs(w, workload.Params{
+		Mode: s.Mode, BufferElems: s.BufferElems, StreamBatch: s.StreamBatch,
+	}); err != nil {
+		return r, errf(InvalidSpec, "%v", err)
 	}
 	if r.policy, err = parsePolicy(s.RoutingPolicy); err != nil {
 		return r, errf(InvalidSpec, "%v", err)

@@ -37,11 +37,17 @@ type ck struct {
 	// after forwarding an OpOpen the kernel locks onto its input and
 	// routes the announced number of headerless OpRaw packets to the same
 	// output, ignoring every other input until the circuit closes.
+	//
+	// Stream cut-through reuses the same lock with a bounded horizon: an
+	// OpStream fragment header pins the route only for its announced word
+	// train, so the kernel returns to fair polling at every fragment
+	// boundary instead of holding the path for the whole message.
 	circuitOut  *sim.Fifo[packet.Packet]
 	circuitLeft int
 
 	forwarded uint64
 	stalls    uint64
+	fragments uint64 // stream fragments cut through this kernel
 }
 
 func newCK(name string, inputs []*sim.Fifo[packet.Packet], inNames []string, nOut, r int, skipIdle bool, route func(packet.Packet) *sim.Fifo[packet.Packet]) *ck {
@@ -132,12 +138,22 @@ func (c *ck) tick(now int64) bool {
 			// Undeliverable packet: dropped (counted by the device).
 			return true
 		}
-		if p.Op == packet.OpOpen {
+		switch p.Op {
+		case packet.OpOpen:
 			// Establish the circuit: the announced raw packets follow on
 			// this same input and go to this same output, exclusively.
 			c.circuitOut = out
 			c.circuitLeft = int(packet.DecodeOpen(p).RawPackets)
 			// Stay locked on this input (undo any pointer advance).
+			c.cur, c.reads = indexOf(c.inputs, in), 0
+		case packet.OpStream:
+			// Cut a stream fragment through: the header resolved the
+			// route, so its word train follows on the locked path — but
+			// only until the fragment ends, when polling resumes and
+			// competing channels get their turn (fair release).
+			c.circuitOut = out
+			c.circuitLeft = int(packet.DecodeStreamFrag(p).Words)
+			c.fragments++
 			c.cur, c.reads = indexOf(c.inputs, in), 0
 		}
 		if !out.TryPush(p) {
@@ -230,10 +246,19 @@ func (c *ck) tickCircuit(now int64) bool {
 	if !c.circuitOut.TryPush(p) {
 		c.hold(p, c.circuitOut, now)
 		c.circuitLeft--
+		if c.circuitLeft == 0 {
+			c.advance()
+		}
 		return true
 	}
 	c.forwarded++
 	c.circuitLeft--
+	if c.circuitLeft == 0 {
+		// Fair release: the lock expired (for a stream, at the fragment
+		// boundary), so move the polling pointer on — a competing channel
+		// gets served before the next header can re-lock this input.
+		c.advance()
+	}
 	return true
 }
 

@@ -389,3 +389,16 @@ func (d *Device) Forwarded() (cks, ckr uint64) {
 	}
 	return
 }
+
+// StreamFragments returns the total stream fragments cut through the
+// device's kernels (each fragment counted once per kernel it crossed).
+func (d *Device) StreamFragments() uint64 {
+	var n uint64
+	for _, k := range d.cks {
+		n += k.fragments
+	}
+	for _, k := range d.ckr {
+		n += k.fragments
+	}
+	return n
+}

@@ -47,6 +47,17 @@ type Params struct {
 	// Faults attaches a deterministic fault schedule (workloads with
 	// SupportsFaults only).
 	Faults *fault.Spec
+	// Mode names the point-to-point transfer machinery for workloads
+	// with SupportsModes: "packet" (default when empty), "credited",
+	// "circuit", or "streaming" (the rendezvous large-message path).
+	Mode string
+	// BufferElems sizes the endpoint buffer in elements (0 = workload
+	// default). For "streaming" it doubles as the eager/rendezvous
+	// switchover threshold: only messages larger than the buffer stream.
+	BufferElems int
+	// StreamBatch is the streaming fragment length in wire words
+	// ("streaming" mode only; 0 = port default).
+	StreamBatch int
 	// Scheduler selects the simulator scheduling mode.
 	Scheduler sim.SchedulerKind
 	// Shards partitions the ranks into engine shards (see
@@ -97,6 +108,9 @@ type Workload struct {
 	// SupportsRoutes reports whether Params.Routes (and RoutingPolicy)
 	// are honored — the precondition for smid's route-cache reuse.
 	SupportsRoutes bool
+	// SupportsModes reports whether the transfer-mode knobs
+	// (Params.Mode, BufferElems, StreamBatch) are honored.
+	SupportsModes bool
 	// Run executes the workload.
 	Run func(Params) (Result, error)
 }

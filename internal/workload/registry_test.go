@@ -96,6 +96,54 @@ func TestRunGuards(t *testing.T) {
 	}
 }
 
+func TestRunModeKnobs(t *testing.T) {
+	// The bandwidth workload honors the transfer-mode knobs: a 4096-int
+	// message over a 64-element buffer is the large-message regime, so
+	// streaming must cut fragments and beat the credited packet path.
+	base := Params{Ranks: 4, Size: 4096, BufferElems: 64}
+	byMode := map[string]Result{}
+	for _, mode := range []string{"credited", "circuit", "streaming"} {
+		p := base
+		p.Mode = mode
+		res, err := Run("bandwidth", p)
+		if err != nil {
+			t.Fatalf("bandwidth mode %s: %v", mode, err)
+		}
+		byMode[mode] = res
+		again, err := Run("bandwidth", p)
+		if err != nil {
+			t.Fatalf("bandwidth mode %s again: %v", mode, err)
+		}
+		if res.OutputDigest != again.OutputDigest || res.Cycles != again.Cycles {
+			t.Fatalf("mode %s not deterministic", mode)
+		}
+	}
+	if s, c := byMode["streaming"], byMode["credited"]; 2*s.Cycles > c.Cycles {
+		t.Errorf("streaming (%d cycles) should beat credited (%d) at least 2x", s.Cycles, c.Cycles)
+	}
+	if frags := byMode["streaming"].Metrics["stream_fragments"]; frags == 0 {
+		t.Error("streaming run reported no stream fragments")
+	}
+
+	// Typed validation: bad combinations are rejected before any run.
+	for name, p := range map[string]Params{
+		"unknown mode":              {Ranks: 4, Size: 64, Mode: "teleport"},
+		"batch without streaming":   {Ranks: 4, Size: 64, Mode: "circuit", StreamBatch: 8},
+		"negative buffer":           {Ranks: 4, Size: 64, Mode: "streaming", BufferElems: -1},
+		"oversized batch":           {Ranks: 4, Size: 64, Mode: "streaming", StreamBatch: 1 << 20},
+		"mode on mode-less summa":   {Ranks: 4, Size: 8, Mode: "streaming"},
+		"buffer on mode-less summa": {Ranks: 4, Size: 8, BufferElems: 64},
+	} {
+		wl := "bandwidth"
+		if name == "mode on mode-less summa" || name == "buffer on mode-less summa" {
+			wl = "summa"
+		}
+		if _, err := Run(wl, p); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}
+
 func TestRunWithPrecomputedRoutes(t *testing.T) {
 	topo, err := topology.Torus2D(2, 2)
 	if err != nil {

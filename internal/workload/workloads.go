@@ -8,6 +8,7 @@ import (
 	"math"
 
 	"repro/internal/apps"
+	"repro/internal/packet"
 	"repro/internal/transport"
 )
 
@@ -63,6 +64,33 @@ func netConfig(p Params) (apps.NetConfig, error) {
 	}, nil
 }
 
+// ValidateModeKnobs type-checks the transfer-mode knobs against a
+// workload. smid's admission path and Run share it, so a malformed
+// combination is rejected identically whether it arrives over HTTP or
+// through the Go API.
+func ValidateModeKnobs(w Workload, p Params) error {
+	if p.Mode == "" && p.BufferElems == 0 && p.StreamBatch == 0 {
+		return nil
+	}
+	if !w.SupportsModes {
+		return fmt.Errorf("workload: %s does not accept transfer-mode knobs (mode, buffer_elems, stream_batch)", w.Name)
+	}
+	mode, err := apps.ParseTransferMode(p.Mode)
+	if err != nil {
+		return fmt.Errorf("workload: %v", err)
+	}
+	if p.BufferElems < 0 {
+		return fmt.Errorf("workload: negative buffer_elems %d", p.BufferElems)
+	}
+	if p.StreamBatch < 0 || p.StreamBatch > packet.MaxStreamWords {
+		return fmt.Errorf("workload: stream_batch %d outside [0, %d]", p.StreamBatch, packet.MaxStreamWords)
+	}
+	if p.StreamBatch != 0 && mode != apps.ModeStreaming {
+		return fmt.Errorf("workload: stream_batch is only valid with mode \"streaming\", got mode %q", p.Mode)
+	}
+	return nil
+}
+
 // result fills the normalized fields shared by every workload.
 func result(name string, p Params, size, steps int, cycles int64, micros float64) Result {
 	return Result{
@@ -74,16 +102,21 @@ func result(name string, p Params, size, steps int, cycles int64, micros float64
 func init() {
 	Register(Workload{
 		Name:           "bandwidth",
-		Description:    "stream Size int32 elements from rank 0 to the last rank (§5.3.1)",
+		Description:    "stream Size int32 elements from rank 0 to the last rank (§5.3.1); mode selects packet, credited, circuit, or streaming transfer",
 		MinRanks:       2,
 		DefaultSize:    16384,
 		SupportsFaults: true,
 		SupportsRoutes: true,
+		SupportsModes:  true,
 		Run: func(p Params) (Result, error) {
 			cfg, err := netConfig(p)
 			if err != nil {
 				return Result{}, err
 			}
+			if cfg.Mode, err = apps.ParseTransferMode(p.Mode); err != nil {
+				return Result{}, fmt.Errorf("workload: %v", err)
+			}
+			cfg.BufferElems, cfg.StreamBatch = p.BufferElems, p.StreamBatch
 			elems := p.Size
 			res, err := apps.Bandwidth(cfg, 0, p.Ranks-1, elems)
 			if err != nil {
@@ -93,6 +126,9 @@ func init() {
 			out.Stats = res.Net
 			out.Metrics["gbps"] = res.Gbps
 			out.Metrics["hops"] = float64(res.Hops)
+			if cfg.Mode == apps.ModeStreaming {
+				out.Metrics["stream_fragments"] = float64(res.Net.StreamFragments)
+			}
 			d := newDigest()
 			d.i64(res.Bytes)
 			d.i64(res.Cycles)
@@ -285,6 +321,9 @@ func Run(name string, p Params) (Result, error) {
 	}
 	if p.Routes != nil && !w.SupportsRoutes {
 		return Result{}, fmt.Errorf("workload: %s does not accept precomputed routes", w.Name)
+	}
+	if err := ValidateModeKnobs(w, p); err != nil {
+		return Result{}, err
 	}
 	return w.Run(p)
 }
