@@ -11,9 +11,11 @@ import (
 )
 
 // schedVariants is the scheduler matrix every parity workload runs
-// under: the dense reference scan, the activity-set event scheduler, and
-// the sharded conservative-parallel scheduler (4 shards over 8 ranks).
-// All three must be bit-identical in cycle counts and outputs.
+// under: the dense reference scan, the activity-set event scheduler, the
+// fixed-window sharded scheduler (4 shards over 8 ranks), and the
+// adaptive-lookahead scheduler (one engine per rank, 4 worker slots,
+// deterministic stealing). All four must be bit-identical in cycle
+// counts and outputs.
 var schedVariants = []struct {
 	name   string
 	kind   sim.SchedulerKind
@@ -22,6 +24,7 @@ var schedVariants = []struct {
 	{"dense", sim.SchedDense, 0},
 	{"event", sim.SchedEvent, 0},
 	{"shard", sim.SchedShard, 4},
+	{"shard-adaptive", sim.SchedShardAdaptive, 4},
 }
 
 // TestSchedulerParity is the scheduler acceptance gate: every workload
@@ -86,12 +89,19 @@ func TestSchedulerParity(t *testing.T) {
 				t.Errorf("%s finished at cycle %d, dense at %d", schedVariants[i].name, results[i].Cycles, results[0].Cycles)
 			}
 		}
-		if results[0].Net.Sched.Scheduler != "dense" || results[1].Net.Sched.Scheduler != "event" || results[2].Net.Sched.Scheduler != "shard" {
-			t.Errorf("scheduler labels: %q %q %q",
-				results[0].Net.Sched.Scheduler, results[1].Net.Sched.Scheduler, results[2].Net.Sched.Scheduler)
+		for i, want := range []string{"dense", "event", "shard", "shard-adaptive"} {
+			if got := results[i].Net.Sched.Scheduler; got != want {
+				t.Errorf("scheduler label %d: %q, want %q", i, got, want)
+			}
 		}
 		if sh := results[2].Net.Sched; sh.Shards != 4 || sh.Syncs == 0 || len(sh.PerShard) != 4 {
 			t.Errorf("shard run did not run sharded: shards=%d syncs=%d pershard=%d", sh.Shards, sh.Syncs, len(sh.PerShard))
+		}
+		// The adaptive run reports one row per worker slot and counts the
+		// per-engine windows it executed.
+		if sh := results[3].Net.Sched; sh.Shards != 4 || sh.Syncs == 0 || len(sh.PerShard) != 4 || sh.Windows == 0 {
+			t.Errorf("adaptive run did not run sharded: shards=%d syncs=%d pershard=%d windows=%d",
+				sh.Shards, sh.Syncs, len(sh.PerShard), sh.Windows)
 		}
 	})
 
@@ -136,6 +146,16 @@ func TestSchedulerParity(t *testing.T) {
 				}
 				if mode == ModeStreaming && results[0].Net.StreamFragments == 0 {
 					t.Errorf("%s: streaming run cut no fragments through the transport", variant.name)
+				}
+				if variant.name == "faulty" {
+					// The PR 5 reliable-forces-one-shard guard is gone:
+					// fault-injected clusters must actually shard.
+					for _, i := range []int{2, 3} {
+						if sh := results[i].Net.Sched; sh.Shards != 4 || sh.Syncs == 0 {
+							t.Errorf("%s %s: reliable cluster fell back to one shard: shards=%d syncs=%d",
+								mode, schedVariants[i].name, sh.Shards, sh.Syncs)
+						}
+					}
 				}
 			}
 		}
@@ -245,14 +265,31 @@ func TestShardSmoke64(t *testing.T) {
 	if os.Getenv("SMI_SHARD_SMOKE") != "1" {
 		t.Skip("set SMI_SHARD_SMOKE=1 to run the 64-rank shard smoke test")
 	}
+	shardSmoke64(t, sim.SchedShard)
+}
+
+// TestStealSmoke64 is the adaptive twin of TestShardSmoke64: 64 engines
+// (one per rank) multiplexed onto 4 worker slots with deterministic
+// work-stealing, under fault injection so the reliable links' repair
+// machinery runs while ranks migrate between workers. Digest (cycles +
+// delivered packets) must match the dense reference bit for bit.
+func TestStealSmoke64(t *testing.T) {
+	if os.Getenv("SMI_SHARD_SMOKE") != "1" {
+		t.Skip("set SMI_SHARD_SMOKE=1 to run the 64-rank steal smoke test")
+	}
+	shardSmoke64(t, sim.SchedShardAdaptive)
+}
+
+func shardSmoke64(t *testing.T, kind sim.SchedulerKind) {
 	topo, err := topology.Torus2D(8, 8)
 	if err != nil {
 		t.Fatal(err)
 	}
-	base := NetConfig{Topology: topo, RoutingPolicy: routing.UpDown}
+	base := NetConfig{Topology: topo, RoutingPolicy: routing.UpDown,
+		Faults: &fault.Spec{Seed: 11, DropProb: 0.0005}}
 
 	sh := base
-	sh.Scheduler, sh.Shards = sim.SchedShard, 4
+	sh.Scheduler, sh.Shards = kind, 4
 	shard, err := BcastTime(sh, 64, 1000)
 	if err != nil {
 		t.Fatal(err)
@@ -263,6 +300,9 @@ func TestShardSmoke64(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	if dense.Net.Retransmits == 0 {
+		t.Error("fault spec injected nothing; the repair machinery never ran")
+	}
 	if shard.Cycles != dense.Cycles {
 		t.Errorf("shard run finished at cycle %d, dense at %d", shard.Cycles, dense.Cycles)
 	}
@@ -271,5 +311,54 @@ func TestShardSmoke64(t *testing.T) {
 	}
 	if st := shard.Net.Sched; st.Shards != 4 || st.Syncs == 0 {
 		t.Errorf("shard run did not run sharded: shards=%d syncs=%d", st.Shards, st.Syncs)
+	}
+	if kind == sim.SchedShardAdaptive {
+		st := shard.Net.Sched
+		if st.Windows == 0 {
+			t.Errorf("adaptive run executed no windows: %+v", st)
+		}
+		t.Logf("adaptive 64-rank run: syncs=%d windows=%d steals=%d", st.Syncs, st.Windows, st.Steals)
+		if st.Steals == 0 {
+			t.Error("64 engines on 4 workers under a broadcast hotspot rebalanced nothing: the stealing rule never fired")
+		}
+	}
+}
+
+// TestAdaptiveHorizonProperty drives the adaptive scheduler across shard
+// counts and workload shapes. Safety — no per-engine window ever runs
+// past a boundary's advertised safe horizon — is enforced by the flush
+// panic in sim.Boundary (an entry published behind the consumer's clock
+// crashes the run), so every clean completion doubles as a proof the
+// adaptive windows stayed within bounds; the cycle digests must then
+// match the dense reference exactly.
+func TestAdaptiveHorizonProperty(t *testing.T) {
+	topo, err := topology.Torus2D(2, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, faults := range []*fault.Spec{nil, {Seed: 3, DropProb: 0.002}} {
+		base := NetConfig{Topology: topo, RoutingPolicy: routing.UpDown, Faults: faults}
+		de := base
+		de.Scheduler = sim.SchedDense
+		dense, err := Bandwidth(de, 0, 5, 4000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, workers := range []int{2, 3, 4, 5, 8} {
+			cfg := base
+			cfg.Scheduler, cfg.Shards = sim.SchedShardAdaptive, workers
+			res, err := Bandwidth(cfg, 0, 5, 4000)
+			if err != nil {
+				t.Fatalf("workers=%d faults=%v: %v", workers, faults != nil, err)
+			}
+			if res.Cycles != dense.Cycles {
+				t.Errorf("workers=%d faults=%v: finished at cycle %d, dense at %d",
+					workers, faults != nil, res.Cycles, dense.Cycles)
+			}
+			if res.Net.PacketsDelivered != dense.Net.PacketsDelivered {
+				t.Errorf("workers=%d faults=%v: delivered %d packets, dense %d",
+					workers, faults != nil, res.Net.PacketsDelivered, dense.Net.PacketsDelivered)
+			}
+		}
 	}
 }

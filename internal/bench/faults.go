@@ -7,6 +7,7 @@ import (
 	smi "repro/internal/core"
 	"repro/internal/fault"
 	"repro/internal/routing"
+	"repro/internal/sim"
 	"repro/internal/topology"
 	"repro/internal/transport"
 )
@@ -23,6 +24,12 @@ func init() {
 // route regeneration. The drop=0 row is the timing-transparency claim:
 // the protocol's acks ride the inter-frame gap, so cycle counts match
 // the pristine links exactly.
+//
+// -shards applies to the multi-rank scenarios: the reliable links split
+// into per-engine tx/rx halves, and the experiment fails loudly if a
+// run reports fewer shards than requested (the old behaviour was a
+// silent fallback to one engine). Scheduler parity keeps every cycle
+// count — including the timing-transparency check — identical.
 func ablateFaults(opts Options) (*Report, error) {
 	bus, err := topology.Bus(2)
 	if err != nil {
@@ -37,6 +44,21 @@ func ablateFaults(opts Options) (*Report, error) {
 	stencilN := 32
 	if opts.Quick {
 		elems, bcastElems = 20_000, 1000
+	}
+	// -shards: run the 8-rank scenarios sharded. shardedStats verifies
+	// the simulator honored the request instead of silently falling back
+	// to a single engine (the pre-split behaviour on reliable links).
+	shards := opts.Shards
+	sched := sim.SchedEvent
+	if shards > 1 {
+		sched = sim.SchedShard
+	}
+	shardedStats := func(label string, st smi.Stats) error {
+		if shards > 1 && (st.Sched.Shards != shards || st.Sched.Syncs == 0) {
+			return fmt.Errorf("ablate-faults: %s ran %d shards with %d syncs, asked for %d — reliable cluster fell back to a single engine",
+				label, st.Sched.Shards, st.Sched.Syncs, shards)
+		}
+		return nil
 	}
 	r := &Report{
 		ID:     "ablate-faults",
@@ -92,9 +114,13 @@ func ablateFaults(opts Options) (*Report, error) {
 	}}
 	bc1, err := apps.BcastTime(apps.NetConfig{
 		Topology: torus, Transport: transport.DefaultConfig(), RoutingPolicy: routing.UpDown, Faults: flap,
+		Scheduler: sched, Shards: shards,
 	}, 8, bcastElems)
 	if err != nil {
 		return nil, fmt.Errorf("bcast under flap: %w", err)
+	}
+	if err := shardedStats("bcast under flap", bc1.Net); err != nil {
+		return nil, err
 	}
 	row("bcast-8 flap@500-1100", bc1.Cycles, bc1.Net)
 	r.metric("bcast_flap_extra_cycles", float64(bc1.Cycles-bc0.Cycles))
@@ -114,9 +140,13 @@ func ablateFaults(opts Options) (*Report, error) {
 	st1, err := apps.Stencil(apps.StencilConfig{
 		N: stencilN, Timesteps: 8, RanksX: 2, RanksY: 4, Verify: true,
 		Topology: torus, RoutingPolicy: routing.UpDown, Faults: kill,
+		Scheduler: sched, Shards: shards,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("stencil under kill: %w", err)
+	}
+	if err := shardedStats("stencil under kill", st1.Net); err != nil {
+		return nil, err
 	}
 	want := apps.StencilReference(stencilN, 8)
 	for i := range want {

@@ -3,6 +3,7 @@ package bench
 import (
 	"encoding/json"
 	"fmt"
+	"runtime"
 	"time"
 
 	"repro/internal/routing"
@@ -24,13 +25,31 @@ var scalingRanks = map[int]bool{8: true, 16: true, 32: true, 64: true, 256: true
 
 const denseRankLimit = 64
 
-// ScalingRow is one (workload, ranks, scheduler, shards) measurement.
+// scalingGoMaxProcs is the GOMAXPROCS axis for the sharded rows: the
+// serial baselines (dense, event) run pinned at 1, the parallel
+// schedulers at both points so the JSON records what parallelism the
+// host actually granted each measurement.
+var scalingGoMaxProcs = []int{1, 4}
+
+// ScalingRow is one (workload, ranks, scheduler, shards, gomaxprocs)
+// measurement.
 type ScalingRow struct {
 	Workload  string `json:"workload"`
 	Ranks     int    `json:"ranks"`
 	Scheduler string `json:"scheduler"`
 	Shards    int    `json:"shards"`
-	Syncs     int64  `json:"syncs,omitempty"`
+	// HostCPUs and GoMaxProcs record the parallel hardware behind the
+	// wall-clock number: the machine's logical CPU count and the Go
+	// scheduler's processor limit during this run. A shard row measured
+	// with host_cpus=1 documents barrier overhead, not speedup.
+	HostCPUs   int   `json:"host_cpus"`
+	GoMaxProcs int   `json:"gomaxprocs"`
+	Syncs      int64 `json:"syncs,omitempty"`
+	// Windows and Steals are the adaptive scheduler's effort counters:
+	// per-boundary lookahead windows opened, and ranks moved between
+	// worker slots by the deterministic rebalance rule.
+	Windows int64 `json:"windows,omitempty"`
+	Steals  int64 `json:"steals,omitempty"`
 	// PerShard carries each shard's effort counters (including its sync
 	// count) for sharded rows — the load-balance signal.
 	PerShard       []sim.ShardEffort `json:"per_shard,omitempty"`
@@ -46,26 +65,40 @@ type ScalingRow struct {
 // sweep (the baseline rows included, so the improvement and its
 // reference live in the same file) plus the headline ratios.
 type scalingJSON struct {
-	Description string       `json:"description"`
-	Rows        []ScalingRow `json:"rows"`
+	Description string `json:"description"`
+	// HostCPUs is the logical CPU count of the machine that produced the
+	// document (every row repeats it alongside its own gomaxprocs).
+	HostCPUs int          `json:"host_cpus"`
+	Rows     []ScalingRow `json:"rows"`
 	// SpeedupAtMax is baseline wall-clock / event wall-clock per workload
 	// at the largest rank count measured (baseline = dense where it ran,
 	// event otherwise).
 	SpeedupAtMax map[string]float64 `json:"wall_clock_speedup_at_max_ranks"`
-	// ShardSpeedupAtMax is event wall-clock / shard wall-clock per
-	// workload at the largest rank count measured. On a single-core host
-	// this hovers around 1 or below (barrier overhead with no parallel
-	// hardware); the shard scheduler's win needs real cores.
+	// ShardSpeedupAtMax is event wall-clock / fixed-shard wall-clock per
+	// workload at the largest rank count measured, taken at the highest
+	// GOMAXPROCS point. Without real cores behind GOMAXPROCS this hovers
+	// around 1 or below (barrier overhead with no parallel hardware).
 	ShardSpeedupAtMax map[string]float64 `json:"shard_wall_clock_speedup_at_max_ranks"`
-	MaxRanks          int                `json:"max_ranks"`
+	// AdaptiveSpeedupAtMax is event wall-clock / shard-adaptive
+	// wall-clock per workload at the largest rank count, highest
+	// GOMAXPROCS point.
+	AdaptiveSpeedupAtMax map[string]float64 `json:"adaptive_wall_clock_speedup_at_max_ranks"`
+	MaxRanks             int                `json:"max_ranks"`
 }
 
 // scalingRun executes one workload at one rank count under one
-// scheduler and reports the measurement. Dispatch goes through the
-// workload registry — the same resolution path smid uses — with the
-// registry defaults reproducing the sweep's historical problem sizes.
-func scalingRun(name string, ranks int, kind sim.SchedulerKind, shards int) (ScalingRow, error) {
+// scheduler, pinned at the given GOMAXPROCS, and reports the
+// measurement. Dispatch goes through the workload registry — the same
+// resolution path smid uses — with the registry defaults reproducing
+// the sweep's historical problem sizes.
+func scalingRun(name string, ranks int, kind sim.SchedulerKind, shards, gomaxprocs int) (ScalingRow, error) {
 	row := ScalingRow{Workload: name, Ranks: ranks, Scheduler: kind.String(), Shards: shards}
+	if gomaxprocs > 0 {
+		prev := runtime.GOMAXPROCS(gomaxprocs)
+		defer runtime.GOMAXPROCS(prev)
+	}
+	row.HostCPUs = runtime.NumCPU()
+	row.GoMaxProcs = runtime.GOMAXPROCS(0)
 	params := workload.Params{Ranks: ranks, Scheduler: kind}
 	if shards > 1 {
 		params.Shards = shards
@@ -80,6 +113,8 @@ func scalingRun(name string, ranks int, kind sim.SchedulerKind, shards int) (Sca
 	}
 	wall := time.Since(start)
 	row.Syncs = res.Stats.Sched.Syncs
+	row.Windows = res.Stats.Sched.Windows
+	row.Steals = res.Stats.Sched.Steals
 	row.PerShard = res.Stats.Sched.PerShard
 	row.Cycles = res.Cycles
 	row.CyclesExecuted = res.Stats.Sched.CyclesExecuted
@@ -93,11 +128,13 @@ func scalingRun(name string, ranks int, kind sim.SchedulerKind, shards int) (Sca
 }
 
 // scaling sweeps stencil and broadcast over growing rank counts, running
-// each point under the event scheduler and the sharded parallel
-// scheduler, plus the dense reference scan at the small points. Every
-// scheduler must finish every run on the identical cycle — the sweep
-// fails on any divergence — and the slowest available scheduler is the
-// baseline the wall-clock improvements are quoted against.
+// each point under the event scheduler, the fixed-window sharded
+// scheduler, and the adaptive-lookahead scheduler (the latter two at
+// GOMAXPROCS 1 and 4), plus the dense reference scan at the small
+// points. Every scheduler must finish every run on the identical cycle —
+// the sweep fails on any divergence — and the slowest available
+// scheduler is the baseline the wall-clock improvements are quoted
+// against.
 func scaling(opts Options) (*Report, error) {
 	rankSet := opts.Ranks
 	if len(rankSet) == 0 {
@@ -118,20 +155,22 @@ func scaling(opts Options) (*Report, error) {
 	r := &Report{
 		ID:     "scaling",
 		Title:  "Wall-clock per simulated cycle: dense scan vs event scheduler vs sharded parallel",
-		Header: []string{"workload", "ranks", "cycles", "skipped%", "dense ms", "event ms", "shard ms", "shards", "syncs", "speedup"},
+		Header: []string{"workload", "ranks", "cycles", "skipped%", "dense ms", "event ms", "shard ms", "adapt ms", "shards", "syncs", "windows", "steals", "speedup"},
 		Notes: []string{
 			"all schedulers must (and do) finish every run on the identical cycle;",
 			"'skipped%' is the share of simulated cycles the event scheduler fast-forwarded;",
 			"dense rows stop at 64 ranks (the reference scan is too slow beyond);",
-			"'speedup' is dense/event wall clock where dense ran, else event/shard;",
-			"shard rows need a multi-core host to win wall clock — on one core the",
-			"barriers only add overhead over the identical-cycle event run",
+			"'speedup' is dense/event wall clock where dense ran, else event/best-sharded;",
+			"shard and adapt columns are the GOMAXPROCS=4 measurements (the JSON also",
+			"carries the GOMAXPROCS=1 rows); wall-clock wins need host_cpus > 1",
 		},
 	}
 	doc := scalingJSON{
-		Description:       "smibench scaling: identical workloads under the dense reference scan, the event scheduler, and the sharded conservative-parallel scheduler; dense rows (<=64 ranks) are the baseline for the wall-clock comparison",
-		SpeedupAtMax:      map[string]float64{},
-		ShardSpeedupAtMax: map[string]float64{},
+		Description:          "smibench scaling: identical workloads under the dense reference scan, the event scheduler, the fixed-window sharded scheduler, and the adaptive-lookahead scheduler with work stealing; sharded rows are measured at GOMAXPROCS 1 and 4",
+		HostCPUs:             runtime.NumCPU(),
+		SpeedupAtMax:         map[string]float64{},
+		ShardSpeedupAtMax:    map[string]float64{},
+		AdaptiveSpeedupAtMax: map[string]float64{},
 	}
 	for _, w := range workloads {
 		for _, ranks := range rankSet {
@@ -146,50 +185,71 @@ func scaling(opts Options) (*Report, error) {
 			haveDense := ranks <= denseRankLimit
 			if haveDense {
 				var err error
-				dense, err = scalingRun(w, ranks, sim.SchedDense, 1)
+				dense, err = scalingRun(w, ranks, sim.SchedDense, 1, 1)
 				if err != nil {
 					return nil, fmt.Errorf("scaling %s/%d dense: %w", w, ranks, err)
 				}
 			}
-			event, err := scalingRun(w, ranks, sim.SchedEvent, 1)
+			event, err := scalingRun(w, ranks, sim.SchedEvent, 1, 1)
 			if err != nil {
 				return nil, fmt.Errorf("scaling %s/%d event: %w", w, ranks, err)
-			}
-			shard, err := scalingRun(w, ranks, sim.SchedShard, sh)
-			if err != nil {
-				return nil, fmt.Errorf("scaling %s/%d shard: %w", w, ranks, err)
 			}
 			if haveDense && dense.Cycles != event.Cycles {
 				return nil, fmt.Errorf("scaling %s/%d: dense finished at cycle %d, event at %d — scheduler parity broken",
 					w, ranks, dense.Cycles, event.Cycles)
 			}
-			if shard.Cycles != event.Cycles {
-				return nil, fmt.Errorf("scaling %s/%d: shard finished at cycle %d, event at %d — scheduler parity broken",
-					w, ranks, shard.Cycles, event.Cycles)
-			}
 			if haveDense {
 				doc.Rows = append(doc.Rows, dense)
 			}
-			doc.Rows = append(doc.Rows, event, shard)
+			doc.Rows = append(doc.Rows, event)
+
+			// The parallel schedulers sweep the GOMAXPROCS axis; the last
+			// point (the widest) feeds the table and headline ratios.
+			var shard, adaptive ScalingRow
+			for _, gmp := range scalingGoMaxProcs {
+				shard, err = scalingRun(w, ranks, sim.SchedShard, sh, gmp)
+				if err != nil {
+					return nil, fmt.Errorf("scaling %s/%d shard: %w", w, ranks, err)
+				}
+				adaptive, err = scalingRun(w, ranks, sim.SchedShardAdaptive, sh, gmp)
+				if err != nil {
+					return nil, fmt.Errorf("scaling %s/%d shard-adaptive: %w", w, ranks, err)
+				}
+				if shard.Cycles != event.Cycles || adaptive.Cycles != event.Cycles {
+					return nil, fmt.Errorf("scaling %s/%d: shard finished at cycle %d, adaptive at %d, event at %d — scheduler parity broken",
+						w, ranks, shard.Cycles, adaptive.Cycles, event.Cycles)
+				}
+				doc.Rows = append(doc.Rows, shard, adaptive)
+			}
+
+			bestShardMs := shard.WallMs
+			if adaptive.WallMs < bestShardMs {
+				bestShardMs = adaptive.WallMs
+			}
 			speedup, denseMs := 0.0, "-"
 			if haveDense {
 				denseMs = f2(dense.WallMs)
 				if event.WallMs > 0 {
 					speedup = dense.WallMs / event.WallMs
 				}
-			} else if shard.WallMs > 0 {
-				speedup = event.WallMs / shard.WallMs
+			} else if bestShardMs > 0 {
+				speedup = event.WallMs / bestShardMs
 			}
 			skipped := 100 * float64(event.CyclesSkipped) / float64(event.Cycles)
 			r.Rows = append(r.Rows, []string{
 				w, fmt.Sprintf("%d", ranks), fmt.Sprintf("%d", event.Cycles),
-				f1(skipped), denseMs, f2(event.WallMs), f2(shard.WallMs),
-				fmt.Sprintf("%d", sh), fmt.Sprintf("%d", shard.Syncs), f2(speedup),
+				f1(skipped), denseMs, f2(event.WallMs), f2(shard.WallMs), f2(adaptive.WallMs),
+				fmt.Sprintf("%d", sh), fmt.Sprintf("%d", adaptive.Syncs),
+				fmt.Sprintf("%d", adaptive.Windows), fmt.Sprintf("%d", adaptive.Steals),
+				f2(speedup),
 			})
 			if ranks == rankSet[len(rankSet)-1] {
 				doc.SpeedupAtMax[w] = speedup
 				if shard.WallMs > 0 {
 					doc.ShardSpeedupAtMax[w] = event.WallMs / shard.WallMs
+				}
+				if adaptive.WallMs > 0 {
+					doc.AdaptiveSpeedupAtMax[w] = event.WallMs / adaptive.WallMs
 				}
 				doc.MaxRanks = ranks
 				r.metric(fmt.Sprintf("%s_%dranks_speedup", w, ranks), speedup)

@@ -4,6 +4,7 @@ import (
 	"context"
 	"encoding/json"
 	"fmt"
+	"runtime"
 	"time"
 
 	"repro/internal/service"
@@ -41,6 +42,8 @@ func waitDone(job *service.Job, timeout time.Duration) error {
 type serviceRow struct {
 	Workers      int     `json:"workers"`
 	Jobs         int     `json:"jobs"`
+	HostCPUs     int     `json:"host_cpus"`
+	GoMaxProcs   int     `json:"gomaxprocs"`
 	WallMs       float64 `json:"wall_ms"`
 	JobsPerSec   float64 `json:"jobs_per_sec"`
 	CacheHits    uint64  `json:"route_cache_hits"`
@@ -119,6 +122,7 @@ func serviceBench(opts Options) (*Report, error) {
 		}
 		row := serviceRow{
 			Workers: workers, Jobs: jobs,
+			HostCPUs: runtime.NumCPU(), GoMaxProcs: runtime.GOMAXPROCS(0),
 			WallMs:      float64(wall.Nanoseconds()) / 1e6,
 			JobsPerSec:  float64(jobs) / wall.Seconds(),
 			CacheHits:   cs.Hits,

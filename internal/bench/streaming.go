@@ -3,6 +3,7 @@ package bench
 import (
 	"encoding/json"
 	"fmt"
+	"runtime"
 	"time"
 
 	"repro/internal/apps"
@@ -33,6 +34,8 @@ type streamingRow struct {
 	Mode            string  `json:"mode"`
 	Bytes           int64   `json:"bytes"`
 	Elems           int     `json:"elems"`
+	HostCPUs        int     `json:"host_cpus"`
+	GoMaxProcs      int     `json:"gomaxprocs"`
 	Cycles          int64   `json:"cycles"`
 	Gbps            float64 `json:"gbps"`
 	WallMs          float64 `json:"wall_ms"`
@@ -92,6 +95,8 @@ func runStreaming(o Options) (*Report, error) {
 				Mode:            m.name,
 				Bytes:           res.Bytes,
 				Elems:           elems,
+				HostCPUs:        runtime.NumCPU(),
+				GoMaxProcs:      runtime.GOMAXPROCS(0),
 				Cycles:          res.Cycles,
 				Gbps:            res.Gbps,
 				WallMs:          float64(wall.Microseconds()) / 1e3,

@@ -212,7 +212,7 @@ func TestCircuitShardFaultDelivery(t *testing.T) {
 		Topology:  topo,
 		Program:   ProgramSpec{Ports: []PortSpec{{Port: 0, Type: Int, Circuit: true, BufferElems: 256}}},
 		Scheduler: sim.SchedShard,
-		Shards:    4, // reliable clusters collapse to one engine; the request must still be honored
+		Shards:    4, // reliable clusters shard for real now: split tx/rx halves per engine
 		Faults:    &fault.Spec{Seed: 23, DropProb: 0.003, CorruptProb: 0.001},
 	})
 	if err != nil {
@@ -247,6 +247,9 @@ func TestCircuitShardFaultDelivery(t *testing.T) {
 	}
 	if st.Retransmits == 0 && st.CrcErrors == 0 {
 		t.Fatal("fault spec injected nothing; raw words never crossed a lossy wire")
+	}
+	if st.Sched.Shards != 4 || st.Sched.Syncs == 0 {
+		t.Fatalf("reliable cluster fell back to one shard: shards=%d syncs=%d", st.Sched.Shards, st.Sched.Syncs)
 	}
 }
 

@@ -71,21 +71,27 @@ type Config struct {
 	RepairCycles int64
 	// Scheduler selects the simulator's scheduling mode: the default
 	// sim.SchedEvent activity-set scheduler, sim.SchedDense, the
-	// reference dense scan, or sim.SchedShard, the conservative parallel
-	// scheduler (see Shards). All three produce bit-identical runs;
-	// dense is kept for parity testing and as a benchmark baseline.
+	// reference dense scan, sim.SchedShard, the fixed-window conservative
+	// parallel scheduler, or sim.SchedShardAdaptive, the per-boundary
+	// adaptive-lookahead scheduler with deterministic work stealing (see
+	// Shards). All modes produce bit-identical runs; dense is kept for
+	// parity testing and as a benchmark baseline.
 	Scheduler sim.SchedulerKind
-	// Shards partitions the cluster's ranks into that many self-contained
-	// engine shards connected only through the link boundaries, each
-	// shard owning a contiguous rank range. Under sim.SchedShard the
-	// shards advance on worker goroutines, synchronizing every
-	// link-latency lookahead window; under the serial schedulers the same
-	// sharded structure runs one shard at a time (the exact comparator).
-	// 0 or 1 keeps the classic single-engine build. Sharding requires
-	// pristine links: a cluster with Faults or Reliable set falls back to
-	// one shard, because the retransmission protocol's ack piggybacking
-	// and the failover manager couple both cable directions within a
-	// cycle. Tracing (Trace/ChromeTrace) is rejected with Shards > 1.
+	// Shards engages the sharded engine builds. Under sim.SchedShard the
+	// cluster's ranks are partitioned into that many self-contained
+	// engine shards (contiguous rank ranges) connected only through the
+	// link boundaries, advancing on worker goroutines and synchronizing
+	// every link-latency lookahead window; under the serial schedulers
+	// the same sharded structure runs one shard at a time (the exact
+	// comparator). Under sim.SchedShardAdaptive every rank becomes its
+	// own engine and Shards sets the worker count: each engine advances
+	// to its own per-boundary safe horizon and ownership is rebalanced
+	// deterministically between rounds. 0 or 1 keeps the classic
+	// single-engine build. Reliable and fault-injected clusters shard
+	// too — the split link halves keep the retransmission protocol's
+	// couplings engine-local and the failover manager runs as a
+	// barrier-stepped coordinator. Tracing (Trace/ChromeTrace) is
+	// rejected with Shards > 1.
 	Shards int
 	// Progress, if non-nil, is called between cycles whenever the clock
 	// crosses a multiple of ProgressEvery cycles (default 1_000_000 when
@@ -194,15 +200,15 @@ func NewCluster(cfg Config) (*Cluster, error) {
 	if shards == 0 {
 		shards = 1
 	}
-	if reliable {
-		// The reliable layer couples both directions of a cable (ack
-		// piggybacking, failover) within single cycles; it runs on the
-		// classic single-engine build regardless of the requested shard
-		// count. See Config.Shards.
-		shards = 1
-	}
 	if shards > 1 && (cfg.Trace != nil || cfg.ChromeTrace != nil) {
 		return nil, fmt.Errorf("smi: tracing records a single global event order and cannot run with %d shards", shards)
+	}
+	// Adaptive lookahead gives every rank its own engine so horizons are
+	// truly per-boundary; Shards then sets the worker-slot count.
+	adaptive := cfg.Scheduler == sim.SchedShardAdaptive && shards > 1
+	nEng := shards
+	if adaptive {
+		nEng = cfg.Topology.Devices
 	}
 
 	var routes *routing.Routes
@@ -226,7 +232,7 @@ func NewCluster(cfg Config) (*Cluster, error) {
 		}
 	}
 
-	engs := make([]*sim.Engine, shards)
+	engs := make([]*sim.Engine, nEng)
 	for i := range engs {
 		e := sim.NewEngine()
 		e.SetScheduler(cfg.Scheduler)
@@ -240,7 +246,7 @@ func NewCluster(cfg Config) (*Cluster, error) {
 	if progressEvery <= 0 {
 		progressEvery = 1_000_000
 	}
-	if cfg.Progress != nil && shards == 1 {
+	if cfg.Progress != nil && nEng == 1 {
 		engs[0].SetProgress(progressEvery, cfg.Progress)
 	}
 	var tracer *vistrace.Tracer
@@ -252,7 +258,7 @@ func NewCluster(cfg Config) (*Cluster, error) {
 	c := &Cluster{
 		cfg:    cfg,
 		engs:   engs,
-		shards: shards,
+		shards: nEng,
 		routes: routes,
 		world:  Comm{base: 0, size: cfg.Topology.Devices},
 		clock:  sim.Clock{Hz: cfg.ClockHz},
@@ -351,10 +357,10 @@ func NewCluster(cfg Config) (*Cluster, error) {
 		outA, inA := c.ranks[a.Device].dev.NetOut[a.Iface], c.ranks[a.Device].dev.NetIn[a.Iface]
 		outB, inB := c.ranks[b.Device].dev.NetOut[b.Iface], c.ranks[b.Device].dev.NetIn[b.Iface]
 		if reliable {
-			// reliable forces shards == 1, so engs[0] owns every rank.
-			ab, ba := link.NewReliablePair(engs[0], nameAB, nameBA,
+			ab, ba := link.NewReliablePair(engFor(a.Device), engFor(b.Device), nameAB, nameBA,
 				outA, inB, outB, inA, cfg.LinkLatency, cfg.LinkParams,
-				c.injector.ForLink(nameAB), c.injector.ForLink(nameBA))
+				c.injector.ForLink(nameAB), c.injector.ForLink(nameBA),
+				c.injector.ForLinkExit(nameAB), c.injector.ForLinkExit(nameBA))
 			c.rlinks = append(c.rlinks, ab, ba)
 			c.cables = append(c.cables, &cable{conn: conn, ab: ab, ba: ba})
 		} else {
@@ -365,13 +371,28 @@ func NewCluster(cfg Config) (*Cluster, error) {
 		}
 	}
 	if reliable {
-		// Registered after every link so a death declared in cycle t is
-		// handled the same cycle.
 		c.manager = newFaultManager(c, cfg.RepairCycles)
-		engs[0].AddKernel(c.manager)
+		if nEng == 1 {
+			// Registered after every link so a death declared in cycle t
+			// is handled the same cycle.
+			engs[0].AddKernel(c.manager)
+		} else {
+			// Sharded build: the manager is not a kernel (its tick reads
+			// every cable's state, which now spans engines) but a
+			// coordinator the group drives at barriers, reproducing the
+			// dense kernel tick with all engines stopped.
+			c.manager.barrier = true
+		}
 	}
-	if shards > 1 {
-		c.group = sim.NewGroup(engs, cfg.MaxCycles, cfg.Scheduler == sim.SchedShard)
+	if nEng > 1 {
+		if adaptive {
+			c.group = sim.NewAdaptiveGroup(engs, cfg.MaxCycles, shards)
+		} else {
+			c.group = sim.NewGroup(engs, cfg.MaxCycles, cfg.Scheduler == sim.SchedShard)
+		}
+		if c.manager != nil {
+			c.group.SetCoordinator(c.manager)
+		}
 		if cfg.Progress != nil {
 			c.group.SetProgress(progressEvery, cfg.Progress)
 		}
@@ -542,7 +563,7 @@ func (c *Cluster) schedStats() sim.SchedStats {
 		return c.group.SchedStats(c.cfg.Scheduler)
 	}
 	st := c.engs[0].SchedStats()
-	if c.cfg.Scheduler == sim.SchedShard {
+	if c.cfg.Scheduler == sim.SchedShard || c.cfg.Scheduler == sim.SchedShardAdaptive {
 		// A one-shard "shard" run executes on the plain event loop with
 		// no barriers to count.
 		st.Shards = 1

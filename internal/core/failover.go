@@ -7,6 +7,7 @@ import (
 	"repro/internal/link"
 	"repro/internal/packet"
 	"repro/internal/routing"
+	"repro/internal/sim"
 	"repro/internal/topology"
 )
 
@@ -38,6 +39,10 @@ type faultManager struct {
 	c            *Cluster
 	surviving    *topology.Topology
 	repairCycles int64
+	// barrier marks the sharded build: the manager is not a kernel but a
+	// sim.Coordinator the group drives at barriers (see AtBarrier), and
+	// its primitives switch to the stopped-world variants.
+	barrier bool
 
 	state     int // one of fmIdle/fmRepair/fmRescue/fmFailed
 	fail      *cable
@@ -93,7 +98,7 @@ func (m *faultManager) Tick(now int64) bool {
 		}
 		return true
 	case fmRescue:
-		m.injectRescues()
+		m.injectRescues(now)
 		if len(m.rescueQueue[0]) == 0 && len(m.rescueQueue[1]) == 0 {
 			m.finish(now)
 		}
@@ -101,6 +106,56 @@ func (m *faultManager) Tick(now int64) bool {
 	default: // fmFailed: the cluster stays quiesced; see fail().
 		return false
 	}
+}
+
+// NextAction implements sim.Coordinator: the next cycle the manager may
+// need to act at, as an inclusive bound the group turns into a barrier.
+// While idle that is the earliest possible link death: DeathBound is
+// derived from each live transmitter's timer state and only moves later
+// as the simulation progresses, so no engine can observe a death the
+// barrier schedule would miss. During a repair the manager sleeps until
+// the repair deadline; during a rescue it acts every cycle.
+func (m *faultManager) NextAction(base int64) int64 {
+	switch m.state {
+	case fmIdle:
+		bound := sim.Never
+		for _, cb := range m.c.cables {
+			if cb.failed {
+				continue
+			}
+			if d := cb.ab.DeathBound(base); d < bound {
+				bound = d
+			}
+			if d := cb.ba.DeathBound(base); d < bound {
+				bound = d
+			}
+		}
+		if bound >= sim.Never {
+			return sim.Never
+		}
+		// Death at cycle d is observed by the barrier at d+1, which
+		// reproduces the dense manager tick of cycle d.
+		return bound + 1
+	case fmRepair:
+		return m.repairEnd + 1
+	case fmRescue:
+		return base + 1
+	default: // fmFailed: quiesced for good
+		return sim.Never
+	}
+}
+
+// AtBarrier implements sim.Coordinator: with every engine stopped at a
+// common clock, a tick at clock-1 reproduces exactly what the dense
+// manager kernel (registered after every link kernel) did that cycle.
+func (m *faultManager) AtBarrier(clock int64) { m.Tick(clock - 1) }
+
+// Quiescent implements sim.Coordinator: in fmIdle and fmFailed the
+// manager only ever reacts to engine activity, so a globally idle group
+// is a real deadlock; in fmRepair/fmRescue the manager itself is the
+// pending work.
+func (m *faultManager) Quiescent() bool {
+	return m.state == fmIdle || m.state == fmFailed
 }
 
 // begin parks the dead cable, freezes every transport kernel, and starts
@@ -144,9 +199,12 @@ func (m *faultManager) declareFailed(now int64, err error) {
 	m.err = err
 	m.state = fmFailed
 	m.logEvent(now, "failed")
-	// The manager only exists on reliable clusters, which always build as
-	// a single shard.
-	m.c.engs[0].CancelWaits()
+	// Wake every blocked proc at now+1, the cycle a dense-mode kernel's
+	// CancelWaits would land on; in the sharded build this spans all
+	// engines, stopped at the barrier.
+	for _, e := range m.c.engs {
+		e.CancelWaitsAt(now + 1)
+	}
 }
 
 // swapAndRescue uploads the regenerated tables through the shared Routes
@@ -184,7 +242,7 @@ func (m *faultManager) swapAndRescue(now int64) {
 // into the network-port FIFO its new route selects. A full FIFO retries
 // next cycle; an unroutable packet (destination cut off, or a headerless
 // raw payload) is dropped and counted.
-func (m *faultManager) injectRescues() {
+func (m *faultManager) injectRescues(now int64) {
 	for i := 0; i < 2; i++ {
 		q := m.rescueQueue[i]
 		if len(q) == 0 {
@@ -203,11 +261,21 @@ func (m *faultManager) injectRescues() {
 			m.rescueQueue[i] = q[1:]
 			continue
 		}
-		if dev.NetOut[exit].TryPush(p) {
+		if m.push(dev.NetOut[exit], p) {
 			m.rescued++
 			m.rescueQueue[i] = q[1:]
 		}
 	}
+}
+
+// push injects one rescued packet: a plain registered write from the
+// manager's kernel tick, or the barrier-time equivalent when the group
+// drives the manager with every engine stopped one cycle later.
+func (m *faultManager) push(f *sim.Fifo[packet.Packet], p packet.Packet) bool {
+	if m.barrier {
+		return f.PushAtBarrier(p)
+	}
+	return f.TryPush(p)
 }
 
 // finish resumes the endpoint devices' send sides and forgives the RTO

@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/fault"
 	"repro/internal/routing"
+	"repro/internal/sim"
 	"repro/internal/topology"
 )
 
@@ -224,6 +225,71 @@ func TestFailoverReroutesAndRescues(t *testing.T) {
 	}
 	if st.PacketsDropped != 0 {
 		t.Fatalf("failover dropped packets on a still-connected topology: %+v", st)
+	}
+}
+
+// TestFailoverShardParity runs the kill-mid-stream failover under the
+// sharded schedulers: the barrier-stepped coordinator must reproduce the
+// dense fault manager cycle for cycle — death detection, route
+// regeneration, barrier-time packet rescue, and resume — with the stream
+// delivered intact and identical failover accounting.
+func TestFailoverShardParity(t *testing.T) {
+	topo, err := topology.Torus2D(2, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const src, dst, n = 0, 5, 30000
+	pre, err := routing.Compute(topo, routing.UpDown)
+	if err != nil {
+		t.Fatal(err)
+	}
+	exit := pre.At(src, dst)
+	nb, ok := topo.Neighbor(src, exit)
+	if !ok {
+		t.Fatal("routed exit interface is not cabled")
+	}
+	deadLink := fmt.Sprintf("%d:%d->%d:%d", src, exit, nb.Device, nb.Iface)
+
+	run := func(kind sim.SchedulerKind, shards int) Stats {
+		cfg := Config{
+			Topology:      topo,
+			Program:       ProgramSpec{Ports: []PortSpec{{Port: 0, Type: Int}}},
+			RoutingPolicy: routing.UpDown,
+			Scheduler:     kind,
+			Shards:        shards,
+			Faults: &fault.Spec{Events: []fault.Event{
+				{Link: deadLink, Kind: fault.Kill, At: 3000},
+			}},
+		}
+		st, got := streamRun(t, cfg, src, dst, n)
+		checkStream(t, got, n)
+		return st
+	}
+	dense := run(sim.SchedDense, 0)
+	if dense.Failovers != 1 || dense.RescuedPackets == 0 {
+		t.Fatalf("reference run did not exercise the failover: %+v", dense)
+	}
+	for _, v := range []struct {
+		name   string
+		kind   sim.SchedulerKind
+		shards int
+	}{
+		{"shard", sim.SchedShard, 4},
+		{"shard-adaptive", sim.SchedShardAdaptive, 4},
+	} {
+		st := run(v.kind, v.shards)
+		if st.Cycles != dense.Cycles {
+			t.Errorf("%s finished at cycle %d, dense at %d", v.name, st.Cycles, dense.Cycles)
+		}
+		if st.Failovers != dense.Failovers || st.RescuedPackets != dense.RescuedPackets ||
+			st.FailoverCycles != dense.FailoverCycles {
+			t.Errorf("%s failover accounting (failovers=%d rescued=%d cycles=%d) diverges from dense (%d/%d/%d)",
+				v.name, st.Failovers, st.RescuedPackets, st.FailoverCycles,
+				dense.Failovers, dense.RescuedPackets, dense.FailoverCycles)
+		}
+		if st.Sched.Shards != 4 || st.Sched.Syncs == 0 {
+			t.Errorf("%s did not run sharded: shards=%d syncs=%d", v.name, st.Sched.Shards, st.Sched.Syncs)
+		}
 	}
 }
 

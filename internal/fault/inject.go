@@ -47,6 +47,28 @@ func (inj *Injector) ForLink(name string) *LinkInjector {
 	return li
 }
 
+// ForLinkExit returns a second fault stream of the named directed link
+// for use at the wire exit, which in sharded runs lives on the receiver
+// rank's engine. It shares the link's scripted events but carries its
+// own down/kill cache and counters, so the receive half never touches
+// state the transmit half mutates on another engine. Exit-side callers
+// use only Down and LoseOnWire, which never draw from the random
+// stream; probabilistic faults stay exclusive to the entry stream.
+func (inj *Injector) ForLinkExit(name string) *LinkInjector {
+	inj.mu.Lock()
+	defer inj.mu.Unlock()
+	key := name + "\x00exit"
+	if li, ok := inj.links[key]; ok {
+		return li
+	}
+	li := &LinkInjector{
+		name:   name,
+		events: inj.spec.eventsFor(name),
+	}
+	inj.links[key] = li
+	return li
+}
+
 // TimedFault records one injected fault occurrence, for Chrome-trace
 // annotation and logs.
 type TimedFault struct {
@@ -72,7 +94,12 @@ func (inj *Injector) Timeline() []TimedFault {
 		if out[i].Cycle != out[j].Cycle {
 			return out[i].Cycle < out[j].Cycle
 		}
-		return out[i].Link < out[j].Link
+		if out[i].Link != out[j].Link {
+			return out[i].Link < out[j].Link
+		}
+		// The entry and exit streams of one link share its name; the
+		// kind tiebreak keeps their merged timeline deterministic.
+		return out[i].Kind < out[j].Kind
 	})
 	return out
 }

@@ -32,6 +32,17 @@ import (
 //     the wire has room, so pure backpressure never masquerades as
 //     loss. DeadAfter consecutive fruitless timeouts declare the link
 //     dead, handing control to the cluster's failover machinery.
+//
+// Like the pristine Link, each direction is split into a transmit half
+// (on the sender rank's engine) and a receive half (on the receiver's),
+// joined by a frame-carrying wire boundary and a same-latency credit
+// return boundary. All the protocol's cross-direction couplings are
+// engine-local by construction: the A->B transmitter piggybacks the
+// ack state of the B->A *receiver*, which also lives on device A, and
+// the A->B receiver applies acks to the B->A *transmitter*, which also
+// lives on device B. CRC, go-back-N, and retransmission state therefore
+// never needs same-cycle agreement across engines, which is what lets
+// reliable clusters shard.
 
 // ReliableParams tunes the retransmission protocol of one link.
 type ReliableParams struct {
@@ -101,11 +112,6 @@ func (f *frame) intact() bool {
 	return f.crc == packet.Checksum(f.word, f.seq, f.ack, f.flags())
 }
 
-type wireFrame struct {
-	f       frame
-	readyAt int64
-}
-
 // txFrame is one unacknowledged entry of the retransmit buffer.
 type txFrame struct {
 	word  [packet.Size]byte
@@ -127,35 +133,39 @@ func encodeWord(p packet.Packet) (word [packet.Size]byte, raw bool, count uint8)
 // decodeWord is the inverse of encodeWord.
 func decodeWord(word [packet.Size]byte, raw bool, count uint8) packet.Packet {
 	if raw {
-		return packet.DecodeRaw(word, count)
+		return packet.DecodeRaw(word, raw2count(count))
 	}
 	return packet.Decode(word)
 }
 
-// ReliableLink is one direction of a cable running the retransmission
-// protocol. The two directions are created together by NewReliablePair
-// and cross-linked: acknowledgements for this direction's data travel on
-// the peer direction's wire.
-type ReliableLink struct {
+// raw2count exists only to keep the call above greppable; counts pass
+// through unchanged.
+func raw2count(c uint8) uint8 { return c }
+
+// relTx is the transmit half of one direction, living on the sender
+// rank's engine: retransmit buffer, go-back-N cursor, RTO, and the
+// credit-window admission gate.
+type relTx struct {
 	name    string
 	eng     *sim.Engine
 	id      sim.KernelID
 	in      *sim.Fifo[packet.Packet] // sender-side transport FIFO
-	out     *sim.Fifo[packet.Packet] // receiver-side transport FIFO
 	latency int64
 	par     ReliableParams
-	inj     *fault.LinkInjector
-	peer    *ReliableLink
+	inj     *fault.LinkInjector // wire-entry injector (consumes the rng stream)
+	wire    *sim.Boundary[frame]
+	credits *sim.Boundary[struct{}]
+	// peerRx is the opposite direction's receive half — on this same
+	// engine, since the B->A receiver sits on device A — whose ack/nack
+	// state this transmitter piggybacks and clears.
+	peerRx *relRx
 
-	wire []wireFrame // delay line, oldest first
-	// credits models the receiver's credit return path: one entry per
-	// frame drained from the wire, maturing at drain+latency. The sender
-	// admits a frame only while outstanding (wire + unmatured credits) is
-	// below 2*latency — the same round-trip window the lossless Link
+	// outstanding counts frames on the wire plus drained frames whose
+	// credit has not matured: the sender admits a frame only while this
+	// is below 2*latency, the same round-trip window the lossless Link
 	// uses, so fault-free timing stays bit-identical between the two.
-	credits []int64
+	outstanding int64
 
-	// Transmit state (lives at the source device).
 	buf        []txFrame // unacked frames, seq order
 	cursor     int       // next buf entry to put on the wire
 	nextSeq    uint64    // seq assigned to the next fresh frame
@@ -168,46 +178,102 @@ type ReliableLink struct {
 	dead       bool
 	parked     bool
 
-	// Receive state (lives at the destination device).
+	retransmits uint64
+	acksSent    uint64
+}
+
+// relRx is the receive half of one direction, living on the receiver
+// rank's engine: in-order delivery, duplicate rejection, CRC checks,
+// and ack/nack bookkeeping for the opposite transmitter to send.
+type relRx struct {
+	name    string
+	eng     *sim.Engine
+	id      sim.KernelID
+	out     *sim.Fifo[packet.Packet] // receiver-side transport FIFO
+	latency int64
+	inj     *fault.LinkInjector // wire-exit injector (Down/LoseOnWire only; no rng)
+	wire    *sim.Boundary[frame]
+	credits *sim.Boundary[struct{}]
+	// peerTx is the opposite direction's transmit half — on this same
+	// engine — to which received cumulative acks and rewind requests
+	// are applied.
+	peerTx *relTx
+
 	rxExpected uint64 // next in-order seq to deliver
 	ackOwed    bool   // delivered (or re-ack-worthy) frames not yet acked
 	nackOwed   bool
 	held       *frame // in-order frame waiting for space in out
+	parked     bool
 
-	// Stats.
-	delivered   uint64
-	stalls      uint64
-	stallSince  int64 // cycle the current held-frame window opened, -1 if none
-	retransmits uint64
-	crcErrors   uint64
-	acksSent    uint64
-	duplicates  uint64
+	delivered  uint64
+	stalls     uint64
+	stallSince int64 // cycle the current held-frame window opened, -1 if none
+	crcErrors  uint64
+	duplicates uint64
 }
 
-// NewReliablePair registers both directions of a cable with the engine
-// and cross-links them for acknowledgement traffic. inAB/outAB are the
-// transmit/receive FIFOs of the A->B direction, inBA/outBA of B->A.
-// latency <= 0 selects DefaultLatency; inj may be nil per direction.
-func NewReliablePair(e *sim.Engine, nameAB, nameBA string,
+// ReliableLink is one direction of a cable running the retransmission
+// protocol: a facade over the split transmit/receive kernels. The two
+// directions are created together by NewReliablePair and cross-linked:
+// acknowledgements for this direction's data travel on the peer
+// direction's wire.
+type ReliableLink struct {
+	name    string
+	latency int64
+	par     ReliableParams
+	tx      *relTx
+	rx      *relRx
+}
+
+// NewReliablePair registers both directions of a cable and cross-links
+// them for acknowledgement traffic. The A->B transmit half and the B->A
+// receive half live on engA; the A->B receive half and B->A transmit
+// half on engB (one engine may serve both roles in unsharded runs).
+// inAB/outAB are the transmit/receive FIFOs of the A->B direction,
+// inBA/outBA of B->A. latency <= 0 selects DefaultLatency; the entry
+// injectors injAB/injBA consume the per-link random stream at the wire
+// entry, the exit injectors model carrier loss at the wire exit without
+// touching the stream (they live on the far engine), and any of the
+// four may be nil.
+func NewReliablePair(engA, engB *sim.Engine, nameAB, nameBA string,
 	inAB, outAB, inBA, outBA *sim.Fifo[packet.Packet],
 	latency int64, par ReliableParams,
-	injAB, injBA *fault.LinkInjector) (*ReliableLink, *ReliableLink) {
+	injAB, injBA, injABExit, injBAExit *fault.LinkInjector) (*ReliableLink, *ReliableLink) {
 	if latency <= 0 {
 		latency = DefaultLatency
 	}
 	par.fill(latency)
-	ab := &ReliableLink{name: nameAB, eng: e, in: inAB, out: outAB, latency: latency, par: par, inj: injAB, stallSince: -1}
-	ba := &ReliableLink{name: nameBA, eng: e, in: inBA, out: outBA, latency: latency, par: par, inj: injBA, stallSince: -1}
-	ab.peer, ba.peer = ba, ab
-	ab.id = e.AddKernel(ab)
-	ba.id = e.AddKernel(ba)
-	// A parked direction resumes on new transmit data (in commit) or on
-	// freed receiver space (out pop); acknowledgement-driven transmit
-	// state changes arrive via explicit WakeKernel calls from the peer.
-	inAB.WakesKernel(ab.id)
-	outAB.WakesKernel(ab.id)
-	inBA.WakesKernel(ba.id)
-	outBA.WakesKernel(ba.id)
+	txAB := &relTx{name: nameAB, eng: engA, in: inAB, latency: latency, par: par, inj: injAB}
+	rxAB := &relRx{name: nameAB, eng: engB, out: outAB, latency: latency, inj: injABExit, stallSince: -1}
+	txBA := &relTx{name: nameBA, eng: engB, in: inBA, latency: latency, par: par, inj: injBA}
+	rxBA := &relRx{name: nameBA, eng: engA, out: outBA, latency: latency, inj: injBAExit, stallSince: -1}
+	txAB.peerRx, rxAB.peerTx = rxBA, txBA
+	txBA.peerRx, rxBA.peerTx = rxAB, txAB
+	// Registration order reproduces the monolithic kernel's intra-cycle
+	// order on a single engine — receive(AB), transmit(AB), receive(BA),
+	// transmit(BA) — and its per-engine projection on two: every
+	// same-engine coupling (piggyback reads, processAck applications)
+	// then observes state at exactly the dense cycle phase it used to.
+	rxAB.id = engB.AddKernel(rxAB)
+	txAB.id = engA.AddKernel(txAB)
+	rxBA.id = engA.AddKernel(rxBA)
+	txBA.id = engB.AddKernel(txBA)
+	wireAB := sim.NewBoundary[frame](engA, engB, rxAB.id, latency)
+	creditsAB := sim.NewBoundary[struct{}](engB, engA, txAB.id, latency)
+	wireBA := sim.NewBoundary[frame](engB, engA, rxBA.id, latency)
+	creditsBA := sim.NewBoundary[struct{}](engA, engB, txBA.id, latency)
+	txAB.wire, txAB.credits, rxAB.wire, rxAB.credits = wireAB, creditsAB, wireAB, creditsAB
+	txBA.wire, txBA.credits, rxBA.wire, rxBA.credits = wireBA, creditsBA, wireBA, creditsBA
+	// A parked transmit half resumes on new transmit data (in commit) or
+	// maturing credits; a parked receive half on freed receiver space
+	// (out pop) or wire arrivals. Ack-driven transmit state changes
+	// arrive via explicit engine-local wakes from the receive halves.
+	inAB.WakesKernel(txAB.id)
+	outAB.WakesKernel(rxAB.id)
+	inBA.WakesKernel(txBA.id)
+	outBA.WakesKernel(rxBA.id)
+	ab := &ReliableLink{name: nameAB, latency: latency, par: par, tx: txAB, rx: rxAB}
+	ba := &ReliableLink{name: nameBA, latency: latency, par: par, tx: txBA, rx: rxBA}
 	return ab, ba
 }
 
@@ -216,41 +282,41 @@ func (l *ReliableLink) Name() string { return l.name }
 
 // Delivered returns in-order data packets delivered to the receiver
 // (duplicates excluded).
-func (l *ReliableLink) Delivered() uint64 { return l.delivered }
+func (l *ReliableLink) Delivered() uint64 { return l.rx.delivered }
 
 // Stalls returns cycles the in-order head frame waited on a full
 // receiver FIFO.
-func (l *ReliableLink) Stalls() uint64 { return l.stalls }
+func (l *ReliableLink) Stalls() uint64 { return l.rx.stalls }
 
 // Retransmits returns data frames sent more than once.
-func (l *ReliableLink) Retransmits() uint64 { return l.retransmits }
+func (l *ReliableLink) Retransmits() uint64 { return l.tx.retransmits }
 
 // CrcErrors returns frames discarded by the receiver's CRC check.
-func (l *ReliableLink) CrcErrors() uint64 { return l.crcErrors }
+func (l *ReliableLink) CrcErrors() uint64 { return l.rx.crcErrors }
 
 // AcksSent returns pure control frames spent on acknowledgements.
-func (l *ReliableLink) AcksSent() uint64 { return l.acksSent }
+func (l *ReliableLink) AcksSent() uint64 { return l.tx.acksSent }
 
 // Duplicates returns already-delivered data frames rejected by the
 // receiver's sequence check.
-func (l *ReliableLink) Duplicates() uint64 { return l.duplicates }
+func (l *ReliableLink) Duplicates() uint64 { return l.rx.duplicates }
 
 // Dead reports whether the sender has declared this direction dead
 // (DeadAfter consecutive fruitless retransmission rounds).
-func (l *ReliableLink) Dead() bool { return l.dead }
+func (l *ReliableLink) Dead() bool { return l.tx.dead }
 
 // RxExpected returns the receiver's next expected sequence number: every
 // frame below it has been delivered exactly once. The failover
 // controller reads it over the host control plane (PCIe survives cable
 // failure) to rescue unacknowledged frames without duplication.
-func (l *ReliableLink) RxExpected() uint64 { return l.rxExpected }
+func (l *ReliableLink) RxExpected() uint64 { return l.rx.rxExpected }
 
 // Unacked decodes the retransmit-buffer frames the peer has not
 // delivered (seq >= peerDelivered), in order. Combined with RxExpected
 // of the same direction this is the exact loss set of a dead cable.
 func (l *ReliableLink) Unacked(peerDelivered uint64) []packet.Packet {
 	var out []packet.Packet
-	for _, t := range l.buf {
+	for _, t := range l.tx.buf {
 		if t.seq >= peerDelivered {
 			out = append(out, decodeWord(t.word, t.raw, t.count))
 		}
@@ -258,14 +324,20 @@ func (l *ReliableLink) Unacked(peerDelivered uint64) []packet.Packet {
 	return out
 }
 
-// Park permanently disables the link (failover has taken over): the wire
-// is cleared and Tick becomes a no-op reporting inactivity.
+// Park permanently disables the link (failover has taken over): both
+// boundary queues are cleared — in-flight traffic is lost, as on a real
+// dead cable — and both halves' Ticks become no-ops reporting
+// inactivity. The retransmit buffer is kept for Unacked. Called with
+// both engines at a common stopped point (a kernel tick in unsharded
+// runs, a group barrier otherwise).
 func (l *ReliableLink) Park() {
-	l.parked = true
-	l.dead = true
-	l.wire = nil
-	l.credits = nil
-	l.held = nil
+	l.tx.parked = true
+	l.tx.dead = true
+	l.tx.outstanding = 0
+	l.rx.parked = true
+	l.rx.held = nil
+	l.tx.wire.Clear()
+	l.tx.credits.Clear()
 }
 
 // ForgiveTimeouts resets the death counter and rebases the retransmit
@@ -273,291 +345,329 @@ func (l *ReliableLink) Park() {
 // repair, since a global pause can legitimately starve them of acks for
 // longer than the RTO.
 func (l *ReliableLink) ForgiveTimeouts(now int64) {
-	if l.parked {
+	t := l.tx
+	if t.parked {
 		return
 	}
-	l.timeouts = 0
-	l.dead = false
-	if len(l.buf) > 0 {
-		l.timerArmed = true
-		l.timerBase = now
+	t.timeouts = 0
+	t.dead = false
+	if len(t.buf) > 0 {
+		t.timerArmed = true
+		t.timerBase = now
 	} else {
-		l.timerArmed = false
+		t.timerArmed = false
 	}
-	// The timer was rebased; if this direction is parked on the old
-	// deadline, have it tick once and re-park on the new one.
-	l.eng.WakeKernel(l.id)
+	// The timer was rebased; if the transmit half is parked on the old
+	// deadline, have it tick once and re-park on the new one. now+1 is
+	// when a dense manager-kernel tick at `now` would be observed.
+	t.eng.WakeKernelAt(t.id, now+1)
 }
 
-// Tick advances one cycle: deliver at most one frame (receive side),
-// then place at most one frame on the wire (transmit side), mirroring
-// the lossless Link's deliver-then-accept order so fault-free timing is
-// bit-identical.
-func (l *ReliableLink) Tick(now int64) bool {
-	if l.parked {
-		return false
-	}
-	active := l.tickReceive(now)
-	if l.tickTransmit(now) {
-		active = true
-	}
-	// Frames still serializing and a pending retransmit timeout are
-	// future events, reported to the engine as a scheduled wake via
-	// IdleUntil rather than as per-cycle activity.
-	return active
-}
-
-// IdleUntil promises the link does nothing before its next scheduled
-// event: the oldest in-flight frame finishing serialization, or the
-// retransmit timeout firing. Everything else that can give a parked
-// direction work arrives as a wake — transmit-FIFO commits, receive-FIFO
-// pops, and ack/nack state changes applied by the peer direction.
-func (l *ReliableLink) IdleUntil(now int64) int64 {
-	if l.parked {
+// DeathBound returns a conservative lower bound on the earliest cycle
+// this direction's transmitter could declare itself dead, given the
+// transmit state visible at the group barrier clock `base`. Fruitless
+// RTO rounds are at least RTO cycles apart and death needs
+// DeadAfter-timeouts more of them; ack progress and timer resets only
+// push the bound later, so a cap derived from it stays safe until the
+// next barrier recomputes it.
+func (l *ReliableLink) DeathBound(base int64) int64 {
+	t := l.tx
+	if t.parked {
 		return sim.Never
 	}
-	next := sim.Never
-	if len(l.wire) > 0 && l.wire[0].readyAt > now {
-		next = l.wire[0].readyAt
+	if t.dead {
+		return base // already dead: the manager must observe it now
 	}
-	if len(l.credits) > 0 && l.credits[0] > now && l.credits[0] < next {
-		// A maturing credit can reopen the admission window for a sender
-		// blocked on it (harmless extra wake otherwise).
-		next = l.credits[0]
+	if !t.timerArmed {
+		// An unarmed timer has timeouts == 0 and can first fire one RTO
+		// after it arms, which cannot happen before base.
+		return base + int64(t.par.DeadAfter)*t.par.RTO
 	}
-	if !l.dead && l.timerArmed {
-		if d := l.timerBase + l.par.RTO; d < next {
-			next = d
-		}
+	left := int64(t.par.DeadAfter - 1 - t.timeouts)
+	if left < 0 {
+		left = 0
 	}
-	return next
+	first := t.timerBase + t.par.RTO
+	if first < base {
+		first = base
+	}
+	return first + left*t.par.RTO
 }
 
-// tickReceive delivers the head-of-wire frame if its flight time has
-// elapsed: CRC check, ack/nack processing for the opposite direction,
-// and strict in-order delivery with duplicate rejection.
-func (l *ReliableLink) tickReceive(now int64) bool {
+func (l *ReliableLink) String() string {
+	return fmt.Sprintf("rlink %s (lat=%d, delivered=%d, rexmit=%d)", l.name, l.latency, l.rx.delivered, l.tx.retransmits)
+}
+
+func (r *relRx) Name() string { return r.name + ".rx" }
+
+// Tick advances the receive half one cycle: deliver the head-of-wire
+// frame if its flight time has elapsed — CRC check, ack/nack processing
+// for the opposite direction's transmitter, strict in-order delivery
+// with duplicate rejection.
+func (r *relRx) Tick(now int64) bool {
+	if r.parked {
+		return false
+	}
 	// A held in-order frame retries its push before the wire moves.
-	if l.held != nil {
-		if l.out.TryPush(decodeWord(l.held.word, l.held.raw, l.held.count)) {
-			l.rxExpected = l.held.seq + 1
-			l.oweAck()
-			l.delivered++
-			l.held = nil
-			if l.stallSince >= 0 {
+	if r.held != nil {
+		if r.out.TryPush(decodeWord(r.held.word, r.held.raw, r.held.count)) {
+			r.rxExpected = r.held.seq + 1
+			r.oweAck()
+			r.delivered++
+			r.held = nil
+			if r.stallSince >= 0 {
 				// Close the held-frame window; its opening cycle was
 				// counted when the frame was first held.
-				l.stalls += uint64(now - l.stallSince - 1)
-				l.stallSince = -1
+				r.stalls += uint64(now - r.stallSince - 1)
+				r.stallSince = -1
 			}
 			return true
 		}
 		return false
 	}
-	if len(l.wire) == 0 || l.wire[0].readyAt > now {
+	f, ok := r.wire.PopReady(now)
+	if !ok {
 		return false
 	}
-	f := l.wire[0].f
-	l.wire = l.wire[1:]
 	// Return one credit per drained wire slot regardless of the frame's
 	// fate: the slot itself is free again after the feedback latency.
-	l.credits = append(l.credits, now+l.latency)
-	if l.inj.Down(now) {
+	r.credits.Put(now, struct{}{})
+	if r.inj.Down(now) {
 		// The link dropped carrier while the frame was in flight.
-		l.inj.LoseOnWire(now)
+		r.inj.LoseOnWire(now)
 		return true
 	}
 	if !f.intact() {
-		l.crcErrors++
-		l.oweNack()
+		r.crcErrors++
+		r.oweNack()
 		return true
 	}
 	// The sideband acknowledges the opposite direction's data.
-	l.peer.processAck(f.ack, f.nack, now)
+	r.peerTx.processAck(f.ack, f.nack, now)
 	if !f.data {
 		return true
 	}
 	switch {
-	case f.seq == l.rxExpected:
-		if l.out.TryPush(decodeWord(f.word, f.raw, f.count)) {
-			l.rxExpected = f.seq + 1
-			l.oweAck()
-			l.delivered++
+	case f.seq == r.rxExpected:
+		if r.out.TryPush(decodeWord(f.word, f.raw, f.count)) {
+			r.rxExpected = f.seq + 1
+			r.oweAck()
+			r.delivered++
 		} else {
 			// Receiver FIFO full: hold the frame (hardware stall), do
 			// not nack — backpressure is not loss.
 			held := f
-			l.held = &held
-			if l.stallSince < 0 {
-				l.stallSince = now
-				l.stalls++
+			r.held = &held
+			if r.stallSince < 0 {
+				r.stallSince = now
+				r.stalls++
 			}
 		}
-	case f.seq < l.rxExpected:
+	case f.seq < r.rxExpected:
 		// Duplicate of a delivered frame (retransmission raced the
 		// ack): discard and re-advertise the cumulative ack.
-		l.duplicates++
-		l.oweAck()
+		r.duplicates++
+		r.oweAck()
 	default:
 		// Gap: an earlier frame was lost. Go-back-N discards
 		// out-of-order frames and asks for a rewind.
-		l.oweNack()
+		r.oweNack()
 	}
 	return true
 }
 
-// oweAck flags acknowledgement state for this receiver and wakes the
-// opposite direction, which transmits the ack on its wire. The wake is
-// timed by the engine so the peer observes the flag exactly when the
-// dense scan would (same cycle if it ticks later, next cycle otherwise).
-func (l *ReliableLink) oweAck() {
-	l.ackOwed = true
-	l.eng.WakeKernel(l.peer.id)
-}
-
-func (l *ReliableLink) oweNack() {
-	l.nackOwed = true
-	l.eng.WakeKernel(l.peer.id)
-}
-
-// wireOutstanding counts frames charged against the credit window:
-// frames still on the wire plus drained frames whose credit has not
-// matured. Matured credits are discarded as a side effect.
-func (l *ReliableLink) wireOutstanding(now int64) int64 {
-	for len(l.credits) > 0 && l.credits[0] <= now {
-		l.credits = l.credits[1:]
+// IdleUntil promises the receive half does nothing before its oldest
+// in-flight frame finishes serializing. Head-ready-but-blocked and
+// empty states park until a wake (receive-FIFO pop or wire arrival).
+func (r *relRx) IdleUntil(now int64) int64 {
+	if r.parked {
+		return sim.Never
 	}
-	return int64(len(l.wire) + len(l.credits))
+	if next := r.wire.NextReadyAt(); next > now {
+		return next // Never when the wire is empty
+	}
+	return sim.Never
 }
 
-// tickTransmit handles the retransmit timeout and places at most one
-// frame — backlog retransmission, fresh data, or a pure control frame —
-// on the wire.
-func (l *ReliableLink) tickTransmit(now int64) bool {
-	if l.dead {
+// oweAck flags acknowledgement state for this receiver and wakes the
+// opposite direction's transmitter — on this same engine — which sends
+// the ack on its wire. The wake is timed by the engine so the peer
+// observes the flag exactly when the dense scan would (same cycle if it
+// ticks later, next cycle otherwise).
+func (r *relRx) oweAck() {
+	r.ackOwed = true
+	r.eng.WakeKernel(r.peerTx.id)
+}
+
+func (r *relRx) oweNack() {
+	r.nackOwed = true
+	r.eng.WakeKernel(r.peerTx.id)
+}
+
+func (t *relTx) Name() string { return t.name + ".tx" }
+
+// drainCredits discards matured credits, shrinking the outstanding
+// count the admission window is charged against.
+func (t *relTx) drainCredits(now int64) {
+	for {
+		if _, ok := t.credits.PopReady(now); !ok {
+			return
+		}
+		t.outstanding--
+	}
+}
+
+// Tick advances the transmit half one cycle: handle the retransmit
+// timeout, then place at most one frame — backlog retransmission, fresh
+// data, or a pure control frame — on the wire.
+func (t *relTx) Tick(now int64) bool {
+	if t.parked {
+		return false
+	}
+	t.drainCredits(now)
+	if t.dead {
 		return false
 	}
 	// Retransmit timeout. The timer only runs while the wire has room:
 	// a wire jammed by receiver backpressure proves the path is alive
 	// but congested, and retransmitting into it would be both futile
 	// and unfaithful.
-	if l.timerArmed && now-l.timerBase >= l.par.RTO {
-		if l.wireOutstanding(now) >= 2*l.latency {
-			l.timerBase = now
+	if t.timerArmed && now-t.timerBase >= t.par.RTO {
+		if t.outstanding >= 2*t.latency {
+			t.timerBase = now
 		} else {
-			l.cursor = 0 // go-back-N rewind
-			l.rewindOk = now + l.par.RTO
-			l.timerBase = now
-			l.timeouts++
-			if l.timeouts >= l.par.DeadAfter {
-				l.dead = true
+			t.cursor = 0 // go-back-N rewind
+			t.rewindOk = now + t.par.RTO
+			t.timerBase = now
+			t.timeouts++
+			if t.timeouts >= t.par.DeadAfter {
+				t.dead = true
 				return true
 			}
 		}
 	}
-	if l.wireOutstanding(now) >= 2*l.latency {
+	if t.outstanding >= 2*t.latency {
 		return false
 	}
 	// Backlog first: frames already accepted but not yet (re)sent.
-	if l.cursor < len(l.buf) {
-		t := l.buf[l.cursor]
-		l.cursor++
-		l.sendData(now, t)
+	if t.cursor < len(t.buf) {
+		tf := t.buf[t.cursor]
+		t.cursor++
+		t.sendData(now, tf)
 		return true
 	}
 	// Fresh data, popped and transmitted in the same cycle — identical
 	// admission timing to the lossless Link.
-	if len(l.buf) < l.par.Window {
-		if p, ok := l.in.TryPop(); ok {
+	if len(t.buf) < t.par.Window {
+		if p, ok := t.in.TryPop(); ok {
 			word, raw, count := encodeWord(p)
-			t := txFrame{word: word, seq: l.nextSeq, raw: raw, count: count}
-			l.nextSeq++
-			l.buf = append(l.buf, t)
-			l.cursor = len(l.buf)
-			l.sendData(now, t)
+			tf := txFrame{word: word, seq: t.nextSeq, raw: raw, count: count}
+			t.nextSeq++
+			t.buf = append(t.buf, tf)
+			t.cursor = len(t.buf)
+			t.sendData(now, tf)
 			return true
 		}
 	}
 	// Idle slot: spend it on acknowledgement state if any is owed for
-	// the opposite direction's receiver.
-	if l.peer.ackOwed || l.peer.nackOwed {
-		f := frame{ack: l.peer.rxExpected, nack: l.peer.nackOwed}
+	// the opposite direction's receiver (engine-local).
+	if t.peerRx.ackOwed || t.peerRx.nackOwed {
+		f := frame{ack: t.peerRx.rxExpected, nack: t.peerRx.nackOwed}
 		f.seal()
-		l.peer.ackOwed, l.peer.nackOwed = false, false
-		l.acksSent++
-		l.putOnWire(now, f)
+		t.peerRx.ackOwed, t.peerRx.nackOwed = false, false
+		t.acksSent++
+		t.putOnWire(now, f)
 		return true
 	}
 	return false
 }
 
+// IdleUntil promises the transmit half does nothing before its next
+// scheduled event: a credit maturing (which can reopen the admission
+// window; harmless extra wake otherwise) or the retransmit timeout
+// firing. Everything else arrives as a wake — transmit-FIFO commits and
+// ack/nack state changes applied by the engine-local receive halves.
+func (t *relTx) IdleUntil(now int64) int64 {
+	if t.parked {
+		return sim.Never
+	}
+	next := sim.Never
+	if c := t.credits.NextReadyAt(); c > now && c < next {
+		next = c
+	}
+	if !t.dead && t.timerArmed {
+		if d := t.timerBase + t.par.RTO; d < next {
+			next = d
+		}
+	}
+	return next
+}
+
 // sendData places one data frame on the wire with the current
 // piggybacked ack state for the opposite direction.
-func (l *ReliableLink) sendData(now int64, t txFrame) {
-	if t.seq < l.maxSent {
-		l.retransmits++
+func (t *relTx) sendData(now int64, tf txFrame) {
+	if tf.seq < t.maxSent {
+		t.retransmits++
 	} else {
-		l.maxSent = t.seq + 1
+		t.maxSent = tf.seq + 1
 	}
-	f := frame{word: t.word, seq: t.seq, data: true, raw: t.raw, count: t.count, ack: l.peer.rxExpected, nack: l.peer.nackOwed}
+	f := frame{word: tf.word, seq: tf.seq, data: true, raw: tf.raw, count: tf.count, ack: t.peerRx.rxExpected, nack: t.peerRx.nackOwed}
 	f.seal()
-	l.peer.ackOwed, l.peer.nackOwed = false, false
-	if !l.timerArmed {
-		l.timerArmed = true
-		l.timerBase = now
+	t.peerRx.ackOwed, t.peerRx.nackOwed = false, false
+	if !t.timerArmed {
+		t.timerArmed = true
+		t.timerBase = now
 	}
-	l.putOnWire(now, f)
+	t.putOnWire(now, f)
 }
 
 // putOnWire passes a frame through the fault injector and, if it
-// survives, appends it to the delay line.
-func (l *ReliableLink) putOnWire(now int64, f frame) {
-	if l.inj.Down(now) {
-		l.inj.LoseOnWire(now)
+// survives, puts it on the wire boundary.
+func (t *relTx) putOnWire(now int64, f frame) {
+	if t.inj.Down(now) {
+		t.inj.LoseOnWire(now)
 		return
 	}
-	word, dropped := l.inj.Transmit(now, f.word)
+	word, dropped := t.inj.Transmit(now, f.word)
 	if dropped {
 		return
 	}
 	f.word = word // a corrupted word no longer matches f.crc
-	l.wire = append(l.wire, wireFrame{f: f, readyAt: now + l.latency})
+	t.wire.Put(now, f)
+	t.outstanding++
 }
 
 // processAck applies a cumulative ack (and optional rewind request)
 // received on the opposite direction's wire to this direction's
-// transmit state.
-func (l *ReliableLink) processAck(ack uint64, nack bool, now int64) {
-	// This runs inside the peer direction's Tick but mutates this
-	// direction's transmit state; if this direction is parked, the freed
+// transmit state. Called by the opposite receive half, which lives on
+// this transmitter's engine.
+func (t *relTx) processAck(ack uint64, nack bool, now int64) {
+	// This runs inside the peer direction's receive tick but mutates
+	// this transmit half's state; if this half is parked, the freed
 	// window (or a rewind) is work it must wake for.
-	defer l.eng.WakeKernel(l.id)
-	if ack > l.ackedSeq {
-		drop := int(ack - l.ackedSeq)
-		if drop > len(l.buf) {
-			drop = len(l.buf)
+	defer t.eng.WakeKernel(t.id)
+	if ack > t.ackedSeq {
+		drop := int(ack - t.ackedSeq)
+		if drop > len(t.buf) {
+			drop = len(t.buf)
 		}
-		l.buf = l.buf[drop:]
-		l.cursor -= drop
-		if l.cursor < 0 {
-			l.cursor = 0
+		t.buf = t.buf[drop:]
+		t.cursor -= drop
+		if t.cursor < 0 {
+			t.cursor = 0
 		}
-		l.ackedSeq = ack
-		l.timeouts = 0
-		l.timerBase = now
-		if len(l.buf) == 0 && l.cursor == 0 {
-			l.timerArmed = false
+		t.ackedSeq = ack
+		t.timeouts = 0
+		t.timerBase = now
+		if len(t.buf) == 0 && t.cursor == 0 {
+			t.timerArmed = false
 		}
 	}
-	if nack && now >= l.rewindOk && len(l.buf) > 0 {
+	if nack && now >= t.rewindOk && len(t.buf) > 0 {
 		// Rewind to the first unacked frame; guard so the burst of
 		// nacks a single loss provokes triggers only one rewind.
-		l.cursor = 0
-		l.rewindOk = now + 2*l.latency
-		l.timerBase = now
+		t.cursor = 0
+		t.rewindOk = now + 2*t.latency
+		t.timerBase = now
 	}
-}
-
-func (l *ReliableLink) String() string {
-	return fmt.Sprintf("rlink %s (lat=%d, delivered=%d, rexmit=%d)", l.name, l.latency, l.delivered, l.retransmits)
 }

@@ -25,9 +25,10 @@ func reliableRig(t *testing.T, n int, latency int64, spec *fault.Spec) *rig {
 	inBA := sim.NewFifo[packet.Packet](r.eng, "inBA", 8)
 	outBA := sim.NewFifo[packet.Packet](r.eng, "outBA", 8)
 	inj := fault.NewInjector(spec)
-	r.ab, r.ba = NewReliablePair(r.eng, "a->b", "b->a",
+	r.ab, r.ba = NewReliablePair(r.eng, r.eng, "a->b", "b->a",
 		inAB, outAB, inBA, outBA, latency, ReliableParams{},
-		inj.ForLink("a->b"), inj.ForLink("b->a"))
+		inj.ForLink("a->b"), inj.ForLink("b->a"),
+		inj.ForLinkExit("a->b"), inj.ForLinkExit("b->a"))
 	sim.NewProc(r.eng, "tx", func(p *sim.Proc) {
 		for i := 0; i < n; i++ {
 			inAB.PushProc(p, pkt(i))
@@ -134,9 +135,10 @@ func TestReliableDropDuringIdleSpan(t *testing.T) {
 		inBA := sim.NewFifo[packet.Packet](eng, "inBA", 8)
 		outBA := sim.NewFifo[packet.Packet](eng, "outBA", 8)
 		inj := fault.NewInjector(spec)
-		ab, _ := NewReliablePair(eng, "a->b", "b->a",
+		ab, _ := NewReliablePair(eng, eng, "a->b", "b->a",
 			inAB, outAB, inBA, outBA, latency, ReliableParams{},
-			inj.ForLink("a->b"), inj.ForLink("b->a"))
+			inj.ForLink("a->b"), inj.ForLink("b->a"),
+			inj.ForLinkExit("a->b"), inj.ForLinkExit("b->a"))
 		sim.NewProc(eng, "tx", func(p *sim.Proc) {
 			inAB.PushProc(p, pkt(0))
 			p.Sleep(idle) // the cluster has nothing else to do meanwhile
@@ -257,8 +259,8 @@ func TestReliableBackpressureIsNotLoss(t *testing.T) {
 	outAB := sim.NewFifo[packet.Packet](e, "outAB", 2)
 	inBA := sim.NewFifo[packet.Packet](e, "inBA", 2)
 	outBA := sim.NewFifo[packet.Packet](e, "outBA", 2)
-	ab, _ := NewReliablePair(e, "a->b", "b->a",
-		inAB, outAB, inBA, outBA, 50, ReliableParams{}, nil, nil)
+	ab, _ := NewReliablePair(e, e, "a->b", "b->a",
+		inAB, outAB, inBA, outBA, 50, ReliableParams{}, nil, nil, nil, nil)
 	sim.NewProc(e, "tx", func(p *sim.Proc) {
 		for i := 0; i < n; i++ {
 			inAB.PushProc(p, pkt(i))

@@ -259,6 +259,20 @@ type Stats struct {
 	Workers       int           `json:"workers"`
 	RouteCache    CacheStats    `json:"route_cache"`
 	Draining      bool          `json:"draining"`
+	// Sched aggregates scheduler effort over every completed job; the
+	// per-job breakdown (including Sched.PerShard rows) lives in each
+	// job's status document under result.stats.sched.
+	Sched SchedTotals `json:"sched"`
+}
+
+// SchedTotals sums the sharded-scheduler effort counters across
+// completed jobs: how many ran sharded, and the barrier/window/steal
+// work their groups performed.
+type SchedTotals struct {
+	ShardedJobs int   `json:"sharded_jobs"`
+	Syncs       int64 `json:"syncs"`
+	Windows     int64 `json:"windows"`
+	Steals      int64 `json:"steals"`
 }
 
 // Stats snapshots the service counters.
@@ -278,6 +292,15 @@ func (s *Service) Stats() Stats {
 	s.mu.Unlock()
 	for _, j := range jobs {
 		st.Jobs[j.State()]++
+		if res := j.Result(); res != nil {
+			sc := res.Stats.Sched
+			if sc.Shards > 1 {
+				st.Sched.ShardedJobs++
+			}
+			st.Sched.Syncs += sc.Syncs
+			st.Sched.Windows += sc.Windows
+			st.Sched.Steals += sc.Steals
+		}
 	}
 	st.RouteCache = s.cache.Stats()
 	return st

@@ -95,6 +95,48 @@ func TestShardJobMatchesEvent(t *testing.T) {
 	}
 }
 
+// TestAdaptiveShardJobWithFaults admits a fault-injected job under the
+// adaptive scheduler — the combination the service used to reject —
+// and checks it against the event-scheduled run: same digest, same
+// cycles, with the adaptive window and per-shard effort counters
+// surfaced in the job's stats and aggregated into /v1/stats.
+func TestAdaptiveShardJobWithFaults(t *testing.T) {
+	svc := newTestService(t, Config{Workers: 2})
+	faults := &fault.Spec{Seed: 7, DropProb: 0.002}
+	adaptive, err := svc.Submit(JobSpec{
+		Workload: "bcast", Ranks: 8, Size: 256,
+		Scheduler: "shard-adaptive", Shards: 4, Faults: faults,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	event, err := svc.Submit(JobSpec{Workload: "bcast", Ranks: 8, Size: 256, Faults: faults})
+	if err != nil {
+		t.Fatal(err)
+	}
+	stA, stE := mustDone(t, adaptive), mustDone(t, event)
+	if stA.Result.Cycles != stE.Result.Cycles {
+		t.Fatalf("adaptive job finished at cycle %d, event at %d", stA.Result.Cycles, stE.Result.Cycles)
+	}
+	if stA.Result.OutputDigest != stE.Result.OutputDigest {
+		t.Fatalf("adaptive digest %s != event digest %s", stA.Result.OutputDigest, stE.Result.OutputDigest)
+	}
+	sc := stA.Result.Stats.Sched
+	if sc.Shards != 4 || sc.Syncs <= 0 {
+		t.Fatalf("adaptive job reports shards=%d syncs=%d, want 4 shards with syncs", sc.Shards, sc.Syncs)
+	}
+	if sc.Windows <= 0 {
+		t.Fatal("adaptive job reports no lookahead windows")
+	}
+	if len(sc.PerShard) != 4 {
+		t.Fatalf("adaptive job reports %d per-shard rows, want 4", len(sc.PerShard))
+	}
+	agg := svc.Stats().Sched
+	if agg.ShardedJobs == 0 || agg.Syncs < sc.Syncs || agg.Windows < sc.Windows {
+		t.Fatalf("service stats did not aggregate scheduler effort: %+v (job: %+v)", agg, sc)
+	}
+}
+
 // TestStreamingJob admits a large-message bandwidth job on the
 // streaming path and checks it against the credited packet path: the
 // streaming knobs must survive the spec round trip, cut fragments, and
@@ -140,12 +182,11 @@ func TestInvalidSpecsRejectedAtSubmit(t *testing.T) {
 		{Workload: "bcast", Ranks: 9, Topology: &topology.Spec{Kind: "torus", Rows: 2, Cols: 2}},
 		{Workload: "bcast", Ranks: 4, Faults: &fault.Spec{DropProb: 2}},
 		{Workload: "summa", Ranks: 4, Faults: &fault.Spec{DropProb: 0.5}},
-		{Workload: "bcast", Ranks: 4, Scheduler: "shard"},             // shards missing
-		{Workload: "bcast", Ranks: 4, Scheduler: "shard", Shards: -2}, // negative
-		{Workload: "bcast", Ranks: 4, Scheduler: "shard", Shards: 8},  // > ranks
-		{Workload: "bcast", Ranks: 4, Shards: 2},                      // shards without shard scheduler
-		{Workload: "bcast", Ranks: 8, Scheduler: "shard", Shards: 2,
-			Faults: &fault.Spec{Seed: 1, DropProb: 0.1}}, // shard + faults
+		{Workload: "bcast", Ranks: 4, Scheduler: "shard"},                      // shards missing
+		{Workload: "bcast", Ranks: 4, Scheduler: "shard", Shards: -2},          // negative
+		{Workload: "bcast", Ranks: 4, Scheduler: "shard", Shards: 8},           // > ranks
+		{Workload: "bcast", Ranks: 4, Shards: 2},                               // shards without shard scheduler
+		{Workload: "bcast", Ranks: 4, Scheduler: "shard-adaptive"},             // worker slots missing
 		{Workload: "bandwidth", Ranks: 4, Mode: "teleport"},                    // unknown mode
 		{Workload: "bcast", Ranks: 4, Mode: "streaming"},                       // mode-less workload
 		{Workload: "bcast", Ranks: 4, BufferElems: 64},                         // knob on mode-less workload

@@ -1,5 +1,7 @@
 package sim
 
+import "fmt"
+
 // Boundary is the one legal channel for state to cross between engine
 // shards: a single-producer single-consumer queue of timestamped
 // entries with a fixed minimum latency. The producing engine Puts
@@ -40,9 +42,13 @@ type boundaryFlusher interface {
 
 // boundaryInlet is the consumer-side untyped view the destination
 // engine's earliestEvent merges: pending arrivals are future work even
-// when every local proc and kernel is quiescent.
+// when every local proc and kernel is quiescent. The adaptive group
+// driver additionally reads the producing engine and the crossing
+// latency to compute the consumer's per-boundary safe horizon.
 type boundaryInlet interface {
 	NextReadyAt() int64
+	srcEngine() *Engine
+	Latency() int64
 }
 
 // NewBoundary creates a boundary whose producer runs on src and whose
@@ -66,6 +72,9 @@ func NewBoundary[T any](src, dst *Engine, dstK KernelID, latency int64) *Boundar
 // Latency returns the boundary's minimum crossing latency in cycles.
 func (b *Boundary[T]) Latency() int64 { return b.latency }
 
+// srcEngine returns the producing engine (boundaryInlet view).
+func (b *Boundary[T]) srcEngine() *Engine { return b.src }
+
 // Crossing reports whether the boundary connects two distinct engines.
 func (b *Boundary[T]) Crossing() bool { return b.src != b.dst }
 
@@ -84,13 +93,30 @@ func (b *Boundary[T]) Put(now int64, v T) {
 
 // flush publishes the producer's window output to the consumer and
 // schedules the consumer kernel at the first new entry's ready cycle.
-// Called by the Group at barriers, with all engines stopped.
+// Called by the Group at barriers, with all engines stopped. The
+// readyAt check is the conservative-lookahead safety invariant: an
+// entry published after the consumer's clock passed its ready cycle
+// would change simulated history, so a violation is a scheduler bug
+// (a window horizon exceeded the per-boundary safe bound), never a
+// recoverable condition.
 func (b *Boundary[T]) flush() {
 	if len(b.tail) == 0 {
 		return
 	}
+	if b.tail[0].readyAt < b.dst.now {
+		panic(fmt.Sprintf("sim: boundary flush violates lookahead: entry ready at %d, consumer already at %d (latency %d)",
+			b.tail[0].readyAt, b.dst.now, b.latency))
+	}
 	b.head = append(b.head, b.tail...)
 	b.dst.wakeKernelAt(b.dstK, b.tail[0].readyAt)
+	b.tail = b.tail[:0]
+}
+
+// Clear drops every entry on both sides of the boundary. Used when the
+// attached hardware is parked for repair (e.g. a failed cable): in-flight
+// traffic is lost, exactly like the monolithic wire model it replaces.
+func (b *Boundary[T]) Clear() {
+	b.head = b.head[:0]
 	b.tail = b.tail[:0]
 }
 

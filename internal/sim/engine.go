@@ -501,17 +501,35 @@ func (e *Engine) nextWake() (at int64, ok bool) {
 // cancelled. Safe to call from Kernel.Tick; the cancellation takes
 // effect with the same timing under both schedulers.
 func (e *Engine) CancelWaits() int {
+	return e.CancelWaitsAt(e.now + 1)
+}
+
+// CancelWaitsAt is CancelWaits with an explicit resumption cycle. Group
+// coordinators use it between windows: a dense-mode kernel cancelling at
+// cycle c resumes procs at c+1, so a barrier-time coordinator running
+// with every engine stopped at clock c+1 passes at = c+1 to reproduce
+// the identical resumption timing.
+func (e *Engine) CancelWaitsAt(at int64) int {
 	n := 0
 	for _, p := range e.procs {
 		if p.status == procBlocked && p.cancellable {
 			p.cancelWait(WaitAborted)
 			p.status = procRunnable
-			p.runAt = e.now + 1
+			p.runAt = at
 			e.scheduleProc(p, p.runAt)
 			n++
 		}
 	}
 	return n
+}
+
+// WakeKernelAt schedules a tick for a parked kernel at the given cycle
+// (waking an unparked kernel is a no-op). Unlike WakeKernel it does not
+// infer the cycle from the engine phase: it is meant for barrier-time
+// callers — group coordinators and boundary flushes — that know exactly
+// which cycle the dense scan would have the kernel observe their effect.
+func (e *Engine) WakeKernelAt(id KernelID, at int64) {
+	e.wakeKernelAt(id, at)
 }
 
 func (e *Engine) deadlock() error {

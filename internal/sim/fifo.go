@@ -237,6 +237,46 @@ func (f *Fifo[T]) PopProcPairedE(p *Proc, deadline int64) (T, WaitResult) {
 	return v, WaitOK
 }
 
+// PushAtBarrier enqueues v with every engine stopped at a group barrier,
+// making it visible immediately (no registered-output delay) and waking
+// attached kernels and blocked procs at the engine's current clock.
+// With the engines stopped at clock c+1, this reproduces exactly what a
+// dense-mode kernel pushing at cycle c would produce: the element
+// commits in c's phase 3 and wakes everything for cycle c+1. Only group
+// coordinators (e.g. the failover manager's packet rescue) may call it;
+// from inside a running window it would break the registered-write
+// contract.
+func (f *Fifo[T]) PushAtBarrier(v T) bool {
+	if !f.CanPush() {
+		if !f.stalled {
+			f.stalled = true
+			f.stallHint++
+		}
+		return false
+	}
+	f.stalled = false
+	f.buf[(f.head+f.size)%f.capacity] = v
+	f.size++
+	f.pushes++
+	if f.size > f.maxSize {
+		f.maxSize = f.size
+	}
+	e := f.eng
+	e.fifoCommits++
+	for _, id := range f.kernWaiters {
+		e.wakeKernelAt(id, e.now)
+	}
+	if len(f.dataWaiters) > 0 {
+		for _, p := range f.dataWaiters {
+			p.status = procRunnable
+			p.runAt = e.now
+			e.scheduleProc(p, p.runAt)
+		}
+		f.dataWaiters = f.dataWaiters[:0]
+	}
+	return true
+}
+
 // commit publishes this cycle's writes to readers.
 func (f *Fifo[T]) commit() bool {
 	if f.pendingIn == 0 {

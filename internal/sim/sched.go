@@ -32,6 +32,16 @@ const (
 	// single engine given SchedShard behaves exactly like SchedEvent;
 	// the parallelism lives in the Group driver.
 	SchedShard
+	// SchedShardAdaptive is the adaptive-lookahead parallel scheduler:
+	// instead of one global barrier cadence derived from the smallest
+	// boundary latency, every engine advances to its own horizon — the
+	// minimum over its incoming boundaries of the producer's lower-bound
+	// clock plus that boundary's latency (a per-edge null-message bound).
+	// Engines are owned by a worker pool that rebalances ownership at
+	// round boundaries with a deterministic work-stealing rule (see
+	// Group). A single engine given SchedShardAdaptive behaves exactly
+	// like SchedEvent.
+	SchedShardAdaptive
 )
 
 func (k SchedulerKind) String() string {
@@ -40,6 +50,8 @@ func (k SchedulerKind) String() string {
 		return "dense"
 	case SchedShard:
 		return "shard"
+	case SchedShardAdaptive:
+		return "shard-adaptive"
 	default:
 		return "event"
 	}
@@ -73,7 +85,7 @@ type IdleUntiler interface {
 // form is part of the stats schema smid serves and smibench -json
 // emits.
 type SchedStats struct {
-	Scheduler      string `json:"scheduler"`       // "dense", "event", or "shard"
+	Scheduler      string `json:"scheduler"`       // "dense", "event", "shard", or "shard-adaptive"
 	Cycles         int64  `json:"cycles"`          // final simulated cycle count
 	CyclesExecuted int64  `json:"cycles_executed"` // cycles the engine actually iterated
 	CyclesSkipped  int64  `json:"cycles_skipped"`  // cycles fast-forwarded over
@@ -85,8 +97,17 @@ type SchedStats struct {
 	// synchronizations the shard group performed.
 	Shards int   `json:"shards,omitempty"`
 	Syncs  int64 `json:"syncs,omitempty"`
+	// Windows counts engine-window executions across the run (adaptive
+	// runs execute one window per engine with pending work per round;
+	// fixed-window runs execute one window per shard per sync). Steals
+	// counts rank-engine ownership moves performed by the deterministic
+	// work-stealing rebalancer (shard-adaptive only).
+	Windows int64 `json:"windows,omitempty"`
+	Steals  int64 `json:"steals,omitempty"`
 	// PerShard breaks the effort counters down by shard for sharded
-	// runs (shard-local work is the load-balance signal).
+	// runs (shard-local work is the load-balance signal). Under
+	// shard-adaptive scheduling a "shard" is a worker slot and the row
+	// aggregates the engines it owned when the run ended.
 	PerShard []ShardEffort `json:"per_shard,omitempty"`
 }
 
@@ -100,6 +121,10 @@ type ShardEffort struct {
 	KernelTicks    int64 `json:"kernel_ticks"`
 	FifoCommits    int64 `json:"fifo_commits"`
 	Syncs          int64 `json:"syncs"`
+	// Windows counts engine windows this shard executed; Steals counts
+	// engines stolen into this worker slot (shard-adaptive only).
+	Windows int64 `json:"windows,omitempty"`
+	Steals  int64 `json:"steals,omitempty"`
 }
 
 // engine phases, used to time same-cycle kernel wakes the way the dense
@@ -111,6 +136,11 @@ const (
 	phaseProcs
 	phaseKernels
 	phaseCommit
+	// phaseBarrier marks an engine stopped at a group barrier with its
+	// current cycle not yet executed: an effect applied now is observed
+	// by kernels this very cycle, so WakeKernel wakes at e.now — the
+	// timing a dense-mode kernel registered before them would produce.
+	phaseBarrier
 )
 
 // schedEntry is a heap element: a component index due at cycle `at`.
@@ -246,13 +276,15 @@ func (e *Engine) SchedStats() SchedStats {
 // WakeKernel asks the engine to tick kernel id at the earliest cycle the
 // dense scan would have it observe the caller's effect: during the proc
 // phase, the same cycle; during the kernel phase, the same cycle if id
-// ticks after the currently ticking kernel, else the next cycle; during
-// commits (and outside Run), the next cycle. Waking a kernel that is not
-// parked is a no-op, so callers need not track parking state.
+// ticks after the currently ticking kernel, else the next cycle; at a
+// group barrier (engine stopped, current cycle not yet executed), the
+// same cycle; during commits (and outside Run), the next cycle. Waking a
+// kernel that is not parked is a no-op, so callers need not track
+// parking state.
 func (e *Engine) WakeKernel(id KernelID) {
 	at := e.now + 1
 	switch e.phase {
-	case phaseProcs:
+	case phaseProcs, phaseBarrier:
 		at = e.now
 	case phaseKernels:
 		if int32(id) > e.curKernel {

@@ -1,51 +1,107 @@
 package sim
 
 // Conservative parallel simulation driver. A Group owns several engine
-// shards that share no mutable state except Boundary queues. Because
-// every boundary imposes at least `window` cycles of latency, a shard
-// advancing through the window [t, t+window) can only produce boundary
-// entries whose readyAt lies at or beyond t+window — so shards may run
-// the window concurrently, synchronize once, exchange boundary traffic,
-// and repeat, while remaining cycle-for-cycle identical to a serial run.
+// shards that share no mutable state except Boundary queues, and runs
+// them in one of two modes:
+//
+//   - Fixed window (SchedShard): every boundary imposes at least
+//     `window` cycles of latency, so all shards advance through the
+//     common window [t, t+window), synchronize once, exchange boundary
+//     traffic, and repeat — cycle-for-cycle identical to a serial run.
+//   - Adaptive lookahead (SchedShardAdaptive): each engine advances to
+//     its own horizon, the minimum over its *incoming* boundaries of the
+//     producer's lower-bound clock plus that boundary's latency. The
+//     lower bounds come from a bounded null-message fixpoint (see
+//     lowerBounds), so an engine whose neighbors are provably idle runs
+//     far past the global minimum latency, and engines with nothing
+//     scheduled jump their whole horizon in one hop.
 //
 // Determinism contract (see DESIGN.md "Shard scheduler"): shard-local
-// execution is the unmodified engine loop; barriers flush boundaries in
+// execution is the unmodified engine loop; rounds flush boundaries in
 // engine/registration order with all shards stopped; completion cycles
 // are quoted from per-proc finish cycles (procsDoneAt), which makes the
 // reported cycle count and every application-visible output invariant
-// under the shard count. Effort counters (executed/skipped/ticks) and
-// link tail traffic after the last proc finishes are quantized to the
-// window and therefore compared at fixed shard counts only.
+// under the shard count and the scheduling mode. Effort counters
+// (executed/skipped/ticks) and link tail traffic after the last proc
+// finishes are quantized to the round structure and therefore compared
+// at fixed shard counts only.
+//
+// Adaptive runs own engines through a worker pool with deterministic
+// work stealing: ownership moves only at round boundaries, driven by
+// simulation-derived effort counters (proc steps + kernel ticks), so a
+// rebalance is cycle-invisible and identical across replays regardless
+// of host scheduling.
 
 import (
 	"sort"
 	"sync"
 )
 
+// Coordinator is a cluster-level control agent driven at group barriers
+// instead of being ticked as a kernel (which would couple every engine
+// through shared state). The group asks NextAction for the next cycle
+// the coordinator may need to act at — no engine's clock passes it —
+// and calls AtBarrier with all engines stopped at a common clock c+1,
+// where the coordinator reproduces exactly what its dense-mode kernel
+// tick at cycle c would have done. Quiescent reports whether the
+// coordinator is inert when no engine has work (true means a globally
+// idle group is a deadlock, not a pending repair).
+type Coordinator interface {
+	NextAction(base int64) int64
+	AtBarrier(clock int64)
+	Quiescent() bool
+}
+
 // Group runs a set of engine shards under barrier synchronization.
 type Group struct {
 	engines   []*Engine
-	window    int64 // lookahead: min latency over crossing boundaries
+	engIdx    map[*Engine]int
+	window    int64 // min latency over crossing boundaries
 	maxCycles int64
-	parallel  bool // worker goroutines per window (SchedShard) or serial
+	parallel  bool // worker goroutines per window or serial
+	adaptive  bool // per-engine horizons + work stealing
+	workers   int  // worker slots (adaptive mode)
 
-	base   int64 // current barrier cycle
-	syncs  int64
-	cycles int64 // final quoted cycle count (set when Run returns)
+	co Coordinator
+
+	base    int64 // barrier cycle (fixed) / min engine clock (adaptive)
+	syncs   int64
+	cycles  int64 // final quoted cycle count (set when Run returns)
+	windows int64 // engine-window executions
+	steals  int64 // ownership moves (adaptive)
+
+	// adaptive per-engine state
+	engErr   []error
+	next     []int64 // earliestEvent per engine, per round
+	lb       []int64 // null-message lower bounds
+	horizon  []int64 // per-engine window end, exclusive
+	runSet   []bool  // engines executing a real window this round
+	engWins  []int64 // windows executed per engine
+	owner    []int   // engine -> worker slot
+	recent   []int64 // decayed recent work per engine (steal signal)
+	lastWork []int64 // procSteps+kernelTicks snapshot per engine
+	wSteals  []int64 // engines stolen into each worker slot
+	wWins    []int64 // windows executed by each worker slot
+	order    []int   // scratch: engine indices for LPT sort
+	load     []int64 // scratch: per-worker load sums
 
 	progressEvery int64
 	progressFn    func(now int64)
 	nextProgress  int64
 }
 
-// NewGroup assembles a shard group. Call after every engine is fully
-// built (kernels, FIFOs, boundaries): the lookahead window is derived
-// from the smallest cross-engine boundary latency. parallel selects
-// worker goroutines per window (SchedShard) versus serial shard
+// NewGroup assembles a fixed-window shard group. Call after every engine
+// is fully built (kernels, FIFOs, boundaries): the lookahead window is
+// derived from the smallest cross-engine boundary latency. parallel
+// selects worker goroutines per window (SchedShard) versus serial shard
 // execution (the exact comparator used by SchedDense/SchedEvent runs of
 // a sharded cluster).
 func NewGroup(engines []*Engine, maxCycles int64, parallel bool) *Group {
 	g := &Group{engines: engines, maxCycles: maxCycles, parallel: parallel}
+	g.engIdx = make(map[*Engine]int, len(engines))
+	for i, e := range engines {
+		g.engIdx[e] = i
+	}
 	g.window = maxCycles
 	for _, e := range engines {
 		for _, bf := range e.boundaries {
@@ -57,14 +113,57 @@ func NewGroup(engines []*Engine, maxCycles int64, parallel bool) *Group {
 	if g.window < 1 {
 		g.window = 1
 	}
+	g.engWins = make([]int64, len(engines))
 	return g
 }
 
-// Window returns the lookahead window in cycles.
+// NewAdaptiveGroup assembles an adaptive-lookahead group: one engine per
+// rank, owned by `workers` worker slots with deterministic stealing.
+// workers <= 1 runs rounds serially (still with per-engine horizons).
+func NewAdaptiveGroup(engines []*Engine, maxCycles int64, workers int) *Group {
+	g := NewGroup(engines, maxCycles, workers > 1)
+	g.adaptive = true
+	if workers < 1 {
+		workers = 1
+	}
+	if workers > len(engines) {
+		workers = len(engines)
+	}
+	g.workers = workers
+	n := len(engines)
+	g.engErr = make([]error, n)
+	g.next = make([]int64, n)
+	g.lb = make([]int64, n)
+	g.horizon = make([]int64, n)
+	g.runSet = make([]bool, n)
+	g.owner = make([]int, n)
+	g.recent = make([]int64, n)
+	g.lastWork = make([]int64, n)
+	g.wSteals = make([]int64, workers)
+	g.wWins = make([]int64, workers)
+	g.order = make([]int, n)
+	g.load = make([]int64, workers)
+	// Initial placement: contiguous rank ranges, like the fixed sharding.
+	for i := range g.owner {
+		g.owner[i] = i * workers / n
+	}
+	return g
+}
+
+// SetCoordinator installs the barrier-time control agent (the reliable
+// cluster's failover manager). Must be called before Run.
+func (g *Group) SetCoordinator(co Coordinator) { g.co = co }
+
+// Window returns the lookahead window in cycles (fixed mode; the floor
+// of per-engine horizons in adaptive mode).
 func (g *Group) Window() int64 { return g.window }
 
 // Syncs returns the number of barrier synchronizations performed.
 func (g *Group) Syncs() int64 { return g.syncs }
+
+// Steals returns the number of engine-ownership moves the deterministic
+// rebalancer performed (adaptive mode).
+func (g *Group) Steals() int64 { return g.steals }
 
 // Cycles returns the run's quoted cycle count: the completion cycle of
 // the slowest proc on clean runs (invariant under the shard count), or
@@ -92,20 +191,44 @@ func (g *Group) maybeProgress() {
 }
 
 // SchedStats aggregates scheduler effort over the shards. kind is the
-// cluster-level scheduling mode the stats are reported under.
+// cluster-level scheduling mode the stats are reported under. Fixed
+// groups report one row per engine shard; adaptive groups report one
+// row per worker slot, aggregating the engines it owned at the end.
 func (g *Group) SchedStats(kind SchedulerKind) SchedStats {
 	st := SchedStats{
 		Scheduler: kind.String(),
 		Cycles:    g.cycles,
 		Shards:    len(g.engines),
 		Syncs:     g.syncs,
+		Windows:   g.windows,
+		Steals:    g.steals,
 	}
-	for i, e := range g.engines {
+	for _, e := range g.engines {
 		st.CyclesExecuted += e.executed
 		st.CyclesSkipped += e.skipped
 		st.ProcSteps += e.procSteps
 		st.KernelTicks += e.kernelTicks
 		st.FifoCommits += e.fifoCommits
+	}
+	if g.adaptive {
+		st.Shards = g.workers
+		rows := make([]ShardEffort, g.workers)
+		for w := range rows {
+			rows[w] = ShardEffort{Shard: w, Syncs: g.syncs, Windows: g.wWins[w], Steals: g.wSteals[w]}
+		}
+		for i, e := range g.engines {
+			r := &rows[g.owner[i]]
+			r.Procs += len(e.procs)
+			r.CyclesExecuted += e.executed
+			r.CyclesSkipped += e.skipped
+			r.ProcSteps += e.procSteps
+			r.KernelTicks += e.kernelTicks
+			r.FifoCommits += e.fifoCommits
+		}
+		st.PerShard = rows
+		return st
+	}
+	for i, e := range g.engines {
 		st.PerShard = append(st.PerShard, ShardEffort{
 			Shard:          i,
 			Procs:          len(e.procs),
@@ -115,6 +238,7 @@ func (g *Group) SchedStats(kind SchedulerKind) SchedStats {
 			KernelTicks:    e.kernelTicks,
 			FifoCommits:    e.fifoCommits,
 			Syncs:          g.syncs,
+			Windows:        g.engWins[i],
 		})
 	}
 	return st
@@ -150,6 +274,16 @@ func (g *Group) earliest() int64 {
 	return at
 }
 
+func (g *Group) minNow() int64 {
+	at := Never
+	for _, e := range g.engines {
+		if e.now < at {
+			at = e.now
+		}
+	}
+	return at
+}
+
 func (g *Group) stopAll() {
 	for _, e := range g.engines {
 		e.stopProcs()
@@ -166,23 +300,41 @@ func (g *Group) flushAll() {
 	}
 }
 
+// capAt returns the exclusive clock bound imposed by the coordinator:
+// no engine may advance past it before the coordinator acted at it.
+func (g *Group) capAt(base int64) int64 {
+	if g.co == nil {
+		return Never
+	}
+	c := g.co.NextAction(base)
+	if c <= base {
+		c = base + 1
+	}
+	return c
+}
+
+func (g *Group) quiescentCo() bool {
+	return g.co == nil || g.co.Quiescent()
+}
+
 // deadlockAll merges per-shard blocked-proc reports into one group
 // deadlock error. The reported cycle is the barrier the group quiesced
-// at (window-quantized; a single-engine run pins the exact cycle).
-func (g *Group) deadlockAll() error {
+// at (round-quantized; a single-engine run pins the exact cycle).
+func (g *Group) deadlockAll(cycle int64) error {
 	var blocked []string
 	for _, e := range g.engines {
 		blocked = append(blocked, e.blockedProcs()...)
 	}
 	sort.Strings(blocked)
-	return &DeadlockError{Cycle: g.base, Blocked: blocked}
+	return &DeadlockError{Cycle: cycle, Blocked: blocked}
 }
 
 // Run executes all shards to completion. Completion, deadlock, and
 // cycle-limit decisions are made at barriers: a run completes when every
 // proc of every shard has finished, deadlocks when no shard has any
-// scheduled event and no boundary traffic is pending, and fails with
-// ErrMaxCycles when the barrier clock reaches the limit first.
+// scheduled event, no boundary traffic is pending, and the coordinator
+// is quiescent, and fails with ErrMaxCycles when the group clock reaches
+// the limit first.
 func (g *Group) Run() error {
 	for _, e := range g.engines {
 		e.startAll()
@@ -191,6 +343,15 @@ func (g *Group) Run() error {
 			e.ensureEventInit()
 		}
 	}
+	if g.adaptive {
+		return g.runAdaptive()
+	}
+	return g.runFixed()
+}
+
+// runFixed is the common-window driver (SchedShard and the serial
+// comparator for dense/event sharded runs).
+func (g *Group) runFixed() error {
 	for {
 		if done, total := g.totals(); total > 0 && done == total {
 			g.cycles = g.maxProcsDoneAt()
@@ -201,20 +362,32 @@ func (g *Group) Run() error {
 			g.stopAll()
 			return maxCyclesErr(g.maxCycles)
 		}
+		coCap := g.capAt(g.base)
 		minE := g.earliest()
-		if minE == Never {
+		if minE == Never && g.quiescentCo() {
 			g.cycles = g.base
-			err := g.deadlockAll()
+			err := g.deadlockAll(g.base)
 			g.stopAll()
 			return err
 		}
 		horizon := g.base + g.window
+		if horizon > coCap {
+			horizon = coCap
+		}
+		if horizon > g.maxCycles {
+			horizon = g.maxCycles
+		}
 		if minE >= horizon {
 			// Every shard is idle until minE: skip the empty span in one
 			// hop instead of spinning barriers through it. No shard can
 			// produce boundary traffic in a span it never executes, so
-			// the jump preserves the lookahead invariant.
+			// the jump preserves the lookahead invariant. The jump stops
+			// at the coordinator's next action cycle: what happens there
+			// may reschedule everything.
 			to := minE
+			if to > coCap {
+				to = coCap
+			}
 			if to > g.maxCycles {
 				to = g.maxCycles
 			}
@@ -222,11 +395,9 @@ func (g *Group) Run() error {
 				e.jumpTo(to)
 			}
 			g.base = to
+			g.atBarrier()
 			g.maybeProgress()
 			continue
-		}
-		if horizon > g.maxCycles {
-			horizon = g.maxCycles
 		}
 		errs := make([]error, len(g.engines))
 		if g.parallel && len(g.engines) > 1 {
@@ -245,13 +416,39 @@ func (g *Group) Run() error {
 			}
 		}
 		g.syncs++
+		g.windows += int64(len(g.engines))
+		for i := range g.engines {
+			g.engWins[i]++
+		}
 		if err := g.firstError(errs); err != nil {
 			g.stopAll()
 			return err
 		}
 		g.flushAll()
 		g.base = horizon
+		g.atBarrier()
 		g.maybeProgress()
+	}
+}
+
+// atBarrier hands the stopped group to the coordinator. With every
+// engine at clock c+1 the coordinator reproduces its dense kernel tick
+// at cycle c; in fixed mode all engines share g.base, in adaptive mode
+// the caller guarantees the clocks have converged. Engines are placed in
+// phaseBarrier for the duration so coordinator-issued WakeKernel calls
+// land this cycle — the cycle the stopped engines have not executed yet
+// — exactly when a dense-mode kernel running before them would be
+// observed.
+func (g *Group) atBarrier() {
+	if g.co == nil {
+		return
+	}
+	for _, e := range g.engines {
+		e.phase = phaseBarrier
+	}
+	g.co.AtBarrier(g.base)
+	for _, e := range g.engines {
+		e.phase = phaseIdle
 	}
 }
 
@@ -273,4 +470,308 @@ func (g *Group) firstError(errs []error) error {
 	}
 	g.cycles = g.engines[best].now
 	return errs[best]
+}
+
+// satAdd is a+b saturating at Never.
+func satAdd(a, b int64) int64 {
+	if a >= Never-b {
+		return Never
+	}
+	return a + b
+}
+
+// lbPasses bounds the null-message fixpoint: each pass lets one more hop
+// of provable idleness propagate, lengthening horizons at O(edges) cost.
+const lbPasses = 4
+
+// adaptiveChunk bounds a round's span in units of the minimum boundary
+// latency, keeping termination checks, coordinator caps, and steal
+// rebalances flowing even when the bounds would allow huge windows.
+const adaptiveChunk = 16
+
+// lowerBounds computes, per engine, a conservative lower bound on the
+// next cycle the engine could perform any work, folding in idleness of
+// upstream producers (a bounded Gauss-Seidel iteration of the classic
+// null-message recurrence lb[e] = max(now, min(next[e],
+// min_in(lb[src]+lat)))). Starting from lb = now and applying the
+// monotone recurrence keeps every intermediate value a valid lower
+// bound, so any pass count is safe; more passes only lengthen horizons.
+func (g *Group) lowerBounds() {
+	for i, e := range g.engines {
+		if g.engErr[i] != nil {
+			// A failed engine executes nothing further; its unflushed
+			// output (produced before the failure) was already published.
+			g.lb[i] = Never
+			continue
+		}
+		g.lb[i] = e.now
+	}
+	for pass := 0; pass < lbPasses; pass++ {
+		for i, e := range g.engines {
+			if g.engErr[i] != nil {
+				continue
+			}
+			bound := g.next[i]
+			for _, inb := range e.inBoundaries {
+				if b := satAdd(g.lb[g.engIdx[inb.srcEngine()]], inb.Latency()); b < bound {
+					bound = b
+				}
+			}
+			if bound < e.now {
+				bound = e.now
+			}
+			g.lb[i] = bound
+		}
+	}
+}
+
+// horizons derives each engine's exclusive window end for this round:
+// the per-boundary safe bound min over incoming edges of lb[src]+lat,
+// clamped to the coordinator cap, the cycle limit, and the round chunk.
+// The minimum-clock engine always receives a horizon at least one
+// boundary latency ahead, so every round makes progress.
+func (g *Group) horizons(coCap, chunk int64) {
+	for i, e := range g.engines {
+		if g.engErr[i] != nil {
+			g.horizon[i] = e.now
+			continue
+		}
+		h := Never
+		for _, inb := range e.inBoundaries {
+			if b := satAdd(g.lb[g.engIdx[inb.srcEngine()]], inb.Latency()); b < h {
+				h = b
+			}
+		}
+		if h > coCap {
+			h = coCap
+		}
+		if h > g.maxCycles {
+			h = g.maxCycles
+		}
+		if h > chunk {
+			h = chunk
+		}
+		if h < e.now {
+			h = e.now
+		}
+		g.horizon[i] = h
+	}
+}
+
+// runAdaptive is the per-boundary adaptive-lookahead driver.
+func (g *Group) runAdaptive() error {
+	var failErr error
+	failMin := Never
+	for {
+		g.base = g.minNow()
+		if failErr == nil {
+			if done, total := g.totals(); total > 0 && done == total {
+				g.cycles = g.maxProcsDoneAt()
+				return nil
+			}
+			if g.base >= g.maxCycles {
+				g.cycles = g.maxCycles
+				g.stopAll()
+				return maxCyclesErr(g.maxCycles)
+			}
+		} else {
+			// Error drain: run surviving engines up to the earliest
+			// failure cycle so a failure on a behind-clock engine can
+			// still claim precedence, exactly like the dense serial order.
+			drained := true
+			for i, e := range g.engines {
+				if g.engErr[i] == nil && e.now < failMin {
+					drained = false
+					break
+				}
+			}
+			if drained {
+				c, err := g.earliestFailure()
+				g.cycles = c
+				g.stopAll()
+				return err
+			}
+		}
+		anyEvent := false
+		for i, e := range g.engines {
+			if g.engErr[i] != nil {
+				g.next[i] = Never
+				continue
+			}
+			g.next[i] = e.earliestEvent()
+			if g.next[i] != Never {
+				anyEvent = true
+			}
+		}
+		if !anyEvent && failErr == nil && g.quiescentCo() {
+			g.cycles = g.base
+			err := g.deadlockAll(g.base)
+			g.stopAll()
+			return err
+		}
+		coCap := g.capAt(g.base)
+		if failErr != nil && coCap > failMin {
+			coCap = failMin
+		}
+		chunk := satAdd(g.base, adaptiveChunk*g.window)
+		g.lowerBounds()
+		g.horizons(coCap, chunk)
+
+		// Partition: engines with no event before their horizon jump it
+		// in one hop (they provably execute nothing in the span); the
+		// rest run real windows on the worker pool. The run set is fixed
+		// before dispatch so workers only touch their owned engines.
+		ran := false
+		for i, e := range g.engines {
+			run := false
+			if g.engErr[i] == nil && g.horizon[i] > e.now {
+				if g.next[i] >= g.horizon[i] {
+					e.jumpTo(g.horizon[i])
+				} else {
+					run = true
+					ran = true
+				}
+			}
+			g.runSet[i] = run
+		}
+		if ran {
+			if g.parallel && g.workers > 1 {
+				var wg sync.WaitGroup
+				for w := 0; w < g.workers; w++ {
+					wg.Add(1)
+					go func(w int) {
+						defer wg.Done()
+						for i, e := range g.engines {
+							if g.runSet[i] && g.owner[i] == w {
+								g.engErr[i] = e.runWindow(g.horizon[i])
+							}
+						}
+					}(w)
+				}
+				wg.Wait()
+			} else {
+				for i, e := range g.engines {
+					if g.runSet[i] {
+						g.engErr[i] = e.runWindow(g.horizon[i])
+					}
+				}
+			}
+			for i := range g.engines {
+				if g.runSet[i] {
+					g.windows++
+					g.wWins[g.owner[i]]++
+				}
+			}
+		}
+		g.syncs++
+		if c, err := g.earliestFailure(); err != nil {
+			if c < failMin {
+				failMin = c
+			}
+			failErr = err
+		}
+		g.flushAll()
+		g.base = g.minNow()
+		if g.co != nil && g.base == coCap && g.liveConverged(coCap) {
+			g.atBarrier()
+		}
+		g.rebalance()
+		g.maybeProgress()
+	}
+}
+
+// earliestFailure returns the smallest failure cycle among errored
+// engines (ties by engine index, matching dense proc order).
+func (g *Group) earliestFailure() (int64, error) {
+	best := -1
+	for i := range g.engines {
+		if g.engErr[i] == nil {
+			continue
+		}
+		if best < 0 || g.engines[i].now < g.engines[best].now {
+			best = i
+		}
+	}
+	if best < 0 {
+		return Never, nil
+	}
+	return g.engines[best].now, g.engErr[best]
+}
+
+// liveConverged reports whether every non-failed engine's clock sits
+// exactly at the given cycle — the adaptive-mode barrier condition for
+// coordinator actions, which mutate cross-engine state and therefore
+// need the same all-stopped common clock the fixed mode gets for free.
+func (g *Group) liveConverged(at int64) bool {
+	for i, e := range g.engines {
+		if g.engErr[i] == nil && e.now != at {
+			return false
+		}
+	}
+	return true
+}
+
+// stealPeriod is the rebalance cadence in rounds.
+const stealPeriod = 8
+
+// rebalance runs the deterministic work-stealing rule: every
+// stealPeriod rounds, if the busiest worker carries more than 4/3 the
+// load of the idlest, engines are re-assigned greedily (longest
+// processing time first) by decayed recent effort. The inputs are
+// simulation-derived counters and the rule runs between rounds with all
+// engines stopped, so placement is replay-stable and cycle-invisible.
+func (g *Group) rebalance() {
+	for i, e := range g.engines {
+		cur := e.procSteps + e.kernelTicks
+		g.recent[i] = g.recent[i]/2 + (cur - g.lastWork[i])
+		g.lastWork[i] = cur
+	}
+	if g.workers <= 1 || g.syncs%stealPeriod != 0 {
+		return
+	}
+	for w := range g.load {
+		g.load[w] = 0
+	}
+	for i := range g.engines {
+		g.load[g.owner[i]] += g.recent[i]
+	}
+	minL, maxL := g.load[0], g.load[0]
+	for _, l := range g.load[1:] {
+		if l < minL {
+			minL = l
+		}
+		if l > maxL {
+			maxL = l
+		}
+	}
+	if maxL*3 <= minL*4 {
+		return
+	}
+	for i := range g.order {
+		g.order[i] = i
+	}
+	sort.SliceStable(g.order, func(a, b int) bool {
+		ia, ib := g.order[a], g.order[b]
+		if g.recent[ia] != g.recent[ib] {
+			return g.recent[ia] > g.recent[ib]
+		}
+		return ia < ib
+	})
+	for w := range g.load {
+		g.load[w] = 0
+	}
+	for _, i := range g.order {
+		best := 0
+		for w := 1; w < g.workers; w++ {
+			if g.load[w] < g.load[best] {
+				best = w
+			}
+		}
+		g.load[best] += g.recent[i]
+		if g.owner[i] != best {
+			g.owner[i] = best
+			g.steals++
+			g.wSteals[best]++
+		}
+	}
 }
