@@ -30,6 +30,7 @@ func main() {
 	ranks := flag.String("ranks", "", "comma-separated rank counts for rank sweeps (e.g. 8,16,32,64)")
 	workload := flag.String("workload", "", "restrict multi-workload experiments to one workload (e.g. stencil, bcast)")
 	shards := flag.Int("shards", 0, "shard count for the sharded-scheduler rows of rank sweeps (0 = experiment default)")
+	transportFlag := flag.String("transport", "", "restrict the transport ablation to one transport (sender-driven, receiver-driven; empty = both)")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the experiment runs to this file (go tool pprof)")
 	memProfile := flag.String("memprofile", "", "write a heap profile taken after the experiment runs to this file")
 	flag.Usage = func() {
@@ -66,7 +67,7 @@ func main() {
 		}
 	}
 
-	opts := bench.Options{Quick: *quick, Workload: *workload, Shards: *shards}
+	opts := bench.Options{Quick: *quick, Workload: *workload, Shards: *shards, Transport: *transportFlag}
 	if *ranks != "" {
 		for _, part := range strings.Split(*ranks, ",") {
 			n, err := strconv.Atoi(strings.TrimSpace(part))
@@ -139,6 +140,9 @@ func main() {
 		fmt.Printf("  (%s regenerated in %.1fs wall time)\n\n", e.ID, time.Since(start).Seconds())
 		if report.JSON != nil {
 			path := "BENCH_" + e.ID + ".json"
+			if report.JSONName != "" {
+				path = report.JSONName
+			}
 			if err := os.WriteFile(path, report.JSON, 0o644); err != nil {
 				fmt.Fprintf(os.Stderr, "%s: writing %s: %v\n", e.ID, path, err)
 				os.Exit(1)

@@ -454,12 +454,12 @@ func ablateArbiter(opts Options) (*Report, error) {
 	}
 	for _, arb := range []struct {
 		label string
-		skip  bool
+		kind  transport.Arbiter
 	}{
-		{"round-robin poll", false},
-		{"skip-idle", true},
+		{"round-robin poll", transport.ArbiterRoundRobin},
+		{"skip-idle", transport.ArbiterSkipIdle},
 	} {
-		cfg := apps.NetConfig{Topology: topo, Transport: transport.Config{R: 8, SkipIdle: arb.skip}}
+		cfg := apps.NetConfig{Topology: topo, Transport: transport.Config{R: 8, Arbiter: arb.kind}}
 		bw, err := apps.Bandwidth(cfg, 0, 1, elems)
 		if err != nil {
 			return nil, err

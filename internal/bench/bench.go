@@ -25,6 +25,9 @@ type Options struct {
 	// Shards overrides the shard count of the sharded-scheduler rows in
 	// rank sweeps (0 = the experiment's default of 4).
 	Shards int
+	// Transport restricts the transport ablation to one transport
+	// ("sender-driven" or "receiver-driven"); empty measures both.
+	Transport string
 }
 
 // Report is the regenerated form of one table or figure.
@@ -39,8 +42,10 @@ type Report struct {
 	Metrics map[string]float64
 	// JSON, when non-nil, is a machine-readable form of the report;
 	// smibench writes it next to the working directory as
-	// BENCH_<id>.json. Tests never write it.
+	// BENCH_<id>.json, or as JSONName when set. Tests never write it.
 	JSON []byte
+	// JSONName overrides the file name smibench writes JSON to.
+	JSONName string
 }
 
 // metric records a headline number. Names are sanitized to be legal

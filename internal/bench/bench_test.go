@@ -2,6 +2,7 @@ package bench
 
 import (
 	"bytes"
+	"encoding/json"
 	"strconv"
 	"strings"
 	"testing"
@@ -394,6 +395,59 @@ func TestExtScatterGatherShape(t *testing.T) {
 	last := len(r.Rows) - 1
 	if cell(t, r, last, 1) <= cell(t, r, 0, 1) || cell(t, r, last, 2) <= cell(t, r, 0, 2) {
 		t.Fatalf("collective time should grow with size: %v", r.Rows)
+	}
+}
+
+func TestAblateTransportShape(t *testing.T) {
+	r := runQuick(t, "ablate-transport") // Quick: 8:1 incast only
+	// Row 0/1 are the 8:1 incast pair: receiver-driven must cut the tail.
+	sdTail, rdTail := cell(t, r, 0, 5), cell(t, r, 1, 5)
+	if rdTail >= sdTail {
+		t.Fatalf("receiver-driven tail %f not below sender-driven credited %f", rdTail, sdTail)
+	}
+	if sp := r.Metrics["incast_tail_speedup_8"]; sp <= 1 {
+		t.Fatalf("incast_tail_speedup_8 = %f, want > 1", sp)
+	}
+	// Grants: zero on every sender-driven row, nonzero on paced
+	// receiver-driven rows, zero on the unpaced receiver-driven bcast.
+	for i, row := range r.Rows {
+		grants := cell(t, r, i, 7)
+		switch {
+		case row[2] == "sender-driven" && grants != 0:
+			t.Errorf("sender-driven row %v reports grants", row)
+		case row[2] == "receiver-driven" && row[0] != "bcast" && grants == 0:
+			t.Errorf("receiver-driven row %v issued no grants", row)
+		case row[2] == "receiver-driven" && row[0] == "bcast" && grants != 0:
+			t.Errorf("unpaced bcast row %v issued grants", row)
+		}
+	}
+	// The unpaced bcast pair must agree cycle for cycle.
+	var bcast []float64
+	for i, row := range r.Rows {
+		if row[0] == "bcast" {
+			bcast = append(bcast, cell(t, r, i, 4))
+		}
+	}
+	if len(bcast) != 2 || bcast[0] != bcast[1] {
+		t.Fatalf("bcast rows diverged: %v", bcast)
+	}
+	if r.JSON == nil {
+		t.Fatal("ablate-transport must carry its machine-readable BENCH_transport.json payload")
+	}
+	if r.JSONName != "BENCH_transport.json" {
+		t.Fatalf("ablate-transport writes %q, want BENCH_transport.json", r.JSONName)
+	}
+	var doc transportJSON
+	if err := json.Unmarshal(r.JSON, &doc); err != nil {
+		t.Fatal(err)
+	}
+	if !doc.FaultLegRejected {
+		t.Fatal("receiver-driven fault leg was not recorded as rejected")
+	}
+	for _, row := range doc.Rows {
+		if row.HostCPUs < 1 || row.GoMaxProcs < 1 {
+			t.Fatalf("row %s/%s missing host provenance", row.Workload, row.Transport)
+		}
 	}
 }
 

@@ -3,9 +3,12 @@ package bench
 import (
 	"encoding/json"
 	"os"
+	"strconv"
 	"testing"
 
 	"repro/internal/sim"
+	"repro/internal/topology"
+	"repro/internal/workload"
 )
 
 // TestFaultsBenchHonorsShards is the regression test for the smibench
@@ -61,6 +64,69 @@ func TestScalingRowsRecordHost(t *testing.T) {
 				t.Errorf("no %s row measured at GOMAXPROCS=%d (have %v)", kind, gmp, gmps[kind])
 			}
 		}
+	}
+}
+
+// TestTransportIncastGuard is the transport ablation's CI gate: with
+// SMI_BENCH_GUARD=1 it re-measures the 8:1 incast under both transports
+// and fails if the receiver-driven tail win disappears or the measured
+// tails drift from the committed BENCH_transport.json (the runs are
+// simulated cycles, so they must reproduce exactly, not within a
+// tolerance).
+func TestTransportIncastGuard(t *testing.T) {
+	if os.Getenv("SMI_BENCH_GUARD") != "1" {
+		t.Skip("set SMI_BENCH_GUARD=1 to run the benchmark regression guard")
+	}
+	raw, err := os.ReadFile("../../BENCH_transport.json")
+	if err != nil {
+		t.Fatalf("no committed baseline: %v", err)
+	}
+	var doc transportJSON
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		t.Fatalf("committed BENCH_transport.json: %v", err)
+	}
+	for n, sp := range doc.TailSpeedup {
+		senders, err := strconv.Atoi(n)
+		if err != nil {
+			t.Fatalf("committed tail speedup key %q not a sender count", n)
+		}
+		if senders >= 8 && sp <= 1 {
+			t.Errorf("committed tail speedup at %s:1 = %f, want > 1", n, sp)
+		}
+	}
+	// Cycle counts are deterministic: re-running the committed 8:1 rows
+	// with their recorded parameters must reproduce them exactly, and
+	// the tail win must still be there.
+	tails := map[string]int64{}
+	checked := 0
+	for _, base := range doc.Rows {
+		if base.Workload != "incast" || base.Senders != 8 {
+			continue
+		}
+		topo, err := topology.Bus(9)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := workload.Run("incast", workload.Params{
+			Ranks: 9, Size: base.Elems, Topology: topo, Transport: base.Transport,
+		})
+		if err != nil {
+			t.Fatalf("8:1 incast under %s: %v", base.Transport, err)
+		}
+		tail := int64(res.Metrics["tail_cycles"])
+		if res.Cycles != base.Cycles || tail != base.TailCycles {
+			t.Errorf("%s 8:1 incast drifted: committed (cycles %d, tail %d), measured (%d, %d)",
+				base.Transport, base.Cycles, base.TailCycles, res.Cycles, tail)
+		}
+		tails[base.Transport] = tail
+		checked++
+	}
+	if checked != 2 {
+		t.Fatalf("committed BENCH_transport.json has %d 8:1 incast rows, want both transports", checked)
+	}
+	if tails["receiver-driven"] >= tails["sender-driven"] {
+		t.Errorf("re-measured receiver-driven tail %d not below sender-driven %d",
+			tails["receiver-driven"], tails["sender-driven"])
 	}
 }
 

@@ -32,7 +32,13 @@ type Config struct {
 	// and the configured RoutingPolicy; the cluster clones them, so the
 	// caller's copy is never mutated by failover re-routing.
 	Routes *routing.Routes
-	// Transport tunes the CKS/CKR kernels (polling factor R, FIFO depth).
+	// Transport tunes the transport layer: the implementation
+	// (Transport.Kind, parse strings with transport.Parse), the CK
+	// arbiter (Transport.Arbiter, parse with transport.ParseArbiter),
+	// the polling factor R, FIFO depths, and the receiver-driven pacing
+	// knobs. The receiver-driven transport's pacing ops have no wire
+	// encoding, so it is rejected together with Reliable/Faults and with
+	// circuit or streaming ports.
 	Transport transport.Config
 	// LinkLatency is the one-way serial link latency in cycles
 	// (default link.DefaultLatency).
@@ -125,7 +131,7 @@ type Cluster struct {
 
 type rankState struct {
 	rank     int
-	dev      *transport.Device
+	dev      transport.Transport
 	eps      map[int]*endpoint
 	supports []*supportKernel
 }
@@ -183,6 +189,21 @@ func NewCluster(cfg Config) (*Cluster, error) {
 		cfg.RepairCycles = 400
 	}
 	reliable := cfg.Reliable || cfg.Faults != nil
+	if cfg.Transport.Kind == transport.ReceiverDrivenKind {
+		// The pacing control ops are in-memory packets with no 3-bit wire
+		// encoding (the wire op space is full), so they cannot cross the
+		// serializing reliable link layer, and circuit/streaming locks
+		// would bypass the pacing gates. Fail loudly rather than silently
+		// falling back to sender-driven — benches assert on this.
+		if reliable {
+			return nil, fmt.Errorf("smi: the receiver-driven transport requires pristine links (its pacing ops have no wire encoding); disable Reliable/Faults")
+		}
+		for i := range cfg.Program.Ports {
+			if cfg.Program.Ports[i].Circuit || cfg.Program.Ports[i].Streaming {
+				return nil, fmt.Errorf("smi: port %d: circuit/streaming ports bypass receiver-driven pacing; use the sender-driven transport", cfg.Program.Ports[i].Port)
+			}
+		}
+	}
 	if reliable && cfg.Topology.Devices > packet.MaxWireRanks {
 		// The reliable layer serializes packets into 32-byte wire frames
 		// whose rank fields are 8 bits wide (the paper's header format);
@@ -289,6 +310,10 @@ func NewCluster(cfg Config) (*Cluster, error) {
 				ep.appRecv = sim.NewFifo[packet.Packet](eng, name("recv"), depth)
 				bindings = append(bindings, transport.PortBinding{
 					Port: spec.Port, Iface: spec.Iface, Send: ep.appSend, Recv: ep.appRecv,
+					// Plain P2P data ports are subject to receiver-driven
+					// pacing; circuit and streaming ports run their own
+					// protocols (and are rejected above for that transport).
+					Paced: !spec.Circuit && !spec.Streaming,
 				})
 			} else {
 				// Collective port: the support kernel sits between the
@@ -322,7 +347,7 @@ func NewCluster(cfg Config) (*Cluster, error) {
 			}
 			rs.eps[spec.Port] = ep
 		}
-		dev, err := transport.NewDevice(eng, r, ifaces, routes, bindings, cfg.Transport)
+		dev, err := transport.New(eng, r, ifaces, routes, bindings, cfg.Transport)
 		if err != nil {
 			return nil, err
 		}
@@ -354,8 +379,8 @@ func NewCluster(cfg Config) (*Cluster, error) {
 		a, b := conn.A, conn.B
 		nameAB := fmt.Sprintf("%s->%s", a, b)
 		nameBA := fmt.Sprintf("%s->%s", b, a)
-		outA, inA := c.ranks[a.Device].dev.NetOut[a.Iface], c.ranks[a.Device].dev.NetIn[a.Iface]
-		outB, inB := c.ranks[b.Device].dev.NetOut[b.Iface], c.ranks[b.Device].dev.NetIn[b.Iface]
+		outA, inA := c.ranks[a.Device].dev.NetOut(a.Iface), c.ranks[a.Device].dev.NetIn(a.Iface)
+		outB, inB := c.ranks[b.Device].dev.NetOut(b.Iface), c.ranks[b.Device].dev.NetIn(b.Iface)
 		if reliable {
 			ab, ba := link.NewReliablePair(engFor(a.Device), engFor(b.Device), nameAB, nameBA,
 				outA, inB, outB, inA, cfg.LinkLatency, cfg.LinkParams,
@@ -466,6 +491,10 @@ func (c *Cluster) SPMD(name string, body func(*Ctx)) error {
 // schema shared by the smid service (job results) and smibench -json
 // (bench results), so the two are directly diffable.
 type Stats struct {
+	// Transport names the transport implementation the cluster actually
+	// built ("sender-driven" or "receiver-driven") — the self-report
+	// loud-fallback checks verify against the requested transport.
+	Transport string `json:"transport"`
 	// Cycles is the completion cycle of the slowest rank program.
 	Cycles int64 `json:"cycles"`
 	// Micros is Cycles converted to simulated microseconds.
@@ -479,6 +508,10 @@ type Stats struct {
 	// kernels (each fragment once per kernel it crossed): nonzero iff the
 	// streaming large-message path was exercised.
 	StreamFragments uint64 `json:"stream_fragments,omitempty"`
+	// Grants counts receiver-driven pacing grants issued across all
+	// ranks: nonzero iff receiver-driven pacing actually engaged (0
+	// under the sender-driven transport).
+	Grants uint64 `json:"grants,omitempty"`
 	// LinkStalls counts cycles link heads spent blocked on full receiver
 	// FIFOs (backpressure).
 	LinkStalls uint64 `json:"link_stalls"`
@@ -636,6 +669,10 @@ func (c *Cluster) Run() (Stats, error) {
 	for _, rs := range c.ranks {
 		st.PacketsDropped += rs.dev.Dropped()
 		st.StreamFragments += rs.dev.StreamFragments()
+		st.Grants += rs.dev.Grants()
+	}
+	if len(c.ranks) > 0 {
+		st.Transport = c.ranks[0].dev.Kind().String()
 	}
 	if err != nil {
 		return st, err

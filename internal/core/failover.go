@@ -261,7 +261,7 @@ func (m *faultManager) injectRescues(now int64) {
 			m.rescueQueue[i] = q[1:]
 			continue
 		}
-		if m.push(dev.NetOut[exit], p) {
+		if m.push(dev.NetOut(exit), p) {
 			m.rescued++
 			m.rescueQueue[i] = q[1:]
 		}

@@ -179,6 +179,8 @@ func (s *Service) runJob(job *Job) {
 		Mode:          spec.Mode,
 		BufferElems:   spec.BufferElems,
 		StreamBatch:   spec.StreamBatch,
+		Transport:     spec.Transport,
+		Arbiter:       spec.Arbiter,
 	}
 	if r.workload.SupportsRoutes && r.topo != nil {
 		routes, hit, err := s.cache.Get(r.topo, r.policy)

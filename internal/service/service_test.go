@@ -170,6 +170,41 @@ func TestStreamingJob(t *testing.T) {
 	}
 }
 
+// TestTransportJob admits an incast job under each transport and checks
+// the selection survives the spec round trip: the receiver-driven run
+// self-reports its transport, issues grants, and cuts the incast tail
+// against the credited sender-driven baseline.
+func TestTransportJob(t *testing.T) {
+	svc := newTestService(t, Config{Workers: 2})
+	rd, err := svc.Submit(JobSpec{
+		Workload: "incast", Ranks: 4, Size: 2000, Transport: "receiver-driven",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sd, err := svc.Submit(JobSpec{Workload: "incast", Ranks: 4, Size: 2000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	stR, stS := mustDone(t, rd), mustDone(t, sd)
+	if got := stR.Result.Stats.Transport; got != "receiver-driven" {
+		t.Fatalf("receiver-driven job reports transport %q", got)
+	}
+	if stR.Result.Stats.Grants == 0 {
+		t.Fatal("receiver-driven job issued no grants")
+	}
+	if got := stS.Result.Stats.Transport; got != "sender-driven" {
+		t.Fatalf("default job reports transport %q", got)
+	}
+	if stS.Result.Stats.Grants != 0 {
+		t.Fatalf("sender-driven job reports %d grants", stS.Result.Stats.Grants)
+	}
+	if stR.Result.Metrics["tail_cycles"] >= stS.Result.Metrics["tail_cycles"] {
+		t.Fatalf("receiver-driven tail %v not below sender-driven %v",
+			stR.Result.Metrics["tail_cycles"], stS.Result.Metrics["tail_cycles"])
+	}
+}
+
 func TestInvalidSpecsRejectedAtSubmit(t *testing.T) {
 	svc := newTestService(t, Config{Workers: 1})
 	cases := []JobSpec{
@@ -193,6 +228,12 @@ func TestInvalidSpecsRejectedAtSubmit(t *testing.T) {
 		{Workload: "bandwidth", Ranks: 4, Mode: "circuit", StreamBatch: 8},     // batch without streaming
 		{Workload: "bandwidth", Ranks: 4, Mode: "streaming", BufferElems: -1},  // negative buffer
 		{Workload: "bandwidth", Ranks: 4, Mode: "streaming", StreamBatch: 1e7}, // oversized batch
+		{Workload: "incast", Ranks: 4, Transport: "homa"},                      // unknown transport
+		{Workload: "incast", Ranks: 4, Arbiter: "lru"},                         // unknown arbiter
+		{Workload: "summa", Ranks: 4, Transport: "receiver-driven"},            // transport-less workload
+		{Workload: "incast", Ranks: 4, Transport: "receiver-driven", // pacing ops have no wire form
+			Faults: &fault.Spec{DropProb: 0.01, Seed: 1}},
+		{Workload: "bandwidth", Ranks: 4, Transport: "receiver-driven", Mode: "streaming"}, // bypasses pacing
 	}
 	for i, spec := range cases {
 		if _, err := svc.Submit(spec); !IsKind(err, InvalidSpec) {

@@ -7,6 +7,7 @@ import (
 	"repro/internal/routing"
 	"repro/internal/sim"
 	"repro/internal/topology"
+	"repro/internal/transport"
 	"repro/internal/workload"
 )
 
@@ -62,6 +63,15 @@ type JobSpec struct {
 	// StreamBatch is the streaming fragment length in 32-byte wire
 	// words (mode "streaming" only; 0 = port default).
 	StreamBatch int `json:"stream_batch,omitempty"`
+	// Transport selects the flow-control transport for workloads that
+	// support it: "sender-driven" (default) or "receiver-driven"
+	// (Homa-style grant pacing; composes with mode "packet" or
+	// "credited" only, and not with faults — its pacing ops have no
+	// wire encoding to protect).
+	Transport string `json:"transport,omitempty"`
+	// Arbiter selects the CK input arbiter: "round-robin" (default) or
+	// "skip-idle".
+	Arbiter string `json:"arbiter,omitempty"`
 }
 
 // parsePolicy maps the wire name to a routing policy.
@@ -124,6 +134,21 @@ func (s *JobSpec) resolve() (resolved, error) {
 		Mode: s.Mode, BufferElems: s.BufferElems, StreamBatch: s.StreamBatch,
 	}); err != nil {
 		return r, errf(InvalidSpec, "%v", err)
+	}
+	if err := workload.ValidateTransportKnobs(w, workload.Params{
+		Transport: s.Transport, Arbiter: s.Arbiter,
+	}); err != nil {
+		return r, errf(InvalidSpec, "%v", err)
+	}
+	if kind, _ := transport.Parse(s.Transport); kind == transport.ReceiverDrivenKind {
+		// Reject at admission what the cluster would reject at build
+		// time, so the combination fails the request, not the worker.
+		if s.Faults != nil && !s.Faults.Zero() {
+			return r, errf(InvalidSpec, "the receiver-driven transport does not compose with fault injection (its pacing ops have no wire encoding)")
+		}
+		if s.Mode == "circuit" || s.Mode == "streaming" {
+			return r, errf(InvalidSpec, "the receiver-driven transport does not compose with mode %q (circuit and streaming bypass pacing)", s.Mode)
+		}
 	}
 	if r.policy, err = parsePolicy(s.RoutingPolicy); err != nil {
 		return r, errf(InvalidSpec, "%v", err)

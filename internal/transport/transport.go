@@ -21,6 +21,13 @@
 // kernel keeps reading from the same connection up to R times while data
 // is available before moving on; advancing to the next connection costs
 // one cycle.
+//
+// Two implementations live behind the Transport interface:
+// SenderDriven is the paper-faithful transport above (senders push
+// eagerly, flow control is the application-level credit protocol), and
+// ReceiverDriven is a Homa-style ablation where receivers observe
+// backlog announcements and pace senders with priority-ordered grants
+// (see receiver.go).
 package transport
 
 import (
@@ -31,6 +38,85 @@ import (
 	"repro/internal/sim"
 )
 
+// Kind selects a transport implementation.
+type Kind uint8
+
+const (
+	// SenderDrivenKind is the paper's CKS/CKR transport: senders inject
+	// eagerly and rely on buffering, backpressure, and the §3.3
+	// application-level credit protocol.
+	SenderDrivenKind Kind = iota
+	// ReceiverDrivenKind is the Homa-style ablation: receivers grant
+	// send allowances in smallest-remaining-first order, bounded by
+	// their endpoint buffer space; an unscheduled first window keeps
+	// short-message latency.
+	ReceiverDrivenKind
+)
+
+func (k Kind) String() string {
+	switch k {
+	case SenderDrivenKind:
+		return "sender-driven"
+	case ReceiverDrivenKind:
+		return "receiver-driven"
+	default:
+		return fmt.Sprintf("Kind(%d)", uint8(k))
+	}
+}
+
+// Parse maps a wire name ("sender-driven", "receiver-driven"; "" means
+// sender-driven) to a transport kind — the transport analog of
+// apps.ParseTransferMode.
+func Parse(s string) (Kind, error) {
+	switch s {
+	case "", "sender-driven":
+		return SenderDrivenKind, nil
+	case "receiver-driven":
+		return ReceiverDrivenKind, nil
+	default:
+		return 0, fmt.Errorf("transport: unknown transport %q (want sender-driven or receiver-driven)", s)
+	}
+}
+
+// Arbiter selects the CK input-arbitration scheme.
+type Arbiter uint8
+
+const (
+	// ArbiterRoundRobin is the literal round-robin poller: advancing
+	// over an idle input costs one cycle. It reproduces the paper's
+	// Table 4 injection numbers exactly.
+	ArbiterRoundRobin Arbiter = iota
+	// ArbiterSkipIdle is a priority-encoder arbiter that jumps straight
+	// to the next input holding data. It reproduces the paper's Fig 9
+	// bandwidth (91% of payload peak) instead — the published RTL
+	// evidently behaves in between (see EXPERIMENTS.md D1).
+	ArbiterSkipIdle
+)
+
+func (a Arbiter) String() string {
+	switch a {
+	case ArbiterRoundRobin:
+		return "round-robin"
+	case ArbiterSkipIdle:
+		return "skip-idle"
+	default:
+		return fmt.Sprintf("Arbiter(%d)", uint8(a))
+	}
+}
+
+// ParseArbiter maps a wire name ("round-robin", "skip-idle"; "" means
+// round-robin) to an arbiter.
+func ParseArbiter(s string) (Arbiter, error) {
+	switch s {
+	case "", "round-robin":
+		return ArbiterRoundRobin, nil
+	case "skip-idle":
+		return ArbiterSkipIdle, nil
+	default:
+		return 0, fmt.Errorf("transport: unknown arbiter %q (want round-robin or skip-idle)", s)
+	}
+}
+
 // Config tunes the transport layer of one device.
 type Config struct {
 	// R is the polling factor: consecutive reads from one input while
@@ -39,13 +125,29 @@ type Config struct {
 	// CKDepth is the depth of the FIFOs between communication kernels
 	// and of the network-port FIFOs.
 	CKDepth int
-	// SkipIdle selects a priority-encoder arbiter that jumps straight to
-	// the next input holding data instead of scanning idle inputs one
-	// per cycle. The default literal round-robin poller reproduces the
-	// paper's Table 4 injection numbers exactly; the skip-idle arbiter
-	// reproduces its Fig 9 bandwidth (91% of payload peak) instead — the
-	// published RTL evidently behaves in between (see EXPERIMENTS.md D1).
+	// Kind selects the transport implementation (default SenderDriven).
+	Kind Kind
+	// Arbiter selects the CK input-arbitration scheme (default
+	// ArbiterRoundRobin).
+	Arbiter Arbiter
+	// SkipIdle selects the skip-idle arbiter.
+	//
+	// Deprecated: set Arbiter to ArbiterSkipIdle instead. The shim maps
+	// SkipIdle=true onto Arbiter when Arbiter is left at its zero value
+	// and will be removed next release.
 	SkipIdle bool
+
+	// Unscheduled is the receiver-driven first window: packets each
+	// paced flow may send before its first grant. It is what keeps
+	// short messages at eager latency (default 8 packets).
+	Unscheduled int
+	// GrantBatch is the largest allowance one OpGrant raises a flow by
+	// (default 4 packets). Smaller batches track receiver buffer space
+	// more tightly; larger ones amortize grant traffic.
+	GrantBatch int
+	// ReqInterval is the minimum cycle gap between repeated backlog
+	// announcements of one credit-blocked flow (default 64 cycles).
+	ReqInterval int64
 }
 
 // DefaultConfig mirrors the paper's experimental configuration.
@@ -57,6 +159,19 @@ func (c *Config) fill() {
 	}
 	if c.CKDepth <= 0 {
 		c.CKDepth = 8
+	}
+	if c.SkipIdle && c.Arbiter == ArbiterRoundRobin {
+		// Deprecated-field shim: honor the old boolean for one release.
+		c.Arbiter = ArbiterSkipIdle
+	}
+	if c.Unscheduled <= 0 {
+		c.Unscheduled = 8
+	}
+	if c.GrantBatch <= 0 {
+		c.GrantBatch = 4
+	}
+	if c.ReqInterval <= 0 {
+		c.ReqInterval = 64
 	}
 }
 
@@ -73,62 +188,70 @@ type PortBinding struct {
 	// nil for one-directional endpoints.
 	Send *sim.Fifo[packet.Packet]
 	Recv *sim.Fifo[packet.Packet]
+
+	// Paced marks the binding's plain OpData traffic as subject to
+	// receiver-driven pacing (point-to-point data ports). Collective
+	// support-kernel bindings and circuit/streaming ports run their own
+	// flow-control protocols and stay unpaced. Ignored by the
+	// sender-driven transport.
+	Paced bool
 }
 
-// Device is the transport layer of one FPGA: Q CKS/CKR pairs plus the
-// FIFO fabric between them.
-type Device struct {
-	Rank   int
-	Ifaces int
-
-	// NetOut[q] is written by CKS_q and drained by the outgoing link on
-	// interface q; NetIn[q] is filled by the incoming link and read by
+// Transport is the device-level transport abstraction internal/core
+// builds against: constructed from a Config and the rank's
+// PortBindings, it registers its communication kernels on the rank's
+// engine and exposes the network-port FIFOs the links wire up, the
+// failover control surface, and the stats counters. Implementations
+// must keep all mutable state engine-local to the rank (state crosses
+// shards only via the netOut/netIn link boundaries) and behave as a
+// deterministic function of simulated time and FIFO state, so every
+// scheduler produces bit-identical runs (see DESIGN.md §9).
+type Transport interface {
+	// Kind reports which implementation was built — the self-report the
+	// loud-fallback check in the benches verifies against the request.
+	Kind() Kind
+	// Rank and Ifaces echo the construction geometry.
+	Rank() int
+	Ifaces() int
+	// NetOut(q) is written by CKS_q and drained by the outgoing link on
+	// interface q; NetIn(q) is filled by the incoming link and read by
 	// CKR_q.
-	NetOut []*sim.Fifo[packet.Packet]
-	NetIn  []*sim.Fifo[packet.Packet]
-
-	cks []*ck
-	ckr []*ck
-
-	eng    *sim.Engine
-	cksIDs []sim.KernelID
-	ckrIDs []sim.KernelID
-
-	// interCKS[a][b] carries packets CKS_a -> CKS_b (nil on the
-	// diagonal); retained for the failover drain.
-	interCKS [][]*sim.Fifo[packet.Packet]
-
-	numFifos int // internal FIFOs instantiated (excluding app endpoints)
-
-	dropped uint64 // packets addressed to unbound ports
-
-	// Failover controls (see internal/core's fault manager): paused
-	// freezes every CK of the device (host quiescing the shell during
-	// reconfiguration); sendPaused freezes only the CKS kernels so
-	// rescued packets can be injected ahead of new traffic without
-	// reordering, while inbound delivery continues.
-	paused     bool
-	sendPaused bool
+	NetOut(q int) *sim.Fifo[packet.Packet]
+	NetIn(q int) *sim.Fifo[packet.Packet]
+	// SetPaused freezes (or thaws) every communication kernel;
+	// SetSendPaused only the send side (the failover rescue window).
+	SetPaused(v bool)
+	SetSendPaused(v bool)
+	// Dropped counts packets discarded for unbound ports or unreachable
+	// ranks; CountDropped adds externally discarded packets.
+	Dropped() uint64
+	CountDropped(n uint64)
+	// DrainExit empties and returns, oldest first, every packet already
+	// routed toward the given exit interface (failover rescue).
+	DrainExit(exit int) []packet.Packet
+	// Forwarded returns total packets forwarded by the CKS and CKR
+	// kernels; StreamFragments the stream fragments cut through; Grants
+	// the pacing grants issued (0 for sender-driven).
+	Forwarded() (cks, ckr uint64)
+	StreamFragments() uint64
+	Grants() uint64
+	// Shape returns the structural footprint for the resource model.
+	Shape() Shape
 }
 
-// SetPaused freezes (or thaws) every communication kernel of the device.
-// Freezing wakes parked kernels so they observe the reset cycle by cycle
-// — a frozen span must not be mistaken for idle polling time.
-func (d *Device) SetPaused(v bool) {
-	d.paused = v
-	d.wakeAll(d.cksIDs)
-	d.wakeAll(d.ckrIDs)
-}
-
-// SetSendPaused freezes (or thaws) only the CKS kernels.
-func (d *Device) SetSendPaused(v bool) {
-	d.sendPaused = v
-	d.wakeAll(d.cksIDs)
-}
-
-func (d *Device) wakeAll(ids []sim.KernelID) {
-	for _, id := range ids {
-		d.eng.WakeKernel(id)
+// New builds the transport selected by cfg.Kind for one rank and
+// registers its kernels with the engine. routes must cover the
+// destination ranks this device will see; bindings list every
+// application endpoint.
+func New(e *sim.Engine, rank, ifaces int, routes *routing.Routes, bindings []PortBinding, cfg Config) (Transport, error) {
+	cfg.fill()
+	switch cfg.Kind {
+	case SenderDrivenKind:
+		return NewSenderDriven(e, rank, ifaces, routes, bindings, cfg)
+	case ReceiverDrivenKind:
+		return NewReceiverDriven(e, rank, ifaces, routes, bindings, cfg)
+	default:
+		return nil, fmt.Errorf("transport: unknown transport kind %d", cfg.Kind)
 	}
 }
 
@@ -136,269 +259,12 @@ func (d *Device) wakeAll(ids []sim.KernelID) {
 // layer, the input to the resource model (internal/resources).
 type Shape struct {
 	// Fifos is the number of internal FIFOs (network ports, CKS/CKR
-	// pairs, inter-kernel crossbars), excluding application endpoints.
+	// pairs, inter-kernel crossbars, pacing control queues), excluding
+	// application endpoints.
 	Fifos int
-	// CKPorts lists, for each communication kernel, its input+output
-	// port count (CKS kernels first, then CKR).
+	// CKPorts lists, for each hardware kernel of the transport, its
+	// input+output port count (CKS kernels first, then CKR, then any
+	// implementation-specific kernels such as the receiver-driven pacer
+	// and granter).
 	CKPorts []int
-}
-
-// Shape returns the device's structural footprint.
-func (d *Device) Shape() Shape {
-	s := Shape{Fifos: d.numFifos}
-	for _, k := range d.cks {
-		s.CKPorts = append(s.CKPorts, len(k.inputs)+k.nOut)
-	}
-	for _, k := range d.ckr {
-		s.CKPorts = append(s.CKPorts, len(k.inputs)+k.nOut)
-	}
-	return s
-}
-
-// NewDevice builds the transport layer for one rank and registers its
-// kernels with the engine. routes must cover the destination ranks this
-// device will see; bindings list every application endpoint.
-func NewDevice(e *sim.Engine, rank, ifaces int, routes *routing.Routes, bindings []PortBinding, cfg Config) (*Device, error) {
-	cfg.fill()
-	if ifaces <= 0 {
-		return nil, fmt.Errorf("transport: device %d needs at least one interface", rank)
-	}
-	d := &Device{Rank: rank, Ifaces: ifaces, eng: e}
-
-	nf := func(kind string, q int) *sim.Fifo[packet.Packet] {
-		d.numFifos++
-		return sim.NewFifo[packet.Packet](e, fmt.Sprintf("dev%d.%s%d", rank, kind, q), cfg.CKDepth)
-	}
-
-	// Network port FIFOs.
-	for q := 0; q < ifaces; q++ {
-		d.NetOut = append(d.NetOut, nf("netout", q))
-		d.NetIn = append(d.NetIn, nf("netin", q))
-	}
-
-	// Pairwise FIFOs.
-	cksToCkr := make([]*sim.Fifo[packet.Packet], ifaces) // CKS_q -> CKR_q
-	ckrToCks := make([]*sim.Fifo[packet.Packet], ifaces) // CKR_q -> CKS_q
-	for q := 0; q < ifaces; q++ {
-		cksToCkr[q] = nf("cks2ckr", q)
-		ckrToCks[q] = nf("ckr2cks", q)
-	}
-	// Inter-kernel crossbars: interCKS[a][b] carries packets CKS_a ->
-	// CKS_b, likewise for CKR.
-	interCKS := make([][]*sim.Fifo[packet.Packet], ifaces)
-	interCKR := make([][]*sim.Fifo[packet.Packet], ifaces)
-	for a := 0; a < ifaces; a++ {
-		interCKS[a] = make([]*sim.Fifo[packet.Packet], ifaces)
-		interCKR[a] = make([]*sim.Fifo[packet.Packet], ifaces)
-		for b := 0; b < ifaces; b++ {
-			if a == b {
-				continue
-			}
-			interCKS[a][b] = sim.NewFifo[packet.Packet](e, fmt.Sprintf("dev%d.cks%d-cks%d", rank, a, b), cfg.CKDepth)
-			interCKR[a][b] = sim.NewFifo[packet.Packet](e, fmt.Sprintf("dev%d.ckr%d-ckr%d", rank, a, b), cfg.CKDepth)
-			d.numFifos += 2
-		}
-	}
-
-	d.interCKS = interCKS
-
-	// Port lookup tables.
-	portIface := make(map[int]int)
-	portRecv := make(map[int]*sim.Fifo[packet.Packet])
-	for _, b := range bindings {
-		if b.Iface < 0 || b.Iface >= ifaces {
-			return nil, fmt.Errorf("transport: device %d port %d bound to invalid interface %d", rank, b.Port, b.Iface)
-		}
-		if _, dup := portIface[b.Port]; dup {
-			return nil, fmt.Errorf("transport: device %d port %d bound twice", rank, b.Port)
-		}
-		portIface[b.Port] = b.Iface
-		if b.Recv != nil {
-			portRecv[b.Port] = b.Recv
-		}
-	}
-
-	// Build the CKS kernels.
-	for q := 0; q < ifaces; q++ {
-		q := q
-		var inputs []*sim.Fifo[packet.Packet]
-		var names []string
-		for _, b := range bindings {
-			if b.Iface == q && b.Send != nil {
-				inputs = append(inputs, b.Send)
-				names = append(names, fmt.Sprintf("app:%d", b.Port))
-			}
-		}
-		inputs = append(inputs, ckrToCks[q])
-		names = append(names, "pair-ckr")
-		for j := 0; j < ifaces; j++ {
-			if j != q {
-				inputs = append(inputs, interCKS[j][q])
-				names = append(names, fmt.Sprintf("cks%d", j))
-			}
-		}
-		route := func(p packet.Packet) *sim.Fifo[packet.Packet] {
-			if int(p.Dst) == rank {
-				return cksToCkr[q]
-			}
-			exit := routes.At(rank, int(p.Dst))
-			if exit < 0 {
-				d.dropped++
-				return nil
-			}
-			if exit == q {
-				return d.NetOut[q]
-			}
-			return interCKS[q][exit]
-		}
-		// Outputs: the network port, the paired CKR, and every other CKS.
-		k := newCK(fmt.Sprintf("dev%d.cks%d", rank, q), inputs, names, 1+1+(ifaces-1), cfg.R, cfg.SkipIdle, route)
-		k.frozen = func() bool { return d.paused || d.sendPaused }
-		d.cks = append(d.cks, k)
-		id := e.AddKernel(k)
-		d.cksIDs = append(d.cksIDs, id)
-		for _, in := range inputs {
-			in.WakesKernel(id)
-		}
-		// Pops on the output FIFOs resume a parked held-packet retry.
-		d.NetOut[q].WakesKernel(id)
-		cksToCkr[q].WakesKernel(id)
-		for j := 0; j < ifaces; j++ {
-			if j != q {
-				interCKS[q][j].WakesKernel(id)
-			}
-		}
-	}
-
-	// Build the CKR kernels.
-	for q := 0; q < ifaces; q++ {
-		q := q
-		inputs := []*sim.Fifo[packet.Packet]{d.NetIn[q], cksToCkr[q]}
-		names := []string{"net", "pair-cks"}
-		for j := 0; j < ifaces; j++ {
-			if j != q {
-				inputs = append(inputs, interCKR[j][q])
-				names = append(names, fmt.Sprintf("ckr%d", j))
-			}
-		}
-		route := func(p packet.Packet) *sim.Fifo[packet.Packet] {
-			if int(p.Dst) != rank {
-				// This rank is an intermediate hop: hand the packet to
-				// the paired CKS for re-routing.
-				return ckrToCks[q]
-			}
-			target, ok := portIface[int(p.Port)]
-			if !ok {
-				d.dropped++
-				return nil
-			}
-			if target == q {
-				f := portRecv[int(p.Port)]
-				if f == nil {
-					d.dropped++
-				}
-				return f
-			}
-			return interCKR[q][target]
-		}
-		// Outputs: receive endpoints bound to q, the paired CKS, and
-		// every other CKR.
-		nApps := 0
-		for _, b := range bindings {
-			if b.Iface == q && b.Recv != nil {
-				nApps++
-			}
-		}
-		k := newCK(fmt.Sprintf("dev%d.ckr%d", rank, q), inputs, names, nApps+1+(ifaces-1), cfg.R, cfg.SkipIdle, route)
-		k.frozen = func() bool { return d.paused }
-		d.ckr = append(d.ckr, k)
-		id := e.AddKernel(k)
-		d.ckrIDs = append(d.ckrIDs, id)
-		for _, in := range inputs {
-			in.WakesKernel(id)
-		}
-		// Pops on the output FIFOs resume a parked held-packet retry.
-		ckrToCks[q].WakesKernel(id)
-		for _, b := range bindings {
-			if b.Iface == q && b.Recv != nil {
-				b.Recv.WakesKernel(id)
-			}
-		}
-		for j := 0; j < ifaces; j++ {
-			if j != q {
-				interCKR[q][j].WakesKernel(id)
-			}
-		}
-	}
-	return d, nil
-}
-
-// Dropped returns the number of packets discarded because they addressed
-// an unbound port or unreachable rank.
-func (d *Device) Dropped() uint64 { return d.dropped }
-
-// CountDropped adds externally discarded packets (the fault manager's
-// unroutable rescues) to the device's drop counter.
-func (d *Device) CountDropped(n uint64) { d.dropped += n }
-
-// DrainExit empties and returns, oldest first, every packet already
-// routed toward the given exit interface: the network-port FIFO, the
-// CKS held registers targeting it, and the inter-CKS crossbar columns
-// feeding it. The fault manager calls it (with the device paused) after
-// a permanent link death, so stranded traffic can be re-injected on the
-// regenerated routes in its original per-flow order.
-func (d *Device) DrainExit(exit int) []packet.Packet {
-	var out []packet.Packet
-	drainFifo := func(f *sim.Fifo[packet.Packet]) {
-		for {
-			p, ok := f.TryPop()
-			if !ok {
-				return
-			}
-			out = append(out, p)
-		}
-	}
-	drainHeld := func(k *ck, target *sim.Fifo[packet.Packet]) {
-		if k.hasHeld && k.heldOut == target {
-			out = append(out, k.held)
-			k.hasHeld = false
-		}
-	}
-	// Oldest first: the port FIFO, then the packet that failed to enter
-	// it, then each crossbar column followed by its feeder's held slot.
-	drainFifo(d.NetOut[exit])
-	drainHeld(d.cks[exit], d.NetOut[exit])
-	for a := 0; a < d.Ifaces; a++ {
-		if a == exit || d.interCKS[a][exit] == nil {
-			continue
-		}
-		drainFifo(d.interCKS[a][exit])
-		drainHeld(d.cks[a], d.interCKS[a][exit])
-	}
-	return out
-}
-
-// Forwarded returns the total packets forwarded by all CKS and CKR
-// kernels of this device.
-func (d *Device) Forwarded() (cks, ckr uint64) {
-	for _, k := range d.cks {
-		cks += k.forwarded
-	}
-	for _, k := range d.ckr {
-		ckr += k.forwarded
-	}
-	return
-}
-
-// StreamFragments returns the total stream fragments cut through the
-// device's kernels (each fragment counted once per kernel it crossed).
-func (d *Device) StreamFragments() uint64 {
-	var n uint64
-	for _, k := range d.cks {
-		n += k.fragments
-	}
-	for _, k := range d.ckr {
-		n += k.fragments
-	}
-	return n
 }

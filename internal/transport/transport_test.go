@@ -15,7 +15,7 @@ import (
 // one send and one receive endpoint per (device, port).
 type testNet struct {
 	eng     *sim.Engine
-	devices []*Device
+	devices []Transport
 	send    map[[2]int]*sim.Fifo[packet.Packet] // [rank, port] -> app->CKS fifo
 	recv    map[[2]int]*sim.Fifo[packet.Packet] // [rank, port] -> CKR->app fifo
 }
@@ -36,11 +36,11 @@ func buildNet(t *testing.T, topo *topology.Topology, ports []int, cfg Config, li
 		for i, p := range ports {
 			s := sim.NewFifo[packet.Packet](n.eng, fmt.Sprintf("app%d.%d.send", r, p), 8)
 			v := sim.NewFifo[packet.Packet](n.eng, fmt.Sprintf("app%d.%d.recv", r, p), 8)
-			bindings = append(bindings, PortBinding{Port: p, Iface: i % topo.Ifaces, Send: s, Recv: v})
+			bindings = append(bindings, PortBinding{Port: p, Iface: i % topo.Ifaces, Send: s, Recv: v, Paced: true})
 			n.send[[2]int{r, p}] = s
 			n.recv[[2]int{r, p}] = v
 		}
-		d, err := NewDevice(n.eng, r, topo.Ifaces, routes, bindings, cfg)
+		d, err := New(n.eng, r, topo.Ifaces, routes, bindings, cfg)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -49,9 +49,9 @@ func buildNet(t *testing.T, topo *topology.Topology, ports []int, cfg Config, li
 	for _, c := range topo.Connections {
 		a, b := c.A, c.B
 		link.New(n.eng, n.eng, fmt.Sprintf("%s->%s", a, b),
-			n.devices[a.Device].NetOut[a.Iface], n.devices[b.Device].NetIn[b.Iface], linkLatency)
+			n.devices[a.Device].NetOut(a.Iface), n.devices[b.Device].NetIn(b.Iface), linkLatency)
 		link.New(n.eng, n.eng, fmt.Sprintf("%s->%s", b, a),
-			n.devices[b.Device].NetOut[b.Iface], n.devices[a.Device].NetIn[a.Iface], linkLatency)
+			n.devices[b.Device].NetOut(b.Iface), n.devices[a.Device].NetIn(a.Iface), linkLatency)
 	}
 	return n
 }
@@ -189,12 +189,12 @@ func TestInvalidBindingRejected(t *testing.T) {
 	topo, _ := topology.Bus(2)
 	routes, _ := routing.Compute(topo, routing.ShortestPath)
 	e := sim.NewEngine()
-	_, err := NewDevice(e, 0, 4, routes, []PortBinding{{Port: 0, Iface: 9}}, DefaultConfig())
+	_, err := New(e, 0, 4, routes, []PortBinding{{Port: 0, Iface: 9}}, DefaultConfig())
 	if err == nil {
 		t.Fatal("out-of-range iface must be rejected")
 	}
 	f := sim.NewFifo[packet.Packet](e, "f", 4)
-	_, err = NewDevice(e, 0, 4, routes, []PortBinding{
+	_, err = New(e, 0, 4, routes, []PortBinding{
 		{Port: 0, Iface: 0, Send: f},
 		{Port: 0, Iface: 1, Send: f},
 	}, DefaultConfig())
@@ -261,7 +261,7 @@ func TestSkipIdleArbiterInjection(t *testing.T) {
 	// With the priority-encoder arbiter a single sender is served almost
 	// every cycle even at R=1, instead of every 5th.
 	topo, _ := topology.Bus(2)
-	cfg := Config{R: 1, SkipIdle: true}
+	cfg := Config{R: 1, Arbiter: ArbiterSkipIdle}
 	n := buildNet(t, topo, []int{0}, cfg, 10)
 	sf := n.send[[2]int{0, 0}]
 	rf := n.recv[[2]int{1, 0}]

@@ -9,7 +9,7 @@ import (
 )
 
 func TestRegistryNames(t *testing.T) {
-	want := []string{"bandwidth", "bcast", "pingpong", "reduce", "stencil", "summa"}
+	want := []string{"bandwidth", "bcast", "incast", "pingpong", "reduce", "stencil", "summa"}
 	got := Names()
 	if len(got) != len(want) {
 		t.Fatalf("Names() = %v, want %v", got, want)
@@ -73,6 +73,8 @@ func quickTestSize(name string) int {
 		return 8
 	case "bcast", "reduce":
 		return 256
+	case "incast":
+		return 512
 	case "stencil", "summa":
 		return 8
 	default:
@@ -139,6 +141,69 @@ func TestRunModeKnobs(t *testing.T) {
 			wl = "summa"
 		}
 		if _, err := Run(wl, p); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}
+
+func TestRunTransportKnobs(t *testing.T) {
+	// The incast workload honors the transport knob: receiver-driven
+	// pacing must issue grants, self-report in Stats, and cut the tail
+	// against the credited sender-driven baseline at 3:1.
+	base := Params{Ranks: 4, Size: 2000}
+	sd, err := Run("incast", base)
+	if err != nil {
+		t.Fatalf("sender-driven incast: %v", err)
+	}
+	if sd.Stats.Transport != "sender-driven" {
+		t.Errorf("default incast reports transport %q, want sender-driven", sd.Stats.Transport)
+	}
+	if sd.Stats.Grants != 0 {
+		t.Errorf("sender-driven incast reported %d grants", sd.Stats.Grants)
+	}
+	p := base
+	p.Transport = "receiver-driven"
+	rd, err := Run("incast", p)
+	if err != nil {
+		t.Fatalf("receiver-driven incast: %v", err)
+	}
+	if rd.Stats.Transport != "receiver-driven" {
+		t.Errorf("incast reports transport %q, want receiver-driven", rd.Stats.Transport)
+	}
+	if rd.Stats.Grants == 0 {
+		t.Error("receiver-driven incast issued no grants")
+	}
+	if rd.Metrics["tail_cycles"] >= sd.Metrics["tail_cycles"] {
+		t.Errorf("receiver-driven tail %v not below sender-driven credited tail %v",
+			rd.Metrics["tail_cycles"], sd.Metrics["tail_cycles"])
+	}
+	again, err := Run("incast", p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again.OutputDigest != rd.OutputDigest || again.Cycles != rd.Cycles {
+		t.Fatal("receiver-driven incast not deterministic")
+	}
+
+	// The arbiter knob is accepted everywhere and changes timing only.
+	arb := base
+	arb.Arbiter = "skip-idle"
+	if _, err := Run("incast", arb); err != nil {
+		t.Fatalf("skip-idle incast: %v", err)
+	}
+
+	// Typed validation: bad knobs and unsupported selections fail loudly.
+	for name, tc := range map[string]struct {
+		wl string
+		p  Params
+	}{
+		"unknown transport":              {"incast", Params{Ranks: 4, Size: 64, Transport: "homa"}},
+		"unknown arbiter":                {"incast", Params{Ranks: 4, Size: 64, Arbiter: "lru"}},
+		"transport on transport-less":    {"summa", Params{Ranks: 4, Size: 8, Transport: "receiver-driven"}},
+		"receiver-driven with faults":    {"incast", Params{Ranks: 4, Size: 64, Transport: "receiver-driven", Faults: &fault.Spec{DropProb: 0.01, Seed: 1}}},
+		"receiver-driven with streaming": {"incast", Params{Ranks: 4, Size: 64, Transport: "receiver-driven", Mode: "streaming"}},
+	} {
+		if _, err := Run(tc.wl, tc.p); err == nil {
 			t.Errorf("%s: accepted", name)
 		}
 	}

@@ -50,9 +50,17 @@ func netConfig(p Params) (apps.NetConfig, error) {
 			return apps.NetConfig{}, err
 		}
 	}
+	tc := transport.DefaultConfig()
+	var err error
+	if tc.Kind, err = transport.Parse(p.Transport); err != nil {
+		return apps.NetConfig{}, fmt.Errorf("workload: %v", err)
+	}
+	if tc.Arbiter, err = transport.ParseArbiter(p.Arbiter); err != nil {
+		return apps.NetConfig{}, fmt.Errorf("workload: %v", err)
+	}
 	return apps.NetConfig{
 		Topology:      topo,
-		Transport:     transport.DefaultConfig(),
+		Transport:     tc,
 		RoutingPolicy: p.RoutingPolicy,
 		Routes:        p.Routes,
 		Faults:        p.Faults,
@@ -91,6 +99,29 @@ func ValidateModeKnobs(w Workload, p Params) error {
 	return nil
 }
 
+// ValidateTransportKnobs type-checks the transport selection against a
+// workload. Like ValidateModeKnobs it is shared between smid's
+// admission path and Run, so a bad combination is rejected identically
+// over HTTP and through the Go API. The arbiter knob is accepted by
+// every workload (it only reorders CK polling); a non-default transport
+// is rejected unless the workload declares SupportsTransport, because a
+// workload that ignores the knob would silently measure the wrong
+// machinery — the exact fallback the transport ablation exists to rule
+// out.
+func ValidateTransportKnobs(w Workload, p Params) error {
+	kind, err := transport.Parse(p.Transport)
+	if err != nil {
+		return fmt.Errorf("workload: %v", err)
+	}
+	if _, err := transport.ParseArbiter(p.Arbiter); err != nil {
+		return fmt.Errorf("workload: %v", err)
+	}
+	if kind != transport.SenderDrivenKind && !w.SupportsTransport {
+		return fmt.Errorf("workload: %s does not accept a transport selection (got %q)", w.Name, p.Transport)
+	}
+	return nil
+}
+
 // result fills the normalized fields shared by every workload.
 func result(name string, p Params, size, steps int, cycles int64, micros float64) Result {
 	return Result{
@@ -101,13 +132,14 @@ func result(name string, p Params, size, steps int, cycles int64, micros float64
 
 func init() {
 	Register(Workload{
-		Name:           "bandwidth",
-		Description:    "stream Size int32 elements from rank 0 to the last rank (§5.3.1); mode selects packet, credited, circuit, or streaming transfer",
-		MinRanks:       2,
-		DefaultSize:    16384,
-		SupportsFaults: true,
-		SupportsRoutes: true,
-		SupportsModes:  true,
+		Name:              "bandwidth",
+		Description:       "stream Size int32 elements from rank 0 to the last rank (§5.3.1); mode selects packet, credited, circuit, or streaming transfer",
+		MinRanks:          2,
+		DefaultSize:       16384,
+		SupportsFaults:    true,
+		SupportsRoutes:    true,
+		SupportsModes:     true,
+		SupportsTransport: true,
 		Run: func(p Params) (Result, error) {
 			cfg, err := netConfig(p)
 			if err != nil {
@@ -167,12 +199,13 @@ func init() {
 	})
 
 	Register(Workload{
-		Name:           "bcast",
-		Description:    "broadcast Size float32 elements from rank 0 to every rank (Fig 10)",
-		MinRanks:       2,
-		DefaultSize:    4096,
-		SupportsFaults: true,
-		SupportsRoutes: true,
+		Name:              "bcast",
+		Description:       "broadcast Size float32 elements from rank 0 to every rank (Fig 10)",
+		MinRanks:          2,
+		DefaultSize:       4096,
+		SupportsFaults:    true,
+		SupportsRoutes:    true,
+		SupportsTransport: true,
 		Run: func(p Params) (Result, error) {
 			cfg, err := netConfig(p)
 			if err != nil {
@@ -269,6 +302,52 @@ func init() {
 	})
 
 	Register(Workload{
+		Name:              "incast",
+		Description:       "converge one flow of Size int32 elements from each of ranks 1..N-1 onto rank 0, drained sequentially — the congestion pattern the receiver-driven transport ablates (§3.3)",
+		MinRanks:          2,
+		DefaultSize:       3000,
+		SupportsFaults:    true,
+		SupportsRoutes:    true,
+		SupportsModes:     true,
+		SupportsTransport: true,
+		Run: func(p Params) (Result, error) {
+			cfg, err := netConfig(p)
+			if err != nil {
+				return Result{}, err
+			}
+			if cfg.Mode, err = apps.ParseTransferMode(p.Mode); err != nil {
+				return Result{}, fmt.Errorf("workload: %v", err)
+			}
+			if p.Mode == "" && cfg.Transport.Kind == transport.SenderDrivenKind {
+				// Eager sender-driven incast deadlocks on sequential drain
+				// (§3.3); the safe default baseline is credited. Receiver-
+				// driven pacing keeps the eager default safe, so it stays
+				// on ModePacket and an explicit mode always wins.
+				cfg.Mode = apps.ModeCredited
+			}
+			cfg.BufferElems, cfg.StreamBatch = p.BufferElems, p.StreamBatch
+			senders := p.Ranks - 1
+			res, err := apps.Incast(cfg, senders, p.Size)
+			if err != nil {
+				return Result{}, err
+			}
+			out := result("incast", p, p.Size, 0, res.Cycles, 0)
+			out.Stats = res.Net
+			out.Metrics["tail_cycles"] = float64(res.TailCycles)
+			out.Metrics["mean_cycles"] = res.MeanCycles
+			out.Metrics["senders"] = float64(senders)
+			d := newDigest()
+			d.i64(res.Cycles)
+			d.i64(int64(res.Net.PacketsDelivered))
+			for _, fc := range res.FlowCycles {
+				d.i64(fc)
+			}
+			out.OutputDigest = d.hex()
+			return out, nil
+		},
+	})
+
+	Register(Workload{
 		Name:        "summa",
 		Description: "1-D SUMMA dense matrix multiply of a Size × Size matrix over the ranks (§5.4)",
 		MinRanks:    2,
@@ -323,6 +402,9 @@ func Run(name string, p Params) (Result, error) {
 		return Result{}, fmt.Errorf("workload: %s does not accept precomputed routes", w.Name)
 	}
 	if err := ValidateModeKnobs(w, p); err != nil {
+		return Result{}, err
+	}
+	if err := ValidateTransportKnobs(w, p); err != nil {
 		return Result{}, err
 	}
 	return w.Run(p)
